@@ -1,0 +1,138 @@
+// Command benchall regenerates every figure of the paper's evaluation
+// section and writes one CSV per figure under -out (default results/),
+// printing each table as ASCII along the way. See EXPERIMENTS.md for the
+// paper-vs-measured comparison these tables feed.
+//
+// The RL training curves (Figs. 11/12) dominate the run time; use
+// -curve-steps to trade fidelity for speed, or -skip-curves to regenerate
+// only the system figures.
+//
+// Usage:
+//
+//	benchall -out results -curve-steps 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"murmuration/internal/experiments"
+	"murmuration/internal/plot"
+)
+
+func main() {
+	outDir := flag.String("out", "results", "output directory for CSVs")
+	curveSteps := flag.Int("curve-steps", 600, "RL training episodes for Figs. 11/12")
+	curveSeeds := flag.Int("curve-seeds", 3, "training runs averaged (paper: 3)")
+	hidden := flag.Int("hidden", 64, "policy LSTM width for curve training")
+	skipCurves := flag.Bool("skip-curves", false, "skip the RL training curves (Figs. 11/12)")
+	ablation := flag.Bool("ablation", true, "run the SUPREME ablation study")
+	flag.Parse()
+
+	emit := func(t *experiments.Table, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", t.Name, err)
+		}
+		t.Fprint(os.Stdout)
+		path, err := t.WriteCSV(*outDir)
+		if err != nil {
+			log.Fatalf("write %s: %v", t.Name, err)
+		}
+		fmt.Printf("-> %s\n", path)
+	}
+
+	start := time.Now()
+
+	if !*skipCurves {
+		copts := experiments.DefaultCurveOptions()
+		copts.Steps = *curveSteps
+		copts.Hidden = *hidden
+		copts.Seeds = copts.Seeds[:min(*curveSeeds, len(copts.Seeds))]
+
+		fmt.Println("=== Figs. 11a/12: RL training curves, augmented scenario ===")
+		aug := experiments.Augmented()
+		curvesA, err := experiments.Curves(aug, experiments.AugmentedSpace(), copts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(experiments.CurveTable("fig11a", "Fig11a: avg reward vs training steps (augmented)", curvesA), nil)
+		plotCurves("Fig11a: average reward (augmented)", curvesA, false)
+		norm := experiments.NormalizeCompliance(curvesA)
+		emit(experiments.CurveTable("fig12", "Fig12: normalized SLO compliance vs training steps", norm), nil)
+		plotCurves("Fig12: normalized SLO compliance", norm, true)
+
+		fmt.Println("=== Fig. 11b: RL training curves, device swarm ===")
+		sw := experiments.Swarm(5)
+		curvesB, err := experiments.Curves(sw, experiments.SwarmSpace(4), copts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(experiments.CurveTable("fig11b", "Fig11b: avg reward vs training steps (swarm)", curvesB), nil)
+		plotCurves("Fig11b: average reward (swarm)", curvesB, false)
+	}
+
+	aug := experiments.Augmented()
+	augOracle := experiments.DefaultOracle(aug.Env)
+	sw := experiments.Swarm(5)
+	swOracle := experiments.DefaultOracle(sw.Env)
+
+	t13, err := experiments.Fig13(aug, augOracle, experiments.DefaultFig13Options())
+	emit(t13, err)
+	t14, err := experiments.Fig14(sw, swOracle, experiments.DefaultFig14Options())
+	emit(t14, err)
+	t15, err := experiments.Fig15(aug, augOracle, experiments.DefaultFig15Options())
+	emit(t15, err)
+	t16a, err := experiments.Fig16a(aug, augOracle, experiments.DefaultFig16aOptions())
+	emit(t16a, err)
+	t16b, err := experiments.Fig16b(sw, swOracle, experiments.DefaultFig16bOptions())
+	emit(t16b, err)
+	t17, err := experiments.Fig17(experiments.DefaultFig17Options())
+	emit(t17, err)
+	t18, err := experiments.Fig18(experiments.DefaultFig18Options())
+	emit(t18, err)
+	t19, err := experiments.Fig19()
+	emit(t19, err)
+
+	if *ablation {
+		fmt.Println("=== SUPREME ablation study ===")
+		aopts := experiments.DefaultAblationOptions()
+		aopts.Steps = *curveSteps / 2
+		aopts.Hidden = *hidden
+		aopts.Seeds = []int64{1}
+		tAb, err := experiments.Ablation(experiments.Augmented(), experiments.AugmentedSpace(), aopts)
+		emit(tAb, err)
+	}
+
+	fmt.Printf("\nall figures regenerated in %v; CSVs in %s/\n", time.Since(start).Round(time.Second), *outDir)
+}
+
+// plotCurves renders the per-method training curves as an ASCII chart.
+func plotCurves(title string, curves map[string][]experiments.CurvePoint, compliance bool) {
+	c := &plot.Chart{Title: title, XLabel: "training steps", YLabel: "reward"}
+	if compliance {
+		c.YLabel = "compliance"
+	}
+	for _, m := range []string{"SUPREME", "GCSL", "PPO"} {
+		var xs, ys []float64
+		for _, p := range curves[m] {
+			xs = append(xs, float64(p.Step))
+			if compliance {
+				ys = append(ys, p.Compliance)
+			} else {
+				ys = append(ys, p.Reward)
+			}
+		}
+		c.Add(m, xs, ys)
+	}
+	c.Render(os.Stdout)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+// Command murmurationd is the per-device daemon of a Murmuration deployment:
+// it keeps the full supernet resident in memory and serves remote block
+// execution plus network-monitoring probes over the rpcx protocol.
+//
+// Every device in a deployment must start with the same -arch and -seed so
+// the shared supernet weights are identical (in a real deployment the
+// weights would be distributed once after NAS training; here deterministic
+// initialization plays that role unless -checkpoint is given).
+//
+// Usage:
+//
+//	murmurationd -listen :7000 -arch tiny -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"murmuration/internal/monitor"
+	"murmuration/internal/nn"
+	"murmuration/internal/rpcx"
+	"murmuration/internal/runtime"
+	"murmuration/internal/supernet"
+)
+
+func main() {
+	listen := flag.String("listen", ":7000", "address to serve rpcx on")
+	archName := flag.String("arch", "tiny", "supernet search space: tiny or default")
+	seed := flag.Int64("seed", 42, "deterministic weight seed (must match across devices)")
+	classes := flag.Int("classes", 4, "classifier classes for the tiny arch")
+	checkpoint := flag.String("checkpoint", "", "optional supernet checkpoint to load")
+	flag.Parse()
+
+	var arch *supernet.Arch
+	switch *archName {
+	case "tiny":
+		arch = supernet.TinyArch(*classes)
+	case "default":
+		arch = supernet.DefaultArch()
+	default:
+		log.Fatalf("unknown arch %q (want tiny or default)", *archName)
+	}
+
+	net := supernet.New(arch, *seed)
+	if *checkpoint != "" {
+		if err := nn.LoadParams(*checkpoint, net.Params()); err != nil {
+			log.Fatalf("load checkpoint: %v", err)
+		}
+		log.Printf("loaded supernet checkpoint %s", *checkpoint)
+	}
+	log.Printf("supernet %s resident in memory: %d parameters", arch.Name, net.NumParams())
+
+	srv := rpcx.NewServer()
+	runtime.NewExecutor(net).Register(srv)
+	monitor.RegisterHandlers(srv)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("murmurationd serving on %s (arch=%s seed=%d)\n", addr, arch.Name, *seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,104 @@
+// Command train-policy runs stage 2 of Murmuration: RL policy training with
+// SUPREME (or the GCSL/PPO baselines) over a scenario's constraint space.
+// It writes the training curve as CSV and the trained policy as a
+// checkpoint.
+//
+// Usage:
+//
+//	train-policy -scenario augmented -method supreme -steps 2000 \
+//	  -out results/ -ckpt policy.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"murmuration/internal/experiments"
+	"murmuration/internal/nn"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rl/gcsl"
+	"murmuration/internal/rl/policy"
+	"murmuration/internal/rl/ppo"
+	"murmuration/internal/rl/supreme"
+)
+
+func main() {
+	scenario := flag.String("scenario", "augmented", "augmented or swarm")
+	method := flag.String("method", "supreme", "supreme, gcsl, or ppo")
+	steps := flag.Int("steps", 2000, "training episodes")
+	hidden := flag.Int("hidden", 64, "policy LSTM width (paper: 256)")
+	seed := flag.Int64("seed", 1, "training seed")
+	evalEvery := flag.Int("eval-every", 100, "steps between evaluations")
+	valSize := flag.Int("val", 40, "validation constraints")
+	outDir := flag.String("out", "results", "output directory for the curve CSV")
+	ckpt := flag.String("ckpt", "", "optional path to write the trained policy checkpoint")
+	flag.Parse()
+
+	var s *experiments.Scenario
+	var space env.ConstraintSpace
+	switch *scenario {
+	case "augmented":
+		s = experiments.Augmented()
+		space = experiments.AugmentedSpace()
+	case "swarm":
+		s = experiments.Swarm(5)
+		space = experiments.SwarmSpace(4)
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+
+	p := policy.New(s.Env, *hidden, *seed)
+	val := space.ValidationSet(*valSize, 1000+*seed)
+	fmt.Printf("training %s on %s: %d steps, %d policy params\n",
+		*method, *scenario, *steps, p.NumParams())
+
+	curve := &experiments.Table{
+		Name:   fmt.Sprintf("curve_%s_%s", *scenario, *method),
+		Title:  fmt.Sprintf("%s on %s", *method, *scenario),
+		Header: []string{"step", "avg_reward", "compliance"},
+	}
+	progress := func(step int, ev policy.EvalResult) {
+		fmt.Printf("  step %5d  reward %.4f  compliance %.3f\n", step, ev.AvgReward, ev.Compliance)
+		curve.AddRowF(step, ev.AvgReward, ev.Compliance)
+	}
+
+	var err error
+	switch *method {
+	case "supreme":
+		o := supreme.DefaultOptions()
+		o.Steps, o.Seed, o.EvalEvery, o.Val, o.Progress = *steps, *seed, *evalEvery, val, progress
+		o.CurriculumEvery = *steps / (space.Dims() + 1)
+		err = supreme.New(p, space, o).Run()
+	case "gcsl":
+		o := gcsl.DefaultOptions()
+		o.Steps, o.Seed, o.EvalEvery, o.Val, o.Progress = *steps, *seed, *evalEvery, val, progress
+		err = gcsl.New(p, space, o).Run()
+	case "ppo":
+		o := ppo.DefaultOptions()
+		o.Steps, o.Seed, o.EvalEvery, o.Val, o.Progress = *steps, *seed, *evalEvery, val, progress
+		err = ppo.New(p, space, o).Run()
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+
+	if path, err := curve.WriteCSV(*outDir); err != nil {
+		log.Fatalf("write curve: %v", err)
+	} else {
+		fmt.Printf("curve written to %s\n", path)
+	}
+	if *ckpt != "" {
+		if err := os.MkdirAll(filepath.Dir(*ckpt), 0o755); err != nil && filepath.Dir(*ckpt) != "." {
+			log.Fatalf("mkdir: %v", err)
+		}
+		if err := nn.SaveParams(*ckpt, p.Params()); err != nil {
+			log.Fatalf("save checkpoint: %v", err)
+		}
+		fmt.Printf("policy checkpoint written to %s\n", *ckpt)
+	}
+}

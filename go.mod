@@ -1,0 +1,3 @@
+module murmuration
+
+go 1.22

@@ -1,0 +1,180 @@
+// Package adcnn implements the ADCNN baseline (Zhang et al., the paper's
+// [16]): Fully Decomposable Spatial Partitioning of a fixed CNN across a
+// cluster of edge devices. The input feature map of every partitionable
+// layer is split into zero-padded tiles (FDSP), so tiles flow through the
+// whole convolutional trunk with no cross-tile communication: the input is
+// scattered once, each device processes its tile through all layers, and
+// tiles gather before the (central) head.
+//
+// FDSP's zero padding costs a small amount of accuracy, restored by
+// finetuning; the paper's finetuned numbers motivate the per-grid penalty
+// here (≈0.2 % at 2 tiles, ≈0.5 % at 4).
+package adcnn
+
+import (
+	"fmt"
+
+	"murmuration/internal/device"
+	"murmuration/internal/supernet"
+)
+
+// Plan describes an ADCNN execution and its predicted cost.
+type Plan struct {
+	Grid       supernet.Partition
+	LatencySec float64
+	// AccuracyPenaltyPct is subtracted from the fixed model's accuracy.
+	AccuracyPenaltyPct float64
+	// Assignment[t] is the device executing tile t through the trunk.
+	Assignment []int
+}
+
+// AccuracyPenalty returns the finetuned FDSP accuracy cost for a grid.
+func AccuracyPenalty(grid supernet.Partition) float64 {
+	switch grid.NumTiles() {
+	case 1:
+		return 0
+	case 2:
+		return 0.2
+	case 4:
+		return 0.5
+	default:
+		return 0.2 * float64(grid.NumTiles()-1)
+	}
+}
+
+// GridFor picks the natural grid for a device count: 1×1 for 1, 1×2 for 2-3,
+// 2×2 for ≥4 workers.
+func GridFor(workers int) supernet.Partition {
+	switch {
+	case workers <= 1:
+		return supernet.Partition{Gy: 1, Gx: 1}
+	case workers < 4:
+		return supernet.Partition{Gy: 1, Gx: 2}
+	default:
+		return supernet.Partition{Gy: 2, Gx: 2}
+	}
+}
+
+// Execute plans FDSP execution of a layer chain over the cluster using the
+// given grid. Tiles are assigned round-robin over all devices (including the
+// local device). Latency model: scatter input tiles to remote workers,
+// trunk layers execute tile-parallel (serial per device), gather tile
+// outputs to local, then the non-partitionable head runs locally.
+func Execute(layers []supernet.LayerCost, cluster *device.Cluster, grid supernet.Partition) (Plan, error) {
+	if len(layers) == 0 {
+		return Plan{}, fmt.Errorf("adcnn: empty layer chain")
+	}
+	tiles := grid.NumTiles()
+	if tiles < 1 {
+		return Plan{}, fmt.Errorf("adcnn: invalid grid %v", grid)
+	}
+	assign := make([]int, tiles)
+	for t := 0; t < tiles; t++ {
+		assign[t] = t % cluster.N()
+	}
+	plan := Plan{Grid: grid, AccuracyPenaltyPct: AccuracyPenalty(grid), Assignment: assign}
+
+	// Scatter: each remote worker receives its input tile (the first
+	// partitionable layer's input, at 32-bit).
+	firstPart := -1
+	lastPart := -1
+	for i, lc := range layers {
+		if lc.Partitionable {
+			if firstPart < 0 {
+				firstPart = i
+			}
+			lastPart = i
+		}
+	}
+	if firstPart < 0 {
+		return Plan{}, fmt.Errorf("adcnn: no partitionable layers")
+	}
+
+	var total float64
+	local := cluster.Devices[0].Profile
+
+	// Non-partitionable prefix (stem) runs locally.
+	for i := 0; i < firstPart; i++ {
+		total += local.LayerTime(layers[i].FLOPs, layers[i].MemBytes)
+	}
+
+	// Scatter phase: links to distinct devices run in parallel (switch with
+	// per-link shaping); multiple tiles to one device share its link.
+	tileInBytes := float64(layers[firstPart].InElems*4) / float64(tiles)
+	perLink := map[int]float64{}
+	for t := 0; t < tiles; t++ {
+		if assign[t] != 0 {
+			perLink[assign[t]] += tileInBytes
+		}
+	}
+	total += phaseTime(cluster, perLink)
+
+	// Trunk: per-device serial tile work, devices in parallel.
+	perDev := make(map[int]float64)
+	for t := 0; t < tiles; t++ {
+		d := cluster.Devices[assign[t]]
+		var devTime float64
+		for i := firstPart; i <= lastPart; i++ {
+			devTime += d.Profile.LayerTime(layers[i].FLOPs/float64(tiles), layers[i].MemBytes/float64(tiles))
+		}
+		perDev[assign[t]] += devTime
+	}
+	var maxDev float64
+	for _, v := range perDev {
+		if v > maxDev {
+			maxDev = v
+		}
+	}
+	total += maxDev
+
+	// Gather trunk outputs to local (parallel links again).
+	tileOutBytes := float64(layers[lastPart].OutElems*4) / float64(tiles)
+	perLink = map[int]float64{}
+	for t := 0; t < tiles; t++ {
+		if assign[t] != 0 {
+			perLink[assign[t]] += tileOutBytes
+		}
+	}
+	total += phaseTime(cluster, perLink)
+
+	// Head runs locally.
+	for i := lastPart + 1; i < len(layers); i++ {
+		total += local.LayerTime(layers[i].FLOPs, layers[i].MemBytes)
+	}
+	plan.LatencySec = total
+	return plan, nil
+}
+
+// phaseTime is the duration of one synchronized transfer phase: the maximum
+// over links of (bytes / bandwidth + delay).
+func phaseTime(cluster *device.Cluster, perLink map[int]float64) float64 {
+	var worst float64
+	for d, b := range perLink {
+		if t := cluster.Devices[d].TransferTime(b); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Best tries every grid in the candidate list plus 1×1 and returns the
+// fastest plan (ADCNN adapts its partitioning to the cluster).
+func Best(layers []supernet.LayerCost, cluster *device.Cluster, grids []supernet.Partition) (Plan, error) {
+	cand := append([]supernet.Partition{{Gy: 1, Gx: 1}}, grids...)
+	var best Plan
+	found := false
+	for _, g := range cand {
+		p, err := Execute(layers, cluster, g)
+		if err != nil {
+			continue
+		}
+		if !found || p.LatencySec < best.LatencySec {
+			best = p
+			found = true
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("adcnn: no feasible grid")
+	}
+	return best, nil
+}

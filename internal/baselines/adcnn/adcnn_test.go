@@ -1,0 +1,108 @@
+package adcnn
+
+import (
+	"testing"
+
+	"murmuration/internal/device"
+	"murmuration/internal/supernet"
+	"murmuration/internal/zoo"
+)
+
+func TestAccuracyPenaltyGrowsWithTiles(t *testing.T) {
+	p1 := AccuracyPenalty(supernet.Partition{Gy: 1, Gx: 1})
+	p2 := AccuracyPenalty(supernet.Partition{Gy: 1, Gx: 2})
+	p4 := AccuracyPenalty(supernet.Partition{Gy: 2, Gx: 2})
+	if p1 != 0 {
+		t.Fatal("1x1 must cost nothing")
+	}
+	if !(p2 > p1 && p4 > p2) {
+		t.Fatalf("penalty must grow with tiles: %v %v %v", p1, p2, p4)
+	}
+}
+
+func TestGridFor(t *testing.T) {
+	if g := GridFor(1); g.NumTiles() != 1 {
+		t.Fatalf("1 worker → %v", g)
+	}
+	if g := GridFor(2); g.NumTiles() != 2 {
+		t.Fatalf("2 workers → %v", g)
+	}
+	if g := GridFor(5); g.NumTiles() != 4 {
+		t.Fatalf("5 workers → %v", g)
+	}
+}
+
+func TestPartitioningSpeedsUpOnFastSwarm(t *testing.T) {
+	m, _ := zoo.ByName("resnet50")
+	cl := device.DeviceSwarm(4, 1000, 2)
+	single, err := Execute(m.Layers, cl, supernet.Partition{Gy: 1, Gx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := Execute(m.Layers, cl, supernet.Partition{Gy: 2, Gx: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.LatencySec >= single.LatencySec {
+		t.Fatalf("2x2 FDSP (%v) should beat single device (%v) on a 1 Gb/s swarm",
+			quad.LatencySec, single.LatencySec)
+	}
+}
+
+func TestSlowLinkFavorsFewerTiles(t *testing.T) {
+	m, _ := zoo.ByName("mobilenetv3-large")
+	cl := device.DeviceSwarm(4, 1, 100) // 1 Mb/s, 100 ms: scatter dominates
+	best, err := Best(m.Layers, cl, []supernet.Partition{{Gy: 1, Gx: 2}, {Gy: 2, Gx: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Grid.NumTiles() != 1 {
+		t.Fatalf("on a terrible link Best should pick 1x1, got %v", best.Grid)
+	}
+}
+
+func TestBestPicksMinimum(t *testing.T) {
+	m, _ := zoo.ByName("resnet50")
+	cl := device.DeviceSwarm(5, 500, 5)
+	grids := []supernet.Partition{{Gy: 1, Gx: 2}, {Gy: 2, Gx: 2}}
+	best, err := Best(m.Layers, cl, grids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range append(grids, supernet.Partition{Gy: 1, Gx: 1}) {
+		p, err := Execute(m.Layers, cl, g)
+		if err != nil {
+			continue
+		}
+		if p.LatencySec < best.LatencySec-1e-12 {
+			t.Fatalf("Best missed grid %v (%v < %v)", g, p.LatencySec, best.LatencySec)
+		}
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	cl := device.DeviceSwarm(2, 100, 10)
+	if _, err := Execute(nil, cl, supernet.Partition{Gy: 1, Gx: 1}); err == nil {
+		t.Fatal("empty chain must error")
+	}
+	m, _ := zoo.ByName("resnet50")
+	stemOnly := m.Layers[:1] // no partitionable layers
+	if _, err := Execute(stemOnly, cl, supernet.Partition{Gy: 1, Gx: 1}); err == nil {
+		t.Fatal("chain without partitionable layers must error")
+	}
+}
+
+func TestAssignmentRoundRobin(t *testing.T) {
+	m, _ := zoo.ByName("resnet50")
+	cl := device.DeviceSwarm(3, 100, 10)
+	p, err := Execute(m.Layers, cl, supernet.Partition{Gy: 2, Gx: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0}
+	for i, d := range p.Assignment {
+		if d != want[i] {
+			t.Fatalf("assignment %v, want %v", p.Assignment, want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package evo implements evolutionary search over the joint (submodel,
+// placement) decision space — the standard way to specialize a one-shot NAS
+// supernet (Once-for-all [1]) and the runtime comparator of the paper's
+// Fig. 18, where Murmuration's RL policy makes the same decision orders of
+// magnitude faster.
+//
+// The genome is the environment's raw choice sequence, so every individual
+// is schedule-valid by construction and the search optimizes exactly the
+// same reward the RL policy does.
+package evo
+
+import (
+	"math/rand"
+	"sort"
+
+	"murmuration/internal/rl/env"
+)
+
+// Options configures the evolutionary search.
+type Options struct {
+	Population  int
+	Generations int
+	// TournamentK individuals compete per parent selection.
+	TournamentK int
+	MutationPos int // genome positions re-rolled per mutation
+	EliteFrac   float64
+	Seed        int64
+	// SeedGenomes are injected into the initial population (standard
+	// seeded-initialization; e.g. structured strategies like "uniform 2×2
+	// grid, round-robin devices"). Invalid entries are repaired step-wise.
+	SeedGenomes [][]int
+}
+
+// DefaultOptions matches typical OFA evolutionary-search settings scaled to
+// this problem.
+func DefaultOptions() Options {
+	return Options{
+		Population:  64,
+		Generations: 30,
+		TournamentK: 4,
+		MutationPos: 3,
+		EliteFrac:   0.2,
+		Seed:        1,
+	}
+}
+
+// Result is the best decision found.
+type Result struct {
+	Choices []int
+	Outcome env.Outcome
+	// Evaluations counts env.Evaluate calls (the search cost driver).
+	Evaluations int
+}
+
+type individual struct {
+	choices []int
+	reward  float64
+	outcome env.Outcome
+}
+
+// Search runs the evolutionary search for constraint c.
+func Search(e *env.Env, c env.Constraint, opts Options) (Result, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	evals := 0
+
+	evaluate := func(choices []int) (env.Outcome, error) {
+		d, err := e.Decode(choices)
+		if err != nil {
+			return env.Outcome{}, err
+		}
+		evals++
+		return e.Evaluate(c, d)
+	}
+
+	randomGenome := func() []int {
+		w := e.NewWalker()
+		for !w.Done() {
+			spec := w.Next()
+			if err := w.Apply(rng.Intn(spec.NumChoices)); err != nil {
+				panic(err)
+			}
+		}
+		return w.Choices()
+	}
+
+	// mutateGenome re-rolls MutationPos random positions, repairing the
+	// suffix where the schedule shape changes.
+	mutateGenome := func(g []int) []int {
+		positions := map[int]bool{}
+		for i := 0; i < opts.MutationPos; i++ {
+			positions[rng.Intn(len(g))] = true
+		}
+		w := e.NewWalker()
+		var out []int
+		i := 0
+		for !w.Done() {
+			spec := w.Next()
+			var choice int
+			switch {
+			case i < len(g) && !positions[i] && g[i] < spec.NumChoices:
+				choice = g[i]
+			default:
+				choice = rng.Intn(spec.NumChoices)
+			}
+			if err := w.Apply(choice); err != nil {
+				panic(err)
+			}
+			out = append(out, choice)
+			i++
+		}
+		return out
+	}
+
+	// crossoverGenome splices a prefix of a with a suffix of b, repairing
+	// validity step by step.
+	crossoverGenome := func(a, b []int) []int {
+		cut := rng.Intn(len(a))
+		w := e.NewWalker()
+		var out []int
+		i := 0
+		for !w.Done() {
+			spec := w.Next()
+			var src []int
+			if i < cut {
+				src = a
+			} else {
+				src = b
+			}
+			var choice int
+			if i < len(src) && src[i] < spec.NumChoices {
+				choice = src[i]
+			} else {
+				choice = rng.Intn(spec.NumChoices)
+			}
+			if err := w.Apply(choice); err != nil {
+				panic(err)
+			}
+			out = append(out, choice)
+			i++
+		}
+		return out
+	}
+
+	// repairGenome replays a possibly-invalid genome through the schedule,
+	// keeping every choice that fits and re-rolling the rest.
+	repairGenome := func(g []int) []int {
+		w := e.NewWalker()
+		var out []int
+		i := 0
+		for !w.Done() {
+			spec := w.Next()
+			choice := rng.Intn(spec.NumChoices)
+			if i < len(g) && g[i] >= 0 && g[i] < spec.NumChoices {
+				choice = g[i]
+			}
+			if err := w.Apply(choice); err != nil {
+				panic(err)
+			}
+			out = append(out, choice)
+			i++
+		}
+		return out
+	}
+
+	pop := make([]individual, opts.Population)
+	for i := range pop {
+		var g []int
+		if i < len(opts.SeedGenomes) {
+			g = repairGenome(opts.SeedGenomes[i])
+		} else {
+			g = randomGenome()
+		}
+		out, err := evaluate(g)
+		if err != nil {
+			return Result{}, err
+		}
+		pop[i] = individual{choices: g, reward: out.Reward, outcome: out}
+	}
+
+	tournament := func() individual {
+		best := pop[rng.Intn(len(pop))]
+		for i := 1; i < opts.TournamentK; i++ {
+			c := pop[rng.Intn(len(pop))]
+			if c.reward > best.reward {
+				best = c
+			}
+		}
+		return best
+	}
+
+	for gen := 0; gen < opts.Generations; gen++ {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].reward > pop[j].reward })
+		elite := int(float64(len(pop)) * opts.EliteFrac)
+		if elite < 1 {
+			elite = 1
+		}
+		next := append([]individual(nil), pop[:elite]...)
+		for len(next) < opts.Population {
+			var g []int
+			if rng.Float64() < 0.5 {
+				g = mutateGenome(tournament().choices)
+			} else {
+				g = crossoverGenome(tournament().choices, tournament().choices)
+			}
+			out, err := evaluate(g)
+			if err != nil {
+				return Result{}, err
+			}
+			next = append(next, individual{choices: g, reward: out.Reward, outcome: out})
+		}
+		pop = next
+	}
+	sort.Slice(pop, func(i, j int) bool { return pop[i].reward > pop[j].reward })
+	return Result{Choices: pop[0].choices, Outcome: pop[0].outcome, Evaluations: evals}, nil
+}

@@ -1,0 +1,79 @@
+package evo
+
+import (
+	"testing"
+
+	"murmuration/internal/device"
+	"murmuration/internal/nas"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/supernet"
+)
+
+func tinyEnv() *env.Env {
+	a := supernet.TinyArch(4)
+	return env.New(a, nas.NewCalibratedPredictor(a), []device.Kind{device.RaspberryPi4, device.GPUDesktop})
+}
+
+func TestSearchFindsFeasibleDecision(t *testing.T) {
+	e := tinyEnv()
+	c := env.Constraint{Type: env.LatencySLO, LatencyMs: 100,
+		BandwidthMbps: []float64{200}, DelayMs: []float64{10}}
+	opts := DefaultOptions()
+	opts.Population = 16
+	opts.Generations = 8
+	res, err := Search(e, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcome.SLOMet {
+		t.Fatalf("search failed to satisfy an easy SLO: %+v", res.Outcome)
+	}
+	if _, err := e.Decode(res.Choices); err != nil {
+		t.Fatalf("winning genome invalid: %v", err)
+	}
+	if res.Evaluations < opts.Population {
+		t.Fatal("evaluation counter implausible")
+	}
+}
+
+func TestSearchBeatsRandom(t *testing.T) {
+	e := tinyEnv()
+	c := env.Constraint{Type: env.LatencySLO, LatencyMs: 40,
+		BandwidthMbps: []float64{150}, DelayMs: []float64{10}}
+	opts := DefaultOptions()
+	opts.Population = 24
+	opts.Generations = 12
+	res, err := Search(e, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the best of an equal number of pure random samples.
+	opts2 := opts
+	opts2.Generations = 0
+	opts2.Seed = 99
+	rnd, err := Search(e, c, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Reward < rnd.Outcome.Reward-1e-9 {
+		t.Fatalf("evolution (%v) lost to its own random init (%v)",
+			res.Outcome.Reward, rnd.Outcome.Reward)
+	}
+}
+
+func TestSearchDeterministicPerSeed(t *testing.T) {
+	e := tinyEnv()
+	c := env.Constraint{Type: env.LatencySLO, LatencyMs: 60,
+		BandwidthMbps: []float64{100}, DelayMs: []float64{10}}
+	opts := DefaultOptions()
+	opts.Population = 12
+	opts.Generations = 4
+	r1, err := Search(e, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := Search(e, c, opts)
+	if r1.Outcome.Reward != r2.Outcome.Reward {
+		t.Fatal("search must be deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,98 @@
+// Package neurosurgeon implements the Neurosurgeon baseline (Kang et al.,
+// the paper's [7]): layer-wise partitioning of a fixed DNN between a local
+// device and a single remote device, choosing the split point that minimizes
+// end-to-end latency given the current bandwidth and delay. The dynamic
+// program below is equivalent to the min-cut formulation of DADS [5] for
+// chain-structured models.
+package neurosurgeon
+
+import (
+	"fmt"
+
+	"murmuration/internal/device"
+	"murmuration/internal/supernet"
+)
+
+// Plan is a chosen split: layers [0, SplitAfter) run locally, layers
+// [SplitAfter, len) run on the remote device. SplitAfter == 0 offloads
+// everything (the input itself is shipped); SplitAfter == len(layers) runs
+// fully local.
+type Plan struct {
+	SplitAfter int
+	LatencySec float64
+	// TransferBytes is the activation volume crossing the link.
+	TransferBytes float64
+}
+
+// Split finds the latency-optimal split of a layer chain between cluster
+// device 0 (local) and device `remote`.
+func Split(layers []supernet.LayerCost, cluster *device.Cluster, remote int) (Plan, error) {
+	if remote <= 0 || remote >= cluster.N() {
+		return Plan{}, fmt.Errorf("neurosurgeon: remote device %d out of range", remote)
+	}
+	n := len(layers)
+	if n == 0 {
+		return Plan{}, fmt.Errorf("neurosurgeon: empty layer chain")
+	}
+	local := cluster.Devices[0].Profile
+	rdev := cluster.Devices[remote]
+
+	// Prefix/suffix execution times.
+	prefixLocal := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		prefixLocal[i+1] = prefixLocal[i] + local.LayerTime(layers[i].FLOPs, layers[i].MemBytes)
+	}
+	suffixRemote := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffixRemote[i] = suffixRemote[i+1] + rdev.Profile.LayerTime(layers[i].FLOPs, layers[i].MemBytes)
+	}
+
+	best := Plan{SplitAfter: -1, LatencySec: 1e18}
+	// The classifier result returned from the remote side is tiny but paid.
+	resultBytes := float64(layers[n-1].OutElems * 4)
+	for k := 0; k <= n; k++ {
+		var xfer, xferBytes float64
+		if k < n {
+			// Activation entering layer k crosses the link (fixed DNNs use
+			// full 32-bit activations), plus the small result return.
+			xferBytes = float64(layers[k].InElems * 4)
+			xfer = rdev.TransferTime(xferBytes) + rdev.TransferTime(resultBytes)
+		}
+		total := prefixLocal[k] + xfer + suffixRemote[k]
+		if total < best.LatencySec {
+			best = Plan{SplitAfter: k, LatencySec: total, TransferBytes: xferBytes}
+		}
+	}
+	return best, nil
+}
+
+// SplitBruteForce recomputes the optimum by explicit enumeration with
+// independent arithmetic; used by tests to validate Split.
+func SplitBruteForce(layers []supernet.LayerCost, cluster *device.Cluster, remote int) (Plan, error) {
+	n := len(layers)
+	if n == 0 {
+		return Plan{}, fmt.Errorf("neurosurgeon: empty layer chain")
+	}
+	local := cluster.Devices[0].Profile
+	rdev := cluster.Devices[remote]
+	resultBytes := float64(layers[n-1].OutElems * 4)
+	best := Plan{SplitAfter: -1, LatencySec: 1e18}
+	for k := 0; k <= n; k++ {
+		var total float64
+		for i := 0; i < k; i++ {
+			total += local.LayerTime(layers[i].FLOPs, layers[i].MemBytes)
+		}
+		var xferBytes float64
+		if k < n {
+			xferBytes = float64(layers[k].InElems * 4)
+			total += rdev.TransferTime(xferBytes) + rdev.TransferTime(resultBytes)
+		}
+		for i := k; i < n; i++ {
+			total += rdev.Profile.LayerTime(layers[i].FLOPs, layers[i].MemBytes)
+		}
+		if total < best.LatencySec {
+			best = Plan{SplitAfter: k, LatencySec: total, TransferBytes: xferBytes}
+		}
+	}
+	return best, nil
+}

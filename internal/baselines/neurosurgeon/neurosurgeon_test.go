@@ -1,0 +1,116 @@
+package neurosurgeon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"murmuration/internal/device"
+	"murmuration/internal/zoo"
+)
+
+func TestSplitMatchesBruteForce(t *testing.T) {
+	for _, m := range zoo.All() {
+		for _, bw := range []float64{5, 50, 200, 500} {
+			for _, delay := range []float64{5, 50, 100} {
+				cl := device.AugmentedComputing(bw, delay)
+				dp, err := Split(m.Layers, cl, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bf, err := SplitBruteForce(m.Layers, cl, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dp.SplitAfter != bf.SplitAfter {
+					t.Fatalf("%s bw=%v delay=%v: DP split %d != brute %d",
+						m.Name, bw, delay, dp.SplitAfter, bf.SplitAfter)
+				}
+				if diff := dp.LatencySec - bf.LatencySec; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("%s: DP latency %v != brute %v", m.Name, dp.LatencySec, bf.LatencySec)
+				}
+			}
+		}
+	}
+}
+
+func TestHighBandwidthFavorsOffload(t *testing.T) {
+	m, _ := zoo.ByName("resnext101-32x8d")
+	// Heavy model, fast link to a GPU → offload early.
+	cl := device.AugmentedComputing(500, 5)
+	p, err := Split(m.Layers, cl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SplitAfter > len(m.Layers)/2 {
+		t.Fatalf("heavy model at 500 Mb/s should offload early, split=%d/%d",
+			p.SplitAfter, len(m.Layers))
+	}
+	// Offload must beat fully local.
+	localTime := 0.0
+	for _, lc := range m.Layers {
+		localTime += cl.Devices[0].Profile.LayerTime(lc.FLOPs, lc.MemBytes)
+	}
+	if p.LatencySec >= localTime {
+		t.Fatal("optimal split should beat fully local for a heavy model on a fast link")
+	}
+}
+
+func TestTerribleLinkFavorsLocal(t *testing.T) {
+	m, _ := zoo.ByName("mobilenetv3-large")
+	cl := device.AugmentedComputing(0.1, 500) // 100 kb/s, 500 ms
+	p, err := Split(m.Layers, cl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SplitAfter != len(m.Layers) {
+		t.Fatalf("at 0.1 Mb/s the split should be fully local, got %d/%d",
+			p.SplitAfter, len(m.Layers))
+	}
+	if p.TransferBytes != 0 {
+		t.Fatal("fully local split must transfer nothing")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	m, _ := zoo.ByName("resnet50")
+	cl := device.AugmentedComputing(100, 10)
+	if _, err := Split(m.Layers, cl, 0); err == nil {
+		t.Fatal("remote=0 (local) must be rejected")
+	}
+	if _, err := Split(m.Layers, cl, 5); err == nil {
+		t.Fatal("out-of-range remote must be rejected")
+	}
+	if _, err := Split(nil, cl, 1); err == nil {
+		t.Fatal("empty chain must be rejected")
+	}
+}
+
+// Property: the DP and brute force agree for random conditions, and the
+// optimal latency is monotone non-increasing in bandwidth.
+func TestSplitOptimalityProperty(t *testing.T) {
+	m, _ := zoo.ByName("resnet50")
+	f := func(bwRaw, delayRaw uint16) bool {
+		bw := float64(bwRaw%500) + 1
+		delay := float64(delayRaw % 200)
+		cl := device.AugmentedComputing(bw, delay)
+		dp, e1 := Split(m.Layers, cl, 1)
+		bf, e2 := SplitBruteForce(m.Layers, cl, 1)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		if dp.SplitAfter != bf.SplitAfter {
+			return false
+		}
+		cl2 := device.AugmentedComputing(bw*2, delay)
+		dp2, e3 := Split(m.Layers, cl2, 1)
+		if e3 != nil {
+			return false
+		}
+		return dp2.LatencySec <= dp.LatencySec+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package dataset generates the deterministic synthetic image-classification
+// data that stands in for ImageNet in this reproduction (see DESIGN.md §1).
+// Each class is a distinct oriented sinusoidal texture ("Gabor-ish") with
+// class-specific frequency, orientation, and color balance, corrupted by
+// noise — hard enough that a constant predictor fails, easy enough that the
+// tiny in-Go supernet can learn it in seconds.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"murmuration/internal/tensor"
+)
+
+// Dataset is an in-memory labelled image set (NCHW float32 in [-1, 1]).
+type Dataset struct {
+	Images  []*tensor.Tensor // each (C, H, W)
+	Labels  []int
+	Classes int
+	Size    int // spatial side length
+}
+
+// Config controls synthesis.
+type Config struct {
+	Classes  int
+	PerClass int
+	Size     int     // image side length
+	NoiseStd float64 // additive Gaussian noise
+	Seed     int64
+}
+
+// Generate synthesizes a dataset. Images within a class share texture
+// parameters but differ in phase, offset, and noise.
+func Generate(cfg Config) *Dataset {
+	if cfg.Classes < 2 {
+		cfg.Classes = 2
+	}
+	if cfg.Size <= 0 {
+		cfg.Size = 32
+	}
+	if cfg.PerClass <= 0 {
+		cfg.PerClass = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{Classes: cfg.Classes, Size: cfg.Size}
+	for class := 0; class < cfg.Classes; class++ {
+		// Class-specific texture parameters.
+		angle := float64(class) * math.Pi / float64(cfg.Classes)
+		freq := 2 * math.Pi * (1.5 + float64(class%4)) / float64(cfg.Size)
+		colorShift := float64(class%3) - 1
+		for i := 0; i < cfg.PerClass; i++ {
+			img := synthesize(rng, cfg.Size, angle, freq, colorShift, cfg.NoiseStd)
+			d.Images = append(d.Images, img)
+			d.Labels = append(d.Labels, class)
+		}
+	}
+	// Shuffle deterministically.
+	rng.Shuffle(len(d.Images), func(i, j int) {
+		d.Images[i], d.Images[j] = d.Images[j], d.Images[i]
+		d.Labels[i], d.Labels[j] = d.Labels[j], d.Labels[i]
+	})
+	return d
+}
+
+func synthesize(rng *rand.Rand, size int, angle, freq, colorShift, noiseStd float64) *tensor.Tensor {
+	img := tensor.New(3, size, size)
+	phase := rng.Float64() * 2 * math.Pi
+	dx := math.Cos(angle)
+	dy := math.Sin(angle)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			v := math.Sin(freq*(float64(x)*dx+float64(y)*dy) + phase)
+			for c := 0; c < 3; c++ {
+				chShift := colorShift * (float64(c) - 1) * 0.3
+				val := v + chShift + rng.NormFloat64()*noiseStd
+				if val > 1 {
+					val = 1
+				}
+				if val < -1 {
+					val = -1
+				}
+				img.Data[(c*size+y)*size+x] = float32(val)
+			}
+		}
+	}
+	return img
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Images) }
+
+// Split divides the dataset into train/validation partitions; frac is the
+// training fraction in (0, 1).
+func (d *Dataset) Split(frac float64) (train, val *Dataset) {
+	n := int(float64(d.Len()) * frac)
+	if n < 1 {
+		n = 1
+	}
+	if n >= d.Len() {
+		n = d.Len() - 1
+	}
+	train = &Dataset{Images: d.Images[:n], Labels: d.Labels[:n], Classes: d.Classes, Size: d.Size}
+	val = &Dataset{Images: d.Images[n:], Labels: d.Labels[n:], Classes: d.Classes, Size: d.Size}
+	return train, val
+}
+
+// Batch assembles samples [idx[0], idx[1], ...] into a (N, C, H, W) tensor
+// plus labels.
+func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
+	n := len(idx)
+	c, h, w := 3, d.Size, d.Size
+	x := tensor.New(n, c, h, w)
+	labels := make([]int, n)
+	per := c * h * w
+	for i, id := range idx {
+		copy(x.Data[i*per:(i+1)*per], d.Images[id].Data)
+		labels[i] = d.Labels[id]
+	}
+	return x, labels
+}
+
+// RandomBatch samples a batch of size n uniformly with replacement.
+func (d *Dataset) RandomBatch(n int, rng *rand.Rand) (*tensor.Tensor, []int) {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = rng.Intn(d.Len())
+	}
+	return d.Batch(idx)
+}
+
+// All returns the whole dataset as one batch (for small validation sets).
+func (d *Dataset) All() (*tensor.Tensor, []int) {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return d.Batch(idx)
+}

@@ -1,0 +1,146 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileRoofline(t *testing.T) {
+	p := NewProfile(RaspberryPi4)
+	// Compute-bound: lots of flops, no memory.
+	tc := p.LayerTime(p.FlopsPerSec, 0)
+	if math.Abs(tc-(1+p.LayerOverheadSec)) > 1e-9 {
+		t.Fatalf("compute-bound time = %v, want ~1s", tc)
+	}
+	// Memory-bound: no flops, lots of bytes.
+	tm := p.LayerTime(0, p.MemBytesPerSec)
+	if math.Abs(tm-(1+p.LayerOverheadSec)) > 1e-9 {
+		t.Fatalf("memory-bound time = %v, want ~1s", tm)
+	}
+	// Max of the two governs.
+	both := p.LayerTime(p.FlopsPerSec, 2*p.MemBytesPerSec)
+	if math.Abs(both-(2+p.LayerOverheadSec)) > 1e-9 {
+		t.Fatalf("roofline time = %v, want ~2s", both)
+	}
+}
+
+func TestGPUFasterThanPi(t *testing.T) {
+	pi := NewProfile(RaspberryPi4)
+	gpu := NewProfile(GPUDesktop)
+	flops, bytes := 1e9, 50e6
+	if gpu.LayerTime(flops, bytes) >= pi.LayerTime(flops, bytes) {
+		t.Fatal("GPU must be faster than RPi4 on a conv layer")
+	}
+	// Calibration sanity: the GPU desktop's batch-1 effective serving
+	// throughput is ~30x the Pi's (peak silicon would be ~400x, but
+	// single-image serving is launch- and copy-bound — see Profile docs).
+	ratio := gpu.FlopsPerSec / pi.FlopsPerSec
+	if ratio < 10 || ratio > 100 {
+		t.Fatalf("GPU:Pi throughput ratio %v out of expected range", ratio)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	d := Device{ID: 1, BandwidthMbps: 100, DelayMs: 20}
+	// 12.5 MB at 100 Mb/s = 1s, plus 20ms delay.
+	got := d.TransferTime(12.5e6)
+	if math.Abs(got-1.02) > 1e-9 {
+		t.Fatalf("TransferTime = %v, want 1.02", got)
+	}
+}
+
+func TestLocalTransferFree(t *testing.T) {
+	d := Device{ID: 0, BandwidthMbps: 1, DelayMs: 1000}
+	if d.TransferTime(1e9) != 0 {
+		t.Fatal("local transfers must be free")
+	}
+}
+
+func TestZeroBandwidthUnreachable(t *testing.T) {
+	d := Device{ID: 2, BandwidthMbps: 0, DelayMs: 0}
+	if d.TransferTime(1) < 1e8 {
+		t.Fatal("zero bandwidth should be effectively unreachable")
+	}
+}
+
+func TestClusterConstruction(t *testing.T) {
+	c := AugmentedComputing(200, 10)
+	if c.N() != 2 {
+		t.Fatalf("augmented cluster size %d", c.N())
+	}
+	if c.Local().Profile.Kind != RaspberryPi4 {
+		t.Fatal("local device should be the RPi4")
+	}
+	if c.Devices[1].Profile.Kind != GPUDesktop {
+		t.Fatal("remote device should be the GPU desktop")
+	}
+	if c.Local().DelayMs != 0 {
+		t.Fatal("local device must have zero delay")
+	}
+
+	s := DeviceSwarm(5, 100, 20)
+	if s.N() != 5 {
+		t.Fatalf("swarm size %d", s.N())
+	}
+	for _, d := range s.Devices {
+		if d.Profile.Kind != RaspberryPi4 {
+			t.Fatal("swarm devices must all be RPi4")
+		}
+	}
+}
+
+func TestSetLink(t *testing.T) {
+	c := DeviceSwarm(3, 100, 20)
+	c.SetLink(1, 50, 5)
+	if c.Devices[1].BandwidthMbps != 50 || c.Devices[1].DelayMs != 5 {
+		t.Fatal("SetLink did not update device 1")
+	}
+	// Local device and out-of-range indexes are ignored.
+	c.SetLink(0, 1, 1)
+	if c.Devices[0].BandwidthMbps != 100 {
+		t.Fatal("SetLink must not modify the local device")
+	}
+	c.SetLink(99, 1, 1) // must not panic
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := DeviceSwarm(2, 100, 20)
+	cl := c.Clone()
+	cl.SetLink(1, 1, 1)
+	if c.Devices[1].BandwidthMbps == 1 {
+		t.Fatal("Clone must not share device slice")
+	}
+}
+
+// Property: more bandwidth or less delay never increases transfer time.
+func TestTransferMonotonicityProperty(t *testing.T) {
+	f := func(bytesRaw, bw1Raw, bw2Raw, delayRaw uint32) bool {
+		bytes := float64(bytesRaw%1000000) + 1
+		bw1 := float64(bw1Raw%500) + 1
+		bw2 := bw1 + float64(bw2Raw%500)
+		delay := float64(delayRaw % 100)
+		d1 := Device{ID: 1, BandwidthMbps: bw1, DelayMs: delay}
+		d2 := Device{ID: 1, BandwidthMbps: bw2, DelayMs: delay}
+		if d2.TransferTime(bytes) > d1.TransferTime(bytes)+1e-12 {
+			return false
+		}
+		d3 := Device{ID: 1, BandwidthMbps: bw1, DelayMs: delay / 2}
+		return d3.TransferTime(bytes) <= d1.TransferTime(bytes)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if RaspberryPi4.String() != "raspberry-pi-4" {
+		t.Fatal("RPi4 name")
+	}
+	if GPUDesktop.String() != "ryzen5500-gtx1080" {
+		t.Fatal("GPU name")
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rl/policy"
+	"murmuration/internal/rl/supreme"
+	"murmuration/internal/stats"
+)
+
+// AblationOptions configures the SUPREME design-choice ablation: the full
+// algorithm versus variants with data sharing, pruning, or mutation
+// disabled (DESIGN.md §3 calls this study out; the paper motivates each
+// mechanism in §4.4 without isolating them).
+type AblationOptions struct {
+	Steps   int
+	Hidden  int
+	Seeds   []int64
+	ValSize int
+}
+
+// DefaultAblationOptions mirrors the curve budget.
+func DefaultAblationOptions() AblationOptions {
+	return AblationOptions{Steps: 600, Hidden: 48, Seeds: []int64{1, 2}, ValSize: 40}
+}
+
+// AblationVariant names one SUPREME configuration under test.
+type AblationVariant struct {
+	Name    string
+	Mutator func(*supreme.Options)
+}
+
+// AblationVariants returns the studied variants.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "full", Mutator: func(o *supreme.Options) {}},
+		{Name: "no-share", Mutator: func(o *supreme.Options) { o.DisableShare = true }},
+		{Name: "no-prune", Mutator: func(o *supreme.Options) { o.DisablePrune = true }},
+		{Name: "no-mutation", Mutator: func(o *supreme.Options) { o.DisableMutation = true }},
+		{Name: "no-curriculum", Mutator: func(o *supreme.Options) { o.CurriculumEvery = 0 }},
+		{Name: "no-uncertainty", Mutator: func(o *supreme.Options) { o.UncertaintyFrac = 0 }},
+	}
+}
+
+// Ablation trains each SUPREME variant on the scenario and reports final
+// average reward and compliance (mean over seeds).
+func Ablation(s *Scenario, space env.ConstraintSpace, opts AblationOptions) (*Table, error) {
+	t := &Table{
+		Name:   "ablation",
+		Title:  "SUPREME ablation: contribution of share / prune / mutate / curriculum / uncertainty",
+		Header: []string{"variant", "final_reward", "final_compliance"},
+	}
+	for _, v := range AblationVariants() {
+		var rewards, compliances []float64
+		for _, seed := range opts.Seeds {
+			val := space.ValidationSet(opts.ValSize, 1000+seed)
+			p := policy.New(s.Env, opts.Hidden, seed)
+			o := supreme.DefaultOptions()
+			o.Steps = opts.Steps
+			o.Seed = seed
+			o.CurriculumEvery = opts.Steps / (space.Dims() + 1)
+			v.Mutator(&o)
+			tr := supreme.New(p, space, o)
+			if err := tr.Run(); err != nil {
+				return nil, err
+			}
+			ev, err := policy.Evaluate(p, val)
+			if err != nil {
+				return nil, err
+			}
+			rewards = append(rewards, ev.AvgReward)
+			compliances = append(compliances, ev.Compliance)
+		}
+		t.AddRowF(v.Name, stats.Mean(rewards), stats.Mean(compliances))
+	}
+	return t, nil
+}

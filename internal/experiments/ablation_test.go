@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"murmuration/internal/rl/supreme"
+)
+
+func TestAblationVariantsCoverAllMechanisms(t *testing.T) {
+	vs := AblationVariants()
+	names := map[string]bool{}
+	for _, v := range vs {
+		names[v.Name] = true
+		// Every mutator must be applicable without panicking.
+		o := supreme.DefaultOptions()
+		v.Mutator(&o)
+	}
+	for _, want := range []string{"full", "no-share", "no-prune", "no-mutation", "no-curriculum", "no-uncertainty"} {
+		if !names[want] {
+			t.Fatalf("missing ablation variant %s", want)
+		}
+	}
+}
+
+func TestAblationRunsAndFullIsCompetitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation training is slow")
+	}
+	s := Augmented()
+	opts := DefaultAblationOptions()
+	opts.Steps = 120
+	opts.Hidden = 24
+	opts.Seeds = []int64{1}
+	opts.ValSize = 15
+	tb, err := Ablation(s, AugmentedSpace(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(AblationVariants()) {
+		t.Fatalf("%d rows for %d variants", len(tb.Rows), len(AblationVariants()))
+	}
+	var full float64
+	worst := 1e9
+	for _, row := range tb.Rows {
+		v := parseF(t, row[1])
+		if row[0] == "full" {
+			full = v
+		}
+		if v < worst {
+			worst = v
+		}
+		if v < 0 {
+			t.Fatalf("variant %s has negative reward %v", row[0], v)
+		}
+	}
+	// At a tiny training budget the ordering is noisy, but the full
+	// algorithm must not be the worst variant by a wide margin.
+	if full < worst*0.5 {
+		t.Fatalf("full SUPREME (%.3f) far below worst ablation (%.3f)", full, worst)
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"murmuration/internal/baselines/adcnn"
+	"murmuration/internal/baselines/neurosurgeon"
+	"murmuration/internal/device"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/zoo"
+)
+
+// Method is one curve/series in a comparison figure: a named way to produce
+// (accuracy, latency) under given cluster conditions.
+type Method struct {
+	Name string
+	// Eval returns achieved accuracy (%) and latency (ms) for the cluster.
+	Eval func(cl *device.Cluster) (accPct, latencyMs float64, err error)
+}
+
+// NeurosurgeonMethod pairs the Neurosurgeon splitter with a fixed zoo model.
+func NeurosurgeonMethod(modelName string) Method {
+	return Method{
+		Name: "neurosurgeon+" + modelName,
+		Eval: func(cl *device.Cluster) (float64, float64, error) {
+			m, err := zoo.ByName(modelName)
+			if err != nil {
+				return 0, 0, err
+			}
+			plan, err := neurosurgeon.Split(m.Layers, cl, 1)
+			if err != nil {
+				return 0, 0, err
+			}
+			return m.Accuracy, plan.LatencySec * 1000, nil
+		},
+	}
+}
+
+// ADCNNMethod pairs the ADCNN FDSP partitioner with a fixed zoo model. Per
+// the paper's framing, ADCNN is a *spatial partitioning* system: it always
+// runs its natural grid for the cluster (1×2 for two devices, 2×2 for a
+// swarm) — it does not fall back to single-device execution when the
+// network degrades, which is exactly why its compliance collapses at low
+// bandwidth in Figs. 14/16b.
+func ADCNNMethod(modelName string) Method {
+	return Method{
+		Name: "adcnn+" + modelName,
+		Eval: func(cl *device.Cluster) (float64, float64, error) {
+			m, err := zoo.ByName(modelName)
+			if err != nil {
+				return 0, 0, err
+			}
+			plan, err := adcnn.Execute(m.Layers, cl, adcnn.GridFor(cl.N()))
+			if err != nil {
+				return 0, 0, err
+			}
+			return m.Accuracy - plan.AccuracyPenaltyPct, plan.LatencySec * 1000, nil
+		},
+	}
+}
+
+// MurmurationMethod evaluates a Decider's decision under the environment's
+// cost model for the given constraint template (the per-cell SLO and links
+// are filled in by the caller before Eval is invoked — Eval reads them from
+// the cluster it receives plus the SLO captured in template).
+func MurmurationMethod(e *env.Env, d Decider, template env.Constraint) Method {
+	return Method{
+		Name: d.Name(),
+		Eval: func(cl *device.Cluster) (float64, float64, error) {
+			c := template
+			c.BandwidthMbps = nil
+			c.DelayMs = nil
+			for i := 1; i < cl.N(); i++ {
+				c.BandwidthMbps = append(c.BandwidthMbps, cl.Devices[i].BandwidthMbps)
+				c.DelayMs = append(c.DelayMs, cl.Devices[i].DelayMs)
+			}
+			dec, err := d.Decide(c)
+			if err != nil {
+				return 0, 0, err
+			}
+			out, err := e.Evaluate(c, dec)
+			if err != nil {
+				return 0, 0, err
+			}
+			return out.AccuracyPct, out.LatencyMs, nil
+		},
+	}
+}
+
+// CellResult is one (method, condition) evaluation of a comparison grid.
+type CellResult struct {
+	Method      string
+	AccuracyPct float64
+	LatencyMs   float64
+}
+
+// EvalCell runs every method under one cluster condition.
+func EvalCell(methods []Method, cl *device.Cluster) ([]CellResult, error) {
+	out := make([]CellResult, 0, len(methods))
+	for _, m := range methods {
+		acc, lat, err := m.Eval(cl)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		out = append(out, CellResult{Method: m.Name, AccuracyPct: acc, LatencyMs: lat})
+	}
+	return out, nil
+}

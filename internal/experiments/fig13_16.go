@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+
+	"murmuration/internal/rl/env"
+)
+
+// Fig13Options parameterizes the augmented-computing latency-SLO grid.
+type Fig13Options struct {
+	LatencySLOMs   float64   // paper: 140
+	DelaysMs       []float64 // paper: 100, 75, 50, 25, 5
+	BandwidthsMbps []float64
+}
+
+// DefaultFig13Options matches the paper's axes.
+func DefaultFig13Options() Fig13Options {
+	return Fig13Options{
+		LatencySLOMs:   140,
+		DelaysMs:       []float64{100, 75, 50, 25, 5},
+		BandwidthsMbps: []float64{50, 100, 150, 200, 250, 300, 350, 400},
+	}
+}
+
+// Fig13Baselines is the paper's baseline set for the augmented scenario.
+func Fig13Baselines() []Method {
+	return []Method{
+		NeurosurgeonMethod("mobilenetv3-large"),
+		NeurosurgeonMethod("resnet50"),
+		NeurosurgeonMethod("inceptionv3"),
+		NeurosurgeonMethod("densenet161"),
+		NeurosurgeonMethod("resnext101-32x8d"),
+		ADCNNMethod("mobilenetv3-large"),
+		ADCNNMethod("resnet50"),
+	}
+}
+
+// Fig13 produces the accuracy-under-latency-SLO grid of Fig. 13: for every
+// (delay, bandwidth) cell, each method's accuracy and latency, with slo_met
+// marking whether it may be plotted (the paper only draws a dot when the
+// method satisfies the SLO).
+func Fig13(s *Scenario, d Decider, opts Fig13Options) (*Table, error) {
+	methods := append(Fig13Baselines(),
+		MurmurationMethod(s.Env, d, env.Constraint{Type: env.LatencySLO, LatencyMs: opts.LatencySLOMs}))
+	t := &Table{
+		Name:   "fig13",
+		Title:  fmt.Sprintf("Fig13: augmented scenario, accuracy @ latency SLO %.0fms", opts.LatencySLOMs),
+		Header: []string{"delay_ms", "bandwidth_mbps", "method", "accuracy_pct", "latency_ms", "slo_met"},
+	}
+	for _, delay := range opts.DelaysMs {
+		for _, bw := range opts.BandwidthsMbps {
+			cl := s.Cluster(bw, delay)
+			cells, err := EvalCell(methods, cl)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range cells {
+				met := c.LatencyMs <= opts.LatencySLOMs
+				t.AddRowF(delay, bw, c.Method, c.AccuracyPct, c.LatencyMs, met)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig14Options parameterizes the device-swarm latency-SLO grid.
+type Fig14Options struct {
+	LatencySLOsMs  []float64 // paper: 2000, 1000, 600, 500, 400
+	BandwidthsMbps []float64 // paper: 5–500 (log axis)
+	DelayMs        float64   // paper: 20
+	// OtherLinksMbps is the bandwidth of the remote devices whose link is
+	// not being swept (the paper varies "one out of five devices").
+	OtherLinksMbps float64
+}
+
+// DefaultFig14Options matches the paper's axes.
+func DefaultFig14Options() Fig14Options {
+	return Fig14Options{
+		LatencySLOsMs:  []float64{2000, 1000, 600, 500, 400},
+		BandwidthsMbps: []float64{5, 10, 25, 50, 100, 200, 500},
+		DelayMs:        20,
+		OtherLinksMbps: 100,
+	}
+}
+
+// Fig14Baselines is the paper's swarm baseline set.
+func Fig14Baselines() []Method {
+	return []Method{
+		ADCNNMethod("mobilenetv3-large"),
+		ADCNNMethod("resnet50"),
+		ADCNNMethod("densenet161"),
+		ADCNNMethod("resnext101-32x8d"),
+		NeurosurgeonMethod("mobilenetv3-large"),
+		NeurosurgeonMethod("resnet50"),
+	}
+}
+
+// Fig14 produces the swarm accuracy grid: accuracy per (latency SLO,
+// bandwidth-of-device-1) cell at fixed 20 ms delay.
+func Fig14(s *Scenario, d Decider, opts Fig14Options) (*Table, error) {
+	t := &Table{
+		Name:   "fig14",
+		Title:  "Fig14: device swarm, accuracy vs bandwidth per latency SLO @ 20ms delay",
+		Header: []string{"latency_slo_ms", "bandwidth_mbps", "method", "accuracy_pct", "latency_ms", "slo_met"},
+	}
+	for _, slo := range opts.LatencySLOsMs {
+		methods := append(Fig14Baselines(),
+			MurmurationMethod(s.Env, d, env.Constraint{Type: env.LatencySLO, LatencyMs: slo}))
+		for _, bw := range opts.BandwidthsMbps {
+			cl := s.Cluster(opts.OtherLinksMbps, opts.DelayMs)
+			cl.SetLink(1, bw, opts.DelayMs) // the swept device
+			cells, err := EvalCell(methods, cl)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range cells {
+				met := c.LatencyMs <= slo
+				t.AddRowF(slo, bw, c.Method, c.AccuracyPct, c.LatencyMs, met)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig15Options parameterizes the accuracy-as-SLO experiment.
+type Fig15Options struct {
+	AccuracySLOs   []float64 // paper x-axis: 72.5–79 %
+	BandwidthsMbps []float64 // paper subfigures: 50–400
+	DelayMs        float64
+}
+
+// DefaultFig15Options matches the paper's axes.
+func DefaultFig15Options() Fig15Options {
+	return Fig15Options{
+		AccuracySLOs:   []float64{72.5, 73.5, 74.5, 75.5, 76.5, 77.5, 78.5},
+		BandwidthsMbps: []float64{50, 100, 150, 200, 250, 300, 350, 400},
+		DelayMs:        20,
+	}
+}
+
+// Fig15Baselines is the paper's baseline set for accuracy SLOs (the
+// Neurosurgeon family; a fixed model is feasible only if its accuracy meets
+// the SLO).
+func Fig15Baselines() []Method {
+	return []Method{
+		NeurosurgeonMethod("mobilenetv3-large"),
+		NeurosurgeonMethod("resnet50"),
+		NeurosurgeonMethod("inceptionv3"),
+		NeurosurgeonMethod("densenet161"),
+		NeurosurgeonMethod("resnext101-32x8d"),
+	}
+}
+
+// Fig15 produces latency-under-accuracy-SLO: for every (bandwidth, accuracy
+// SLO) cell, each method's latency; slo_met marks accuracy feasibility.
+func Fig15(s *Scenario, d Decider, opts Fig15Options) (*Table, error) {
+	t := &Table{
+		Name:   "fig15",
+		Title:  "Fig15: augmented scenario, inference latency @ accuracy SLO",
+		Header: []string{"bandwidth_mbps", "accuracy_slo_pct", "method", "accuracy_pct", "latency_ms", "slo_met"},
+	}
+	for _, bw := range opts.BandwidthsMbps {
+		cl := s.Cluster(bw, opts.DelayMs)
+		for _, slo := range opts.AccuracySLOs {
+			methods := append(Fig15Baselines(),
+				MurmurationMethod(s.Env, d, env.Constraint{Type: env.AccuracySLO, AccuracyPct: slo}))
+			cells, err := EvalCell(methods, cl)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range cells {
+				met := c.AccuracyPct >= slo
+				t.AddRowF(bw, slo, c.Method, c.AccuracyPct, c.LatencyMs, met)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig16aOptions parameterizes the augmented compliance-rate comparison.
+type Fig16aOptions struct {
+	LatencySLOsMs  []float64 // paper: 100, 120, 140
+	AccuracySLOPct float64   // paper: 75
+	DelaysMs       []float64 // 5–100
+	BandwidthsMbps []float64 // 50–400 → 40 settings
+}
+
+// DefaultFig16aOptions matches the paper's 40-setting grid.
+func DefaultFig16aOptions() Fig16aOptions {
+	return Fig16aOptions{
+		LatencySLOsMs:  []float64{100, 120, 140},
+		AccuracySLOPct: 75,
+		DelaysMs:       []float64{5, 25, 50, 75, 100},
+		BandwidthsMbps: []float64{50, 100, 150, 200, 250, 300, 350, 400},
+	}
+}
+
+// Fig16a computes compliance rates (fraction of network settings where a
+// method meets BOTH the latency SLO and the 75 % accuracy SLO).
+func Fig16a(s *Scenario, d Decider, opts Fig16aOptions) (*Table, error) {
+	t := &Table{
+		Name:   "fig16a",
+		Title:  fmt.Sprintf("Fig16a: augmented compliance rate @ %.0f%% accuracy SLO", opts.AccuracySLOPct),
+		Header: []string{"latency_slo_ms", "method", "compliance_pct"},
+	}
+	for _, slo := range opts.LatencySLOsMs {
+		methods := []Method{
+			NeurosurgeonMethod("resnet50"),
+			NeurosurgeonMethod("inceptionv3"),
+			MurmurationMethod(s.Env, d, env.Constraint{Type: env.LatencySLO, LatencyMs: slo}),
+		}
+		compliant := make(map[string]int)
+		total := 0
+		for _, delay := range opts.DelaysMs {
+			for _, bw := range opts.BandwidthsMbps {
+				cl := s.Cluster(bw, delay)
+				cells, err := EvalCell(methods, cl)
+				if err != nil {
+					return nil, err
+				}
+				total++
+				for _, c := range cells {
+					if c.LatencyMs <= slo && c.AccuracyPct >= opts.AccuracySLOPct {
+						compliant[c.Method]++
+					}
+				}
+			}
+		}
+		for _, m := range methods {
+			t.AddRowF(slo, m.Name, 100*float64(compliant[m.Name])/float64(total))
+		}
+	}
+	return t, nil
+}
+
+// Fig16bOptions parameterizes the swarm compliance comparison.
+type Fig16bOptions struct {
+	LatencySLOsMs  []float64 // paper: 600, 1000
+	AccuracySLOPct float64   // paper: 74
+	DelayMs        float64   // paper: 20
+	BandwidthsMbps []float64 // paper: 9 settings, 5–500
+	OtherLinksMbps float64
+}
+
+// DefaultFig16bOptions matches the paper's 9-setting sweep.
+func DefaultFig16bOptions() Fig16bOptions {
+	return Fig16bOptions{
+		LatencySLOsMs:  []float64{600, 1000},
+		AccuracySLOPct: 74,
+		DelayMs:        20,
+		BandwidthsMbps: []float64{5, 10, 25, 50, 100, 200, 300, 400, 500},
+		OtherLinksMbps: 100,
+	}
+}
+
+// Fig16b computes swarm compliance rates over the bandwidth sweep.
+func Fig16b(s *Scenario, d Decider, opts Fig16bOptions) (*Table, error) {
+	t := &Table{
+		Name:   "fig16b",
+		Title:  fmt.Sprintf("Fig16b: swarm compliance rate @ %.0f%% accuracy SLO", opts.AccuracySLOPct),
+		Header: []string{"latency_slo_ms", "method", "compliance_pct"},
+	}
+	for _, slo := range opts.LatencySLOsMs {
+		methods := []Method{
+			ADCNNMethod("mobilenetv3-large"),
+			ADCNNMethod("resnet50"),
+			MurmurationMethod(s.Env, d, env.Constraint{Type: env.LatencySLO, LatencyMs: slo}),
+		}
+		compliant := make(map[string]int)
+		total := 0
+		for _, bw := range opts.BandwidthsMbps {
+			cl := s.Cluster(opts.OtherLinksMbps, opts.DelayMs)
+			cl.SetLink(1, bw, opts.DelayMs)
+			cells, err := EvalCell(methods, cl)
+			if err != nil {
+				return nil, err
+			}
+			total++
+			for _, c := range cells {
+				if c.LatencyMs <= slo && c.AccuracyPct >= opts.AccuracySLOPct {
+					compliant[c.Method]++
+				}
+			}
+		}
+		for _, m := range methods {
+			t.AddRowF(slo, m.Name, 100*float64(compliant[m.Name])/float64(total))
+		}
+	}
+	return t, nil
+}

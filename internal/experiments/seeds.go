@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"murmuration/internal/rl/env"
+)
+
+// StructuredSeeds builds the family of structured strategies a converged
+// Murmuration policy gravitates toward: uniform per-layer settings (one size
+// level for kernel/expand/depth, one partition grid, one quantization level)
+// with a coherent placement (all-local, all-on-one-remote, or round-robin
+// tiles over the cluster). Evolutionary search is seeded with these so the
+// oracle explores the same well-shaped region the RL policy learns, instead
+// of relying on luck to align twenty independent per-layer grids.
+func StructuredSeeds(e *env.Env) [][]int {
+	a := e.Arch
+	n := e.NumDevices()
+	var seeds [][]int
+
+	placements := []int{-1, -2} // -1 all-local, -2 round-robin
+	if n > 1 {
+		placements = append(placements, 1) // everything on remote device 1
+	}
+	sizeLevels := []float64{0, 0.5, 1}
+	for _, resIdx := range []int{0, len(a.Resolutions) - 1} {
+		for _, size := range sizeLevels {
+			for pIdx := range a.Partitions {
+				for qIdx := range a.QuantBits {
+					for _, pl := range placements {
+						seeds = append(seeds, structuredGenome(e, resIdx, size, pIdx, qIdx, pl))
+					}
+				}
+			}
+		}
+	}
+	return seeds
+}
+
+// structuredGenome walks the schedule with uniform choices. size ∈ [0,1]
+// scales each discrete setting list (0 = smallest, 1 = largest). placement
+// -1 = all local, -2 = round-robin across all devices, ≥0 = that device.
+func structuredGenome(e *env.Env, resIdx int, size float64, partIdx, quantIdx, placement int) []int {
+	lvl := func(n int) int {
+		k := int(size*float64(n-1) + 0.5)
+		if k < 0 {
+			k = 0
+		}
+		if k > n-1 {
+			k = n - 1
+		}
+		return k
+	}
+	w := e.NewWalker()
+	var out []int
+	for !w.Done() {
+		spec := w.Next()
+		var choice int
+		switch spec.Type {
+		case env.ActResolution:
+			choice = resIdx
+		case env.ActDepth:
+			choice = lvl(spec.NumChoices)
+		case env.ActKernel, env.ActExpand:
+			choice = lvl(spec.NumChoices)
+		case env.ActPartition:
+			choice = partIdx
+			if choice >= spec.NumChoices {
+				choice = spec.NumChoices - 1
+			}
+		case env.ActQuant:
+			choice = quantIdx
+			if choice >= spec.NumChoices {
+				choice = spec.NumChoices - 1
+			}
+		case env.ActDevice:
+			switch placement {
+			case -1:
+				choice = 0
+			case -2:
+				// Tile index → device, identical across layers so
+				// consecutive aligned layers keep tiles in place.
+				choice = spec.Tile % spec.NumChoices
+			default:
+				choice = placement
+				if choice >= spec.NumChoices {
+					choice = spec.NumChoices - 1
+				}
+			}
+		}
+		if err := w.Apply(choice); err != nil {
+			panic(err)
+		}
+		out = append(out, choice)
+	}
+	return out
+}

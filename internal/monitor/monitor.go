@@ -1,0 +1,156 @@
+// Package monitor implements Murmuration's Network Monitoring module and
+// Monitoring-data Predictor (paper §5): active probing of per-device delay
+// (small ping RPCs) and bandwidth (timed bulk transfers), smoothed with an
+// EMA, plus a lightweight linear-regression forecaster that lets the runtime
+// precompute strategies for where the network is heading.
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"murmuration/internal/rpcx"
+	"murmuration/internal/stats"
+)
+
+// PingMethod and BulkMethod are the RPC method names monitors use.
+const (
+	PingMethod = "monitor.ping"
+	BulkMethod = "monitor.bulk"
+)
+
+// RegisterHandlers installs the monitoring endpoints on a device server.
+func RegisterHandlers(s *rpcx.Server) {
+	s.Handle(PingMethod, func(p []byte) ([]byte, error) { return p, nil })
+	s.Handle(BulkMethod, func(p []byte) ([]byte, error) { return []byte{byte(len(p) & 0xFF)}, nil })
+}
+
+// Sample is one link measurement.
+type Sample struct {
+	At            time.Time
+	BandwidthMbps float64
+	DelayMs       float64
+}
+
+// LinkMonitor measures and forecasts one device link.
+type LinkMonitor struct {
+	mu sync.Mutex
+
+	client *rpcx.Client
+	// BulkBytes is the probe size for bandwidth estimation.
+	BulkBytes int
+
+	emaBw    *stats.EMA
+	emaDelay *stats.EMA
+	regBw    *stats.LinReg
+	regDelay *stats.LinReg
+	epoch    time.Time
+	lastObs  float64 // seconds since epoch of the newest sample
+	samples  int
+}
+
+// NewLinkMonitor wraps an RPC client to a remote device.
+func NewLinkMonitor(client *rpcx.Client) *LinkMonitor {
+	return &LinkMonitor{
+		client:    client,
+		BulkBytes: 256 * 1024,
+		emaBw:     stats.NewEMA(0.4),
+		emaDelay:  stats.NewEMA(0.4),
+		regBw:     stats.NewLinReg(16),
+		regDelay:  stats.NewLinReg(16),
+		epoch:     time.Now(),
+	}
+}
+
+// Probe performs one active measurement round: a small ping for delay, then
+// a bulk transfer for bandwidth (with the measured delay subtracted).
+func (m *LinkMonitor) Probe() (Sample, error) {
+	// Delay: RTT/2 of a tiny payload.
+	start := time.Now()
+	if _, err := m.client.Call(PingMethod, []byte{1}); err != nil {
+		return Sample{}, err
+	}
+	rtt := time.Since(start)
+	delayMs := rtt.Seconds() * 1000 / 2
+
+	// Bandwidth: time a bulk payload, net of propagation.
+	payload := make([]byte, m.BulkBytes)
+	start = time.Now()
+	if _, err := m.client.Call(BulkMethod, payload); err != nil {
+		return Sample{}, err
+	}
+	bulk := time.Since(start)
+	serialize := bulk.Seconds() - rtt.Seconds()
+	if serialize <= 0 {
+		serialize = 1e-6
+	}
+	bwMbps := float64(m.BulkBytes) * 8 / serialize / 1e6
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	t := now.Sub(m.epoch).Seconds()
+	m.emaBw.Add(bwMbps)
+	m.emaDelay.Add(delayMs)
+	m.regBw.Observe(t, bwMbps)
+	m.regDelay.Observe(t, delayMs)
+	if t > m.lastObs {
+		m.lastObs = t
+	}
+	m.samples++
+	return Sample{At: now, BandwidthMbps: bwMbps, DelayMs: delayMs}, nil
+}
+
+// Current returns the smoothed link estimate (zeros before any probe).
+func (m *LinkMonitor) Current() Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Sample{At: time.Now(), BandwidthMbps: m.emaBw.Value(), DelayMs: m.emaDelay.Value()}
+}
+
+// Samples returns how many probes have completed.
+func (m *LinkMonitor) Samples() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.samples
+}
+
+// Predict forecasts the link state `ahead` into the future using the linear
+// model ("utilizes a lightweight linear regression method", §5). Forecasts
+// are clamped to physical bounds.
+func (m *LinkMonitor) Predict(ahead time.Duration) Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Extrapolate from the newest observation, not the wall clock, so the
+	// forecast horizon is well-defined even with sparse probes.
+	t := m.lastObs + ahead.Seconds()
+	bw := m.regBw.Predict(t)
+	dl := m.regDelay.Predict(t)
+	if bw < 0.1 {
+		bw = 0.1
+	}
+	if dl < 0 {
+		dl = 0
+	}
+	return Sample{At: time.Now().Add(ahead), BandwidthMbps: bw, DelayMs: dl}
+}
+
+// Observe injects an externally measured sample (passive monitoring: the
+// scheduler reports transfer timings it observed during inference).
+func (m *LinkMonitor) Observe(s Sample) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := s.At.Sub(m.epoch).Seconds()
+	if s.BandwidthMbps > 0 {
+		m.emaBw.Add(s.BandwidthMbps)
+		m.regBw.Observe(t, s.BandwidthMbps)
+	}
+	if s.DelayMs >= 0 {
+		m.emaDelay.Add(s.DelayMs)
+		m.regDelay.Observe(t, s.DelayMs)
+	}
+	if t > m.lastObs {
+		m.lastObs = t
+	}
+	m.samples++
+}

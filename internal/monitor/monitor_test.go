@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"murmuration/internal/netem"
+	"murmuration/internal/rpcx"
+)
+
+func startServer(t *testing.T) (string, func()) {
+	t.Helper()
+	srv := rpcx.NewServer()
+	RegisterHandlers(srv)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr, func() { srv.Close() }
+}
+
+func TestProbeMeasuresShapedLink(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	cl, err := rpcx.Dial(addr, netem.NewShaper(40, 10*time.Millisecond)) // 5 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m := NewLinkMonitor(cl)
+	m.BulkBytes = 256 * 1024
+	for i := 0; i < 3; i++ {
+		if _, err := m.Probe(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := m.Current()
+	if cur.BandwidthMbps < 15 || cur.BandwidthMbps > 120 {
+		t.Fatalf("bandwidth estimate %.1f Mb/s far from shaped 40", cur.BandwidthMbps)
+	}
+	if cur.DelayMs < 5 || cur.DelayMs > 60 {
+		t.Fatalf("delay estimate %.1f ms far from shaped 10", cur.DelayMs)
+	}
+	if m.Samples() != 3 {
+		t.Fatalf("samples = %d", m.Samples())
+	}
+}
+
+func TestProbeFailsOnDeadServer(t *testing.T) {
+	addr, stop := startServer(t)
+	cl, err := rpcx.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	stop() // kill the server
+	m := NewLinkMonitor(cl)
+	if _, err := m.Probe(); err == nil {
+		// First call may drain buffered data; a second must fail.
+		if _, err := m.Probe(); err == nil {
+			t.Fatal("probe against dead server should error")
+		}
+	}
+}
+
+func TestObserveFeedsEstimates(t *testing.T) {
+	m := NewLinkMonitor(nil)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		m.Observe(Sample{At: base.Add(time.Duration(i) * time.Second), BandwidthMbps: 100, DelayMs: 20})
+	}
+	cur := m.Current()
+	if cur.BandwidthMbps != 100 || cur.DelayMs != 20 {
+		t.Fatalf("constant observations should converge exactly: %+v", cur)
+	}
+	pred := m.Predict(3 * time.Second)
+	if pred.BandwidthMbps < 90 || pred.BandwidthMbps > 110 {
+		t.Fatalf("flat trend forecast %v", pred.BandwidthMbps)
+	}
+}
+
+func TestPredictClampsToPhysicalBounds(t *testing.T) {
+	m := NewLinkMonitor(nil)
+	base := time.Now()
+	// Steeply falling bandwidth and delay.
+	for i := 0; i < 6; i++ {
+		m.Observe(Sample{At: base.Add(time.Duration(i) * time.Second),
+			BandwidthMbps: 500 - float64(i)*100, DelayMs: 50 - float64(i)*10})
+	}
+	pred := m.Predict(10 * time.Second)
+	if pred.BandwidthMbps < 0.1 {
+		t.Fatalf("bandwidth forecast below clamp: %v", pred.BandwidthMbps)
+	}
+	if pred.DelayMs < 0 {
+		t.Fatalf("negative delay forecast: %v", pred.DelayMs)
+	}
+}
+
+func TestObserveIgnoresInvalidFields(t *testing.T) {
+	m := NewLinkMonitor(nil)
+	m.Observe(Sample{At: time.Now(), BandwidthMbps: -5, DelayMs: -1})
+	cur := m.Current()
+	if cur.BandwidthMbps != 0 || cur.DelayMs != 0 {
+		t.Fatalf("invalid observations should not move estimates: %+v", cur)
+	}
+}

@@ -1,0 +1,166 @@
+// Package netem emulates network conditions the way the paper uses the `tc`
+// traffic-control tool: it imposes a bandwidth cap (token bucket) and an
+// additive propagation delay on real byte streams. The runtime wraps its TCP
+// connections in a shaped conn so distributed-inference measurements respond
+// to the same (bandwidth, delay) variables the RL policy reasons about.
+package netem
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Shaper rate-limits a byte stream with a token bucket and delays delivery.
+// It is safe for concurrent use by a single writer and a single reader per
+// direction (wrap each direction in its own Shaper).
+type Shaper struct {
+	mu            sync.Mutex
+	bytesPerSec   float64
+	delay         time.Duration
+	tokens        float64
+	lastRefill    time.Time
+	maxBurstBytes float64
+}
+
+// NewShaper creates a shaper with the given bandwidth (megabits per second)
+// and one-way delay. bandwidthMbps <= 0 means unlimited.
+func NewShaper(bandwidthMbps float64, delay time.Duration) *Shaper {
+	s := &Shaper{
+		bytesPerSec: bandwidthMbps * 1e6 / 8,
+		delay:       delay,
+		lastRefill:  time.Now(),
+	}
+	// Allow up to 2 ms worth of burst so small messages aren't over-paced
+	// while bulk transfers (and bandwidth probes) still see the line rate.
+	s.maxBurstBytes = s.bytesPerSec * 0.002
+	if s.maxBurstBytes < 16*1024 {
+		s.maxBurstBytes = 16 * 1024
+	}
+	s.tokens = s.maxBurstBytes
+	return s
+}
+
+// SetRate updates the bandwidth cap (megabits per second) at runtime.
+func (s *Shaper) SetRate(bandwidthMbps float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytesPerSec = bandwidthMbps * 1e6 / 8
+	s.maxBurstBytes = s.bytesPerSec * 0.002
+	if s.maxBurstBytes < 16*1024 {
+		s.maxBurstBytes = 16 * 1024
+	}
+}
+
+// SetDelay updates the one-way delay at runtime.
+func (s *Shaper) SetDelay(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delay = d
+}
+
+// Delay returns the currently configured one-way delay.
+func (s *Shaper) Delay() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delay
+}
+
+// Throttle blocks until n bytes may pass under the bandwidth cap. It returns
+// immediately when unlimited. The bucket may go negative (debt), which is
+// slept off at the line rate — this keeps the long-run rate exact even for
+// writes much larger than the burst allowance.
+func (s *Shaper) Throttle(n int) {
+	s.mu.Lock()
+	if s.bytesPerSec <= 0 {
+		s.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	s.tokens += now.Sub(s.lastRefill).Seconds() * s.bytesPerSec
+	s.lastRefill = now
+	if s.tokens > s.maxBurstBytes {
+		s.tokens = s.maxBurstBytes
+	}
+	s.tokens -= float64(n)
+	var wait time.Duration
+	if s.tokens < 0 {
+		wait = time.Duration(-s.tokens / s.bytesPerSec * float64(time.Second))
+	}
+	s.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// TransferTime returns the modelled time to move n bytes through this shaper
+// (serialization + delay), without actually sleeping. This is the same
+// formula the RL environment's cost model uses.
+func (s *Shaper) TransferTime(n int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.delay
+	if s.bytesPerSec > 0 {
+		d += time.Duration(float64(n) / s.bytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// Conn wraps a net.Conn with independent shapers per direction. The write
+// path pays serialization time (token bucket); the read path pays the
+// propagation delay once per message burst, approximating a symmetric link.
+type Conn struct {
+	net.Conn
+	writeShaper *Shaper
+	readDelayed bool
+}
+
+// NewConn wraps c with the given shaper on the write path. The first read
+// after each write burst is delayed by the shaper's one-way delay.
+func NewConn(c net.Conn, s *Shaper) *Conn {
+	return &Conn{Conn: c, writeShaper: s}
+}
+
+// Write throttles, then applies the propagation delay before the bytes hit
+// the underlying connection — matching "serialize then propagate".
+func (c *Conn) Write(p []byte) (int, error) {
+	c.writeShaper.Throttle(len(p))
+	if d := c.writeShaper.Delay(); d > 0 && !c.readDelayed {
+		// Charge propagation once per logical message: the caller is
+		// expected to write a full message per Write via buffered IO.
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}
+
+// Pipe returns two shaped in-memory connection endpoints (like net.Pipe)
+// with the given symmetric bandwidth and delay. Useful for tests that need
+// deterministic shaped links without real sockets.
+func Pipe(bandwidthMbps float64, delay time.Duration) (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a, NewShaper(bandwidthMbps, delay)), NewConn(b, NewShaper(bandwidthMbps, delay))
+}
+
+// CopyShaped copies from src to dst through a shaper, for proxy-style
+// emulation of a constrained link.
+func CopyShaped(dst io.Writer, src io.Reader, s *Shaper) (int64, error) {
+	buf := make([]byte, 32*1024)
+	var total int64
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			s.Throttle(n)
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+		}
+		if err != nil {
+			if err == io.EOF {
+				return total, nil
+			}
+			return total, err
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package netem
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShaperPacesTraffic(t *testing.T) {
+	// 8 Mb/s = 1 MB/s. Sending 200 KB beyond the burst should take ~0.2s.
+	s := NewShaper(8, 0)
+	start := time.Now()
+	s.Throttle(220 * 1024) // burst absorbs ~16KB+
+	elapsed := time.Since(start)
+	if elapsed < 120*time.Millisecond {
+		t.Fatalf("throttle too fast: %v", elapsed)
+	}
+	if elapsed > 800*time.Millisecond {
+		t.Fatalf("throttle too slow: %v", elapsed)
+	}
+}
+
+func TestShaperUnlimited(t *testing.T) {
+	s := NewShaper(0, 0)
+	start := time.Now()
+	s.Throttle(100 * 1024 * 1024)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("unlimited shaper must not block")
+	}
+}
+
+func TestShaperBurstAllowsSmallMessages(t *testing.T) {
+	s := NewShaper(100, 0)
+	start := time.Now()
+	s.Throttle(1024) // well within burst
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("small messages should pass within the burst allowance")
+	}
+}
+
+func TestTransferTimeModel(t *testing.T) {
+	s := NewShaper(80, 30*time.Millisecond) // 10 MB/s
+	got := s.TransferTime(10 * 1000 * 1000)
+	want := time.Second + 30*time.Millisecond
+	if got < want-10*time.Millisecond || got > want+10*time.Millisecond {
+		t.Fatalf("TransferTime = %v, want ~%v", got, want)
+	}
+}
+
+func TestSetRateTakesEffect(t *testing.T) {
+	s := NewShaper(0.008, 0) // 1 KB/s: painfully slow
+	s.SetRate(8000)          // now 1 GB/s
+	start := time.Now()
+	s.Throttle(1024 * 1024)
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatal("SetRate did not take effect")
+	}
+}
+
+func TestSetDelay(t *testing.T) {
+	s := NewShaper(100, 5*time.Millisecond)
+	s.SetDelay(25 * time.Millisecond)
+	if s.Delay() != 25*time.Millisecond {
+		t.Fatalf("Delay = %v", s.Delay())
+	}
+}
+
+func TestShapedPipeEndToEnd(t *testing.T) {
+	// 8 Mb/s, 20 ms delay; a 100 KB message should take >= ~100ms+20ms-burst.
+	a, b := Pipe(8, 20*time.Millisecond)
+	defer a.Close()
+	defer b.Close()
+	payload := bytes.Repeat([]byte{0xAB}, 100*1024)
+	var got []byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, len(payload))
+		if _, err := io.ReadFull(b, buf); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		got = buf
+	}()
+	start := time.Now()
+	if _, err := a.Write(payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted through shaped pipe")
+	}
+	if elapsed < 60*time.Millisecond {
+		t.Fatalf("shaped pipe too fast: %v", elapsed)
+	}
+}
+
+func TestCopyShaped(t *testing.T) {
+	src := bytes.NewReader(bytes.Repeat([]byte{1}, 64*1024))
+	var dst bytes.Buffer
+	s := NewShaper(0, 0)
+	n, err := CopyShaped(&dst, src, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 64*1024 || dst.Len() != 64*1024 {
+		t.Fatalf("copied %d bytes", n)
+	}
+}
+
+func TestCopyShapedPropagatesError(t *testing.T) {
+	a, b := net.Pipe()
+	b.Close() // broken destination
+	src := bytes.NewReader(make([]byte, 1024))
+	if _, err := CopyShaped(a, src, NewShaper(0, 0)); err == nil {
+		// write to closed pipe may succeed on some platforms until flush;
+		// tolerate but check copy to closed conn twice fails.
+		if _, err2 := CopyShaped(a, bytes.NewReader(make([]byte, 1024)), NewShaper(0, 0)); err2 == nil {
+			t.Skip("platform buffers writes to closed pipe")
+		}
+	}
+	a.Close()
+}

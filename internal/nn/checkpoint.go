@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"murmuration/internal/tensor"
+)
+
+// Checkpoint format: magic, count, then per parameter a length-prefixed name
+// followed by the tensor in the standard wire encoding. Loading matches
+// parameters by name and shape, so checkpoints survive reordering but not
+// architectural changes.
+
+var ckptMagic = []byte("MURM1")
+
+// WriteParams serializes parameters to w.
+func WriteParams(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(ckptMagic); err != nil {
+		return err
+	}
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(params)))
+	if _, err := bw.Write(n4[:]); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if len(name) > 65535 {
+			return fmt.Errorf("nn: parameter name too long: %s", p.Name)
+		}
+		var l2 [2]byte
+		binary.LittleEndian.PutUint16(l2[:], uint16(len(name)))
+		if _, err := bw.Write(l2[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		if err := tensor.Encode(bw, p.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadParams deserializes a checkpoint into params, matching by name. Every
+// stored parameter must exist with an identical shape; params not present in
+// the checkpoint are left untouched.
+func ReadParams(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return err
+	}
+	if string(magic) != string(ckptMagic) {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	var n4 [4]byte
+	if _, err := io.ReadFull(br, n4[:]); err != nil {
+		return err
+	}
+	count := int(binary.LittleEndian.Uint32(n4[:]))
+	byName := make(map[string]*Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	for i := 0; i < count; i++ {
+		var l2 [2]byte
+		if _, err := io.ReadFull(br, l2[:]); err != nil {
+			return err
+		}
+		name := make([]byte, binary.LittleEndian.Uint16(l2[:]))
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		t, err := tensor.Decode(br)
+		if err != nil {
+			return err
+		}
+		p, ok := byName[string(name)]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint parameter %q not found in model", name)
+		}
+		if !p.W.SameShape(t) {
+			return fmt.Errorf("nn: parameter %q shape %v != checkpoint %v", name, p.W.Shape, t.Shape)
+		}
+		copy(p.W.Data, t.Data)
+	}
+	return nil
+}
+
+// SaveParams writes a checkpoint file.
+func SaveParams(path string, params []*Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteParams(f, params)
+}
+
+// LoadParams reads a checkpoint file.
+func LoadParams(path string, params []*Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ReadParams(f, params)
+}

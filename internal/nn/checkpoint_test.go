@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"murmuration/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	a := NewParam("a", tensor.FromSlice([]float32{1, 2, 3}, 3))
+	b := NewParam("b", tensor.FromSlice([]float32{4, 5, 6, 7}, 2, 2))
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, []*Param{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	// Load into fresh parameters in a different order.
+	b2 := NewParam("b", tensor.New(2, 2))
+	a2 := NewParam("a", tensor.New(3))
+	if err := ReadParams(&buf, []*Param{b2, a2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W.Data {
+		if a2.W.Data[i] != a.W.Data[i] {
+			t.Fatal("param a mismatch")
+		}
+	}
+	for i := range b.W.Data {
+		if b2.W.Data[i] != b.W.Data[i] {
+			t.Fatal("param b mismatch")
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatches(t *testing.T) {
+	a := NewParam("a", tensor.New(3))
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, []*Param{a}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong shape.
+	bad := NewParam("a", tensor.New(4))
+	if err := ReadParams(bytes.NewReader(buf.Bytes()), []*Param{bad}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	// Missing parameter.
+	other := NewParam("z", tensor.New(3))
+	if err := ReadParams(bytes.NewReader(buf.Bytes()), []*Param{other}); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	// Garbage magic.
+	if err := ReadParams(bytes.NewReader([]byte("NOPE!xxxx")), []*Param{a}); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCheckpointFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	a := NewParam("w", tensor.FromSlice([]float32{9, 8}, 2))
+	if err := SaveParams(path, []*Param{a}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewParam("w", tensor.New(2))
+	if err := LoadParams(path, []*Param{b}); err != nil {
+		t.Fatal(err)
+	}
+	if b.W.Data[0] != 9 || b.W.Data[1] != 8 {
+		t.Fatal("file roundtrip mismatch")
+	}
+}

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"math"
+
+	"murmuration/internal/tensor"
+)
+
+// Softmax computes row-wise softmax of logits (N,K) with the max-subtraction
+// trick for numerical stability.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, k := logits.Shape[0], logits.Shape[1]
+	p := tensor.New(n, k)
+	for r := 0; r < n; r++ {
+		row := logits.Data[r*k : (r+1)*k]
+		dst := p.Data[r*k : (r+1)*k]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - m))
+			dst[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range dst {
+			dst[i] *= inv
+		}
+	}
+	return p
+}
+
+// SoftmaxCrossEntropy returns the mean cross-entropy loss of logits (N,K)
+// against integer labels, along with dLogits (already divided by N) and the
+// softmax probabilities.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, dlogits, probs *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	probs = Softmax(logits)
+	dlogits = probs.Clone()
+	invN := 1 / float32(n)
+	for r := 0; r < n; r++ {
+		y := labels[r]
+		p := probs.Data[r*k+y]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(float64(p))
+		dlogits.Data[r*k+y] -= 1
+	}
+	loss /= float64(n)
+	dlogits.Scale(invN)
+	return loss, dlogits, probs
+}
+
+// SoftmaxCEWeighted is SoftmaxCrossEntropy with a per-row weight (used by
+// advantage-weighted imitation in GCSL/SUPREME). The gradient of row r is
+// scaled by weights[r]; loss is the weighted mean.
+func SoftmaxCEWeighted(logits *tensor.Tensor, labels []int, weights []float64) (loss float64, dlogits *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	probs := Softmax(logits)
+	dlogits = tensor.New(n, k)
+	var wsum float64
+	for r := 0; r < n; r++ {
+		wsum += weights[r]
+	}
+	if wsum <= 0 {
+		wsum = 1
+	}
+	for r := 0; r < n; r++ {
+		y := labels[r]
+		w := weights[r]
+		p := probs.Data[r*k+y]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= w * math.Log(float64(p))
+		scale := float32(w / wsum)
+		for j := 0; j < k; j++ {
+			g := probs.Data[r*k+j]
+			if j == y {
+				g -= 1
+			}
+			dlogits.Data[r*k+j] = g * scale
+		}
+	}
+	loss /= wsum
+	return loss, dlogits
+}
+
+// KLDivSoft computes the knowledge-distillation loss
+// KL(teacher ‖ student) over softmax distributions plus the gradient w.r.t.
+// the student logits (divided by N). Used for in-place distillation during
+// sandwich-rule supernet training.
+func KLDivSoft(studentLogits, teacherProbs *tensor.Tensor) (loss float64, dlogits *tensor.Tensor) {
+	n, k := studentLogits.Shape[0], studentLogits.Shape[1]
+	sp := Softmax(studentLogits)
+	dlogits = tensor.New(n, k)
+	invN := 1 / float32(n)
+	for r := 0; r < n; r++ {
+		for j := 0; j < k; j++ {
+			t := teacherProbs.Data[r*k+j]
+			s := sp.Data[r*k+j]
+			if t > 1e-12 {
+				ss := s
+				if ss < 1e-12 {
+					ss = 1e-12
+				}
+				loss += float64(t) * math.Log(float64(t)/float64(ss))
+			}
+			dlogits.Data[r*k+j] = (s - t) * invN
+		}
+	}
+	loss /= float64(n)
+	return loss, dlogits
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n, k := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for r := 0; r < n; r++ {
+		row := logits.Data[r*k : (r+1)*k]
+		best := 0
+		for j := 1; j < k; j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		if best == labels[r] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,169 @@
+// Package plot renders small ASCII line charts for the benchmark harness, so
+// cmd/benchall can show the paper's curve figures (reward and compliance vs
+// training steps, latency vs devices, ...) directly in the terminal next to
+// the CSV output.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is an ASCII line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	Series []Series
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Add appends a series.
+func (c *Chart) Add(name string, x, y []float64) {
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	hasData := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			hasData = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if !hasData {
+		fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		pts := interpolate(s, width, xmin, xmax)
+		for col, y := range pts {
+			if math.IsNaN(y) {
+				continue
+			}
+			row := int((ymax - y) / (ymax - ymin) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = m
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	yHi := fmt.Sprintf("%.3g", ymax)
+	yLo := fmt.Sprintf("%.3g", ymin)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, yHi)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(fmt.Sprintf("%.3g", xmax)),
+		fmt.Sprintf("%.3g", xmin), fmt.Sprintf("%.3g", xmax))
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "   %s", strings.Join(legend, "   "))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "   [x: %s, y: %s]", c.XLabel, c.YLabel)
+	}
+	fmt.Fprintln(w)
+}
+
+// interpolate resamples a series onto chart columns with linear
+// interpolation between its (sorted-by-x) points; columns outside the
+// series' x-range are NaN.
+func interpolate(s Series, width int, xmin, xmax float64) []float64 {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, 0, len(s.X))
+	for i := range s.X {
+		if !math.IsNaN(s.X[i]) && !math.IsNaN(s.Y[i]) {
+			pts = append(pts, pt{s.X[i], s.Y[i]})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	out := make([]float64, width)
+	for col := 0; col < width; col++ {
+		x := xmin + (xmax-xmin)*float64(col)/float64(width-1)
+		out[col] = math.NaN()
+		if len(pts) == 0 || x < pts[0].x-1e-12 || x > pts[len(pts)-1].x+1e-12 {
+			continue
+		}
+		// Find the bracketing segment.
+		j := sort.Search(len(pts), func(i int) bool { return pts[i].x >= x })
+		if j == 0 {
+			out[col] = pts[0].y
+			continue
+		}
+		if j >= len(pts) {
+			out[col] = pts[len(pts)-1].y
+			continue
+		}
+		a, b := pts[j-1], pts[j]
+		if b.x == a.x {
+			out[col] = b.y
+			continue
+		}
+		t := (x - a.x) / (b.x - a.x)
+		out[col] = a.y + t*(b.y-a.y)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{Title: "demo", Width: 40, Height: 8, XLabel: "step", YLabel: "reward"}
+	c.Add("up", []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	c.Add("down", []float64{0, 1, 2, 3}, []float64{3, 2, 1, 0})
+	var sb strings.Builder
+	c.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "[x: step, y: reward]") {
+		t.Fatal("axis labels missing")
+	}
+	// Y-axis endpoints labelled.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "0") {
+		t.Fatal("axis bounds missing")
+	}
+	// The rising series should put '*' in the top-right region and the
+	// falling one 'o' in the top-left.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") || !strings.Contains(top, "o") {
+		t.Fatalf("top row should contain both extremes: %q", top)
+	}
+	if strings.Index(top, "o") > strings.Index(top, "*") {
+		t.Fatal("falling series should peak left of rising series")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var sb strings.Builder
+	c.Render(&sb)
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := &Chart{Width: 20, Height: 5}
+	c.Add("flat", []float64{0, 1}, []float64{2, 2})
+	var sb strings.Builder
+	c.Render(&sb) // must not divide by zero
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestRenderIgnoresNaN(t *testing.T) {
+	c := &Chart{Width: 20, Height: 5}
+	c.Add("gappy", []float64{0, 1, 2}, []float64{1, math.NaN(), 3})
+	var sb strings.Builder
+	c.Render(&sb)
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatal("NaN leaked into output")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	s := Series{X: []float64{0, 10}, Y: []float64{0, 10}}
+	ys := interpolate(s, 11, 0, 10)
+	for i, y := range ys {
+		if math.Abs(y-float64(i)) > 1e-9 {
+			t.Fatalf("col %d: %v", i, y)
+		}
+	}
+	// Outside the series range: NaN.
+	s2 := Series{X: []float64{5, 10}, Y: []float64{1, 1}}
+	ys2 := interpolate(s2, 11, 0, 10)
+	if !math.IsNaN(ys2[0]) {
+		t.Fatal("columns before the series should be NaN")
+	}
+	if math.IsNaN(ys2[10]) {
+		t.Fatal("columns inside the series should interpolate")
+	}
+}

@@ -1,0 +1,350 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"murmuration/internal/device"
+	"murmuration/internal/nas"
+	"murmuration/internal/supernet"
+	"murmuration/internal/tensor"
+)
+
+func testEnv() *Env {
+	a := supernet.DefaultArch()
+	return New(a, nas.NewCalibratedPredictor(a), []device.Kind{device.RaspberryPi4, device.GPUDesktop})
+}
+
+func swarmEnv(n int) *Env {
+	a := supernet.DefaultArch()
+	kinds := make([]device.Kind, n)
+	for i := range kinds {
+		kinds[i] = device.RaspberryPi4
+	}
+	return New(a, nas.NewCalibratedPredictor(a), kinds)
+}
+
+func randomDecision(e *Env, rng *rand.Rand) (*Decision, []int) {
+	w := e.NewWalker()
+	for !w.Done() {
+		spec := w.Next()
+		if err := w.Apply(rng.Intn(spec.NumChoices)); err != nil {
+			panic(err)
+		}
+	}
+	return w.Decision(), w.Choices()
+}
+
+func TestWalkerProducesValidDecisions(t *testing.T) {
+	e := testEnv()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		d, _ := randomDecision(e, rng)
+		if err := e.Arch.Validate(d.Config); err != nil {
+			t.Fatalf("iteration %d: invalid config: %v", i, err)
+		}
+		costs, err := e.Arch.Costs(d.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Placement.Validate(costs, e.NumDevices()); err != nil {
+			t.Fatalf("iteration %d: invalid placement: %v", i, err)
+		}
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	e := testEnv()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		d, choices := randomDecision(e, rng)
+		d2, err := e.Decode(choices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Config.String() != d2.Config.String() {
+			t.Fatal("decode mismatch")
+		}
+		for k := range d.Placement.Devices {
+			for ti := range d.Placement.Devices[k] {
+				if d.Placement.Devices[k][ti] != d2.Placement.Devices[k][ti] {
+					t.Fatal("placement decode mismatch")
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	e := testEnv()
+	if _, err := e.Decode([]int{0}); err == nil {
+		t.Fatal("short sequence accepted")
+	}
+	rng := rand.New(rand.NewSource(3))
+	_, choices := randomDecision(e, rng)
+	if _, err := e.Decode(append(choices, 0)); err == nil {
+		t.Fatal("long sequence accepted")
+	}
+	bad := append([]int(nil), choices...)
+	bad[0] = 99
+	if _, err := e.Decode(bad); err == nil {
+		t.Fatal("out-of-range choice accepted")
+	}
+}
+
+func TestSpecsAlignWithChoices(t *testing.T) {
+	e := testEnv()
+	rng := rand.New(rand.NewSource(4))
+	_, choices := randomDecision(e, rng)
+	specs, err := e.Specs(choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(choices) {
+		t.Fatalf("%d specs for %d choices", len(specs), len(choices))
+	}
+	if specs[0].Type != ActResolution {
+		t.Fatal("first action must be resolution")
+	}
+	if specs[1].Type != ActDepth {
+		t.Fatal("second action must be stage-0 depth")
+	}
+	for i, s := range specs {
+		if choices[i] >= s.NumChoices {
+			t.Fatalf("step %d: choice %d ≥ %d", i, choices[i], s.NumChoices)
+		}
+	}
+}
+
+func TestEpisodeLengthBounded(t *testing.T) {
+	e := testEnv()
+	rng := rand.New(rand.NewSource(5))
+	maxLen := e.MaxEpisodeLen()
+	for i := 0; i < 50; i++ {
+		_, choices := randomDecision(e, rng)
+		if len(choices) > maxLen {
+			t.Fatalf("episode length %d exceeds bound %d", len(choices), maxLen)
+		}
+	}
+}
+
+func TestHeadSizes(t *testing.T) {
+	e := testEnv()
+	hs := e.HeadSizes()
+	if hs[ActResolution] != 5 || hs[ActDepth] != 3 || hs[ActKernel] != 3 ||
+		hs[ActExpand] != 3 || hs[ActPartition] != 4 || hs[ActQuant] != 3 || hs[ActDevice] != 2 {
+		t.Fatalf("head sizes %v", hs)
+	}
+}
+
+func TestEvaluateLatencySLO(t *testing.T) {
+	e := testEnv()
+	c := Constraint{Type: LatencySLO, LatencyMs: 10000, BandwidthMbps: []float64{100}, DelayMs: []float64{10}}
+	// Min config, all local: should easily satisfy a 10 s SLO.
+	cfg := e.Arch.MinConfig()
+	costs, _ := e.Arch.Costs(cfg)
+	d := &Decision{Config: cfg, Placement: supernet.LocalPlacement(costs)}
+	out, err := e.Evaluate(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.SLOMet || out.Reward <= 0 {
+		t.Fatalf("relaxed SLO should be met: %+v", out)
+	}
+	// 1 ms SLO is unsatisfiable: zero reward.
+	c.LatencyMs = 1
+	out, _ = e.Evaluate(c, d)
+	if out.SLOMet || out.Reward != 0 {
+		t.Fatalf("impossible SLO should give zero reward: %+v", out)
+	}
+}
+
+func TestEvaluateAccuracySLO(t *testing.T) {
+	e := testEnv()
+	c := Constraint{Type: AccuracySLO, AccuracyPct: 78, BandwidthMbps: []float64{100}, DelayMs: []float64{10}}
+	cfgMax := e.Arch.MaxConfig()
+	costsMax, _ := e.Arch.Costs(cfgMax)
+	dMax := &Decision{Config: cfgMax, Placement: supernet.LocalPlacement(costsMax)}
+	out, err := e.Evaluate(c, dMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.SLOMet {
+		t.Fatalf("max config should satisfy 78%% accuracy: %+v", out)
+	}
+	cfgMin := e.Arch.MinConfig()
+	costsMin, _ := e.Arch.Costs(cfgMin)
+	dMin := &Decision{Config: cfgMin, Placement: supernet.LocalPlacement(costsMin)}
+	out, _ = e.Evaluate(c, dMin)
+	if out.SLOMet || out.Reward != 0 {
+		t.Fatalf("min config must miss 78%% accuracy: %+v", out)
+	}
+}
+
+func TestRewardScaleMatchesPaper(t *testing.T) {
+	// Fig. 11a: rewards plateau around 1.5 — the max-accuracy config should
+	// score in [1.2, 1.8] when the latency SLO is met.
+	e := testEnv()
+	c := Constraint{Type: LatencySLO, LatencyMs: 1e6, BandwidthMbps: []float64{400}, DelayMs: []float64{5}}
+	cfg := e.Arch.MaxConfig()
+	costs, _ := e.Arch.Costs(cfg)
+	d := &Decision{Config: cfg, Placement: supernet.LocalPlacement(costs)}
+	out, _ := e.Evaluate(c, d)
+	if out.Reward < 1.2 || out.Reward > 1.8 {
+		t.Fatalf("max reward %v, want ≈1.5", out.Reward)
+	}
+}
+
+func TestGPUOffloadBeatsLocalUnderTightSLO(t *testing.T) {
+	// The environment must make offloading the winning strategy when the
+	// SLO is tight and bandwidth is good — the core premise of Fig. 13.
+	e := testEnv()
+	c := Constraint{Type: LatencySLO, LatencyMs: 140, BandwidthMbps: []float64{400}, DelayMs: []float64{5}}
+	cfg := e.Arch.MaxConfig()
+	costs, _ := e.Arch.Costs(cfg)
+
+	local := &Decision{Config: cfg, Placement: supernet.LocalPlacement(costs)}
+	outLocal, _ := e.Evaluate(c, local)
+
+	remote := &Decision{Config: cfg.Clone(), Placement: supernet.LocalPlacement(costs)}
+	for k := range remote.Placement.Devices {
+		for ti := range remote.Placement.Devices[k] {
+			remote.Placement.Devices[k][ti] = 1
+		}
+	}
+	outRemote, err := e.Evaluate(c, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outLocal.SLOMet {
+		t.Fatalf("max config all-local on a Pi should miss 140 ms (got %v ms)", outLocal.LatencyMs)
+	}
+	if !outRemote.SLOMet {
+		t.Fatalf("max config offloaded to GPU should meet 140 ms at 400 Mb/s (got %v ms)", outRemote.LatencyMs)
+	}
+	if outRemote.Reward <= outLocal.Reward {
+		t.Fatal("offload must out-reward local under a tight SLO")
+	}
+}
+
+func TestConstraintSpaceGrid(t *testing.T) {
+	s := ConstraintSpace{
+		Type: LatencySLO, SLOMin: 100, SLOMax: 1000,
+		BwMinMbps: 5, BwMaxMbps: 500, DelayMin: 5, DelayMax: 100,
+		Points: 10, Remotes: 2,
+	}
+	if s.SLOValue(0) != 100 || s.SLOValue(9) != 1000 {
+		t.Fatalf("SLO grid endpoints %v/%v", s.SLOValue(0), s.SLOValue(9))
+	}
+	if s.Dims() != 5 {
+		t.Fatalf("dims %d, want 5", s.Dims())
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		c := s.Sample(rng)
+		if c.LatencyMs < 100 || c.LatencyMs > 1000 {
+			t.Fatal("sampled SLO out of range")
+		}
+		if len(c.BandwidthMbps) != 2 || len(c.DelayMs) != 2 {
+			t.Fatal("wrong number of links")
+		}
+	}
+}
+
+func TestCurriculumPinsClosedDims(t *testing.T) {
+	s := ConstraintSpace{
+		Type: LatencySLO, SLOMin: 100, SLOMax: 1000,
+		BwMinMbps: 5, BwMaxMbps: 500, DelayMin: 5, DelayMax: 100,
+		Points: 10, Remotes: 2,
+	}
+	rng := rand.New(rand.NewSource(7))
+	// open=1: only the SLO varies; everything else pinned relaxed.
+	for i := 0; i < 20; i++ {
+		c := s.SampleCurriculum(rng, 1)
+		if c.BandwidthMbps[0] != 500 || c.DelayMs[0] != 5 {
+			t.Fatalf("closed dims not pinned relaxed: %+v", c)
+		}
+	}
+	// open=2: SLO and device-1 bandwidth vary.
+	sawVariedBw := false
+	for i := 0; i < 50; i++ {
+		c := s.SampleCurriculum(rng, 2)
+		if c.BandwidthMbps[0] != 500 {
+			sawVariedBw = true
+		}
+		if c.DelayMs[0] != 5 || c.BandwidthMbps[1] != 500 {
+			t.Fatalf("dims beyond open=2 must stay pinned: %+v", c)
+		}
+	}
+	if !sawVariedBw {
+		t.Fatal("open dimension never varied")
+	}
+}
+
+func TestEvaluateRejectsWrongLinkCount(t *testing.T) {
+	e := swarmEnv(5)
+	cfg := e.Arch.MinConfig()
+	costs, _ := e.Arch.Costs(cfg)
+	d := &Decision{Config: cfg, Placement: supernet.LocalPlacement(costs)}
+	c := Constraint{Type: LatencySLO, LatencyMs: 100, BandwidthMbps: []float64{100}, DelayMs: []float64{10}}
+	if _, err := e.Evaluate(c, d); err == nil {
+		t.Fatal("constraint with 1 link for 4 remotes should error")
+	}
+}
+
+// Property: relaxing the latency SLO never lowers the reward of a fixed
+// decision — the observation at the heart of SUPREME (§4.4.1).
+func TestRewardMonotoneInSLOProperty(t *testing.T) {
+	e := testEnv()
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64, sloRaw, extraRaw uint16) bool {
+		d, _ := randomDecision(e, rand.New(rand.NewSource(seed)))
+		slo := float64(sloRaw%2000) + 50
+		extra := float64(extraRaw % 1000)
+		bw := 5 + float64(seed%400)
+		if bw < 5 {
+			bw = 5
+		}
+		c1 := Constraint{Type: LatencySLO, LatencyMs: slo, BandwidthMbps: []float64{bw}, DelayMs: []float64{20}}
+		c2 := c1
+		c2.LatencyMs = slo + extra
+		o1, e1 := e.Evaluate(c1, d)
+		o2, e2 := e.Evaluate(c2, d)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		_ = rng
+		return o2.Reward >= o1.Reward-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a quantized variant of a decision never transfers more bytes —
+// its latency is never higher when only quantization changes and everything
+// executes across devices. (Sanity of the wire-byte accounting.)
+func TestQuantizationNeverSlowerProperty(t *testing.T) {
+	e := testEnv()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, _ := randomDecision(e, rng)
+		q := d.Config.Clone()
+		for i := range q.Layers {
+			q.Layers[i].Quant = tensor.Bits8
+		}
+		dq := &Decision{Config: q, Placement: d.Placement}
+		c := Constraint{Type: LatencySLO, LatencyMs: 1000,
+			BandwidthMbps: []float64{50}, DelayMs: []float64{20}}
+		o1, e1 := e.Evaluate(c, d)
+		o2, e2 := e.Evaluate(c, dq)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		return o2.LatencyMs <= o1.LatencyMs+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

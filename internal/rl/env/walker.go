@@ -1,0 +1,264 @@
+package env
+
+import (
+	"fmt"
+
+	"murmuration/internal/supernet"
+)
+
+// ActionType enumerates the per-step decision kinds of the policy (Fig. 5:
+// model-setting selections followed by per-partition device selections, per
+// layer).
+type ActionType int
+
+// Action types, in schedule order.
+const (
+	ActResolution ActionType = iota
+	ActDepth
+	ActKernel
+	ActExpand
+	ActPartition
+	ActQuant
+	ActDevice
+	numActionTypes
+)
+
+// NumActionTypes is the number of distinct action types (head count).
+const NumActionTypes = int(numActionTypes)
+
+// String names the action type.
+func (t ActionType) String() string {
+	switch t {
+	case ActResolution:
+		return "resolution"
+	case ActDepth:
+		return "depth"
+	case ActKernel:
+		return "kernel"
+	case ActExpand:
+		return "expand"
+	case ActPartition:
+		return "partition"
+	case ActQuant:
+		return "quant"
+	case ActDevice:
+		return "device"
+	default:
+		return fmt.Sprintf("action(%d)", int(t))
+	}
+}
+
+// ActionSpec describes the decision required at one step.
+type ActionSpec struct {
+	Type       ActionType
+	NumChoices int
+	Stage      int // valid for ActDepth
+	Layer      int // active-layer index, valid for per-layer actions
+	Tile       int // valid for ActDevice
+}
+
+// HeadSizes returns, per action type, the maximum number of choices — the
+// output width of each policy head.
+func (e *Env) HeadSizes() [NumActionTypes]int {
+	var hs [NumActionTypes]int
+	hs[ActResolution] = len(e.Arch.Resolutions)
+	for _, s := range e.Arch.Stages {
+		if n := s.MaxDepth - s.MinDepth + 1; n > hs[ActDepth] {
+			hs[ActDepth] = n
+		}
+	}
+	hs[ActKernel] = len(e.Arch.Kernels)
+	hs[ActExpand] = len(e.Arch.Expands)
+	hs[ActPartition] = len(e.Arch.Partitions)
+	hs[ActQuant] = len(e.Arch.QuantBits)
+	hs[ActDevice] = len(e.Kinds)
+	return hs
+}
+
+// MaxEpisodeLen bounds the number of steps in any episode.
+func (e *Env) MaxEpisodeLen() int {
+	maxTiles := 1
+	for _, p := range e.Arch.Partitions {
+		if p.NumTiles() > maxTiles {
+			maxTiles = p.NumTiles()
+		}
+	}
+	return 1 + len(e.Arch.Stages) + e.Arch.MaxDepthTotal()*(4+maxTiles)
+}
+
+// Walker is the schedule state machine: it emits the next ActionSpec, accepts
+// a choice, and finally produces the Decision. The schedule is
+// resolution → (per stage: depth → per layer: kernel, expand, partition,
+// quant, device×tiles).
+type Walker struct {
+	env     *Env
+	cfg     *supernet.Config
+	place   *supernet.Placement
+	choices []int
+
+	stage     int
+	layerInSt int
+	layerIdx  int
+	phase     ActionType
+	tile      int
+	curTiles  int
+	done      bool
+}
+
+// NewWalker starts an empty episode.
+func (e *Env) NewWalker() *Walker {
+	return &Walker{
+		env:   e,
+		cfg:   &supernet.Config{},
+		place: &supernet.Placement{},
+		phase: ActResolution,
+	}
+}
+
+// Done reports whether the decision is complete.
+func (w *Walker) Done() bool { return w.done }
+
+// Choices returns the raw choice sequence so far.
+func (w *Walker) Choices() []int { return append([]int(nil), w.choices...) }
+
+// Next returns the spec of the pending decision. It panics after Done.
+func (w *Walker) Next() ActionSpec {
+	if w.done {
+		panic("env: Walker.Next after Done")
+	}
+	a := w.env.Arch
+	switch w.phase {
+	case ActResolution:
+		return ActionSpec{Type: ActResolution, NumChoices: len(a.Resolutions)}
+	case ActDepth:
+		s := a.Stages[w.stage]
+		return ActionSpec{Type: ActDepth, NumChoices: s.MaxDepth - s.MinDepth + 1, Stage: w.stage}
+	case ActKernel:
+		return ActionSpec{Type: ActKernel, NumChoices: len(a.Kernels), Layer: w.layerIdx}
+	case ActExpand:
+		return ActionSpec{Type: ActExpand, NumChoices: len(a.Expands), Layer: w.layerIdx}
+	case ActPartition:
+		return ActionSpec{Type: ActPartition, NumChoices: len(a.Partitions), Layer: w.layerIdx}
+	case ActQuant:
+		return ActionSpec{Type: ActQuant, NumChoices: len(a.QuantBits), Layer: w.layerIdx}
+	case ActDevice:
+		return ActionSpec{Type: ActDevice, NumChoices: len(w.env.Kinds), Layer: w.layerIdx, Tile: w.tile}
+	default:
+		panic("env: invalid walker phase")
+	}
+}
+
+// Apply records choice for the pending spec and advances the schedule.
+func (w *Walker) Apply(choice int) error {
+	if w.done {
+		return fmt.Errorf("env: Apply after Done")
+	}
+	spec := w.Next()
+	if choice < 0 || choice >= spec.NumChoices {
+		return fmt.Errorf("env: choice %d out of range [0,%d) for %s", choice, spec.NumChoices, spec.Type)
+	}
+	a := w.env.Arch
+	w.choices = append(w.choices, choice)
+	switch w.phase {
+	case ActResolution:
+		w.cfg.Resolution = a.Resolutions[choice]
+		w.phase = ActDepth
+	case ActDepth:
+		d := a.Stages[w.stage].MinDepth + choice
+		w.cfg.Depths = append(w.cfg.Depths, d)
+		w.layerInSt = 0
+		w.advanceLayerOrStage()
+	case ActKernel:
+		w.cfg.Layers = append(w.cfg.Layers, supernet.LayerSetting{Kernel: a.Kernels[choice]})
+		w.phase = ActExpand
+	case ActExpand:
+		w.cfg.Layers[w.layerIdx].Expand = a.Expands[choice]
+		w.phase = ActPartition
+	case ActPartition:
+		p := a.Partitions[choice]
+		w.cfg.Layers[w.layerIdx].Partition = p
+		w.curTiles = p.NumTiles()
+		w.phase = ActQuant
+	case ActQuant:
+		w.cfg.Layers[w.layerIdx].Quant = a.QuantBits[choice]
+		w.place.Devices = append(w.place.Devices, make([]int, w.curTiles))
+		w.tile = 0
+		w.phase = ActDevice
+	case ActDevice:
+		w.place.Devices[w.layerIdx][w.tile] = choice
+		w.tile++
+		if w.tile >= w.curTiles {
+			w.layerIdx++
+			w.layerInSt++
+			w.advanceLayerOrStage()
+		}
+	}
+	return nil
+}
+
+// advanceLayerOrStage moves to the next layer of the current stage, the next
+// stage, or completion.
+func (w *Walker) advanceLayerOrStage() {
+	for {
+		if w.layerInSt < w.cfg.Depths[w.stage] {
+			w.phase = ActKernel
+			return
+		}
+		w.stage++
+		if w.stage >= len(w.env.Arch.Stages) {
+			w.done = true
+			return
+		}
+		w.layerInSt = 0
+		w.phase = ActDepth
+		return
+	}
+}
+
+// Decision returns the completed decision. It panics if the walker is not
+// done.
+func (w *Walker) Decision() *Decision {
+	if !w.done {
+		panic("env: Decision before Done")
+	}
+	return &Decision{Config: w.cfg, Placement: w.place}
+}
+
+// Decode replays a full choice sequence into a Decision, validating each
+// step. The inverse of a policy rollout; used by replay buffers.
+func (e *Env) Decode(choices []int) (*Decision, error) {
+	w := e.NewWalker()
+	for _, c := range choices {
+		if w.Done() {
+			return nil, fmt.Errorf("env: %d extra choices after completion", len(choices))
+		}
+		if err := w.Apply(c); err != nil {
+			return nil, err
+		}
+	}
+	if !w.Done() {
+		return nil, fmt.Errorf("env: incomplete choice sequence (%d applied)", len(choices))
+	}
+	return w.Decision(), nil
+}
+
+// Specs replays a choice sequence and returns the spec of every step, for
+// training (the policy must know, at each step, which head produced the
+// action).
+func (e *Env) Specs(choices []int) ([]ActionSpec, error) {
+	w := e.NewWalker()
+	specs := make([]ActionSpec, 0, len(choices))
+	for _, c := range choices {
+		if w.Done() {
+			return nil, fmt.Errorf("env: extra choices after completion")
+		}
+		specs = append(specs, w.Next())
+		if err := w.Apply(c); err != nil {
+			return nil, err
+		}
+	}
+	if !w.Done() {
+		return nil, fmt.Errorf("env: incomplete choice sequence")
+	}
+	return specs, nil
+}

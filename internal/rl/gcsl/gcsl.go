@@ -1,0 +1,233 @@
+// Package gcsl implements Goal-Conditioned Supervised Learning (Ghosh et
+// al., the paper's [3]) as one of the two RL baselines of §6.1: collect
+// episodes, hindsight-relabel each to the goal it actually achieved, and
+// iteratively imitate the relabeled data. It shares the LSTM policy with
+// SUPREME but uses a single flat replay buffer — no bucketing, sharing,
+// pruning, or mutation.
+package gcsl
+
+import (
+	"math/rand"
+
+	"murmuration/internal/nn"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rl/policy"
+	"murmuration/internal/tensor"
+)
+
+// Options configures GCSL training.
+type Options struct {
+	Steps         int // episodes to collect (one policy update per episode)
+	BufferCap     int
+	BatchEpisodes int // episodes imitated per update
+	LR            float64
+	Epsilon       float64 // exploration rate
+	EpsilonDecay  float64 // multiplicative per step
+	Seed          int64
+	// EvalEvery > 0 evaluates on Val every that many steps.
+	EvalEvery int
+	Val       []env.Constraint
+	// Progress receives (step, eval) at each evaluation point.
+	Progress func(step int, ev policy.EvalResult)
+}
+
+// DefaultOptions returns settings that produce the Fig. 11 curves.
+func DefaultOptions() Options {
+	return Options{
+		Steps:         2000,
+		BufferCap:     4096,
+		BatchEpisodes: 4,
+		LR:            1e-3,
+		// GCSL explores by sampling its own stochastic policy (Ghosh et
+		// al.); epsilon-greedy is one of SUPREME's additions, so the
+		// baseline defaults to none.
+		Epsilon:      0,
+		EpsilonDecay: 1,
+		Seed:         1,
+		EvalEvery:    0,
+	}
+}
+
+// Trainer holds GCSL state.
+type Trainer struct {
+	Policy *policy.Policy
+	Space  env.ConstraintSpace
+	Opts   Options
+
+	buffer []env.Trajectory
+	rng    *rand.Rand
+	opt    *nn.Adam
+	steps  int
+}
+
+// New creates a trainer.
+func New(p *policy.Policy, space env.ConstraintSpace, opts Options) *Trainer {
+	return &Trainer{
+		Policy: p,
+		Space:  space,
+		Opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		opt:    nn.NewAdam(opts.LR),
+	}
+}
+
+// Bootstrap seeds the buffer with the max- and min-submodel trajectories
+// (paper §6.1.1: "two trajectories ... are used to bootstrap training"),
+// each in an all-local and an all-offloaded placement so both extremes of
+// the compute/communication trade-off are anchored. SUPREME receives the
+// identical bootstrap set, keeping the baseline comparison fair.
+func (t *Trainer) Bootstrap() error {
+	for _, choices := range BootstrapChoices(t.Policy.Env) {
+		c := t.Space.Sample(t.rng)
+		d, err := t.Policy.Env.Decode(choices)
+		if err != nil {
+			return err
+		}
+		out, err := t.Policy.Env.Evaluate(c, d)
+		if err != nil {
+			return err
+		}
+		tr, err := t.Policy.Env.Relabel(env.Trajectory{Choices: choices, Constraint: c, Outcome: out})
+		if err != nil {
+			return err
+		}
+		t.buffer = append(t.buffer, tr)
+	}
+	return nil
+}
+
+// BootstrapChoices returns the shared bootstrap set: {max, min submodel} ×
+// {all-local, all-on-device-1} (the offloaded variants exist only with a
+// remote device).
+func BootstrapChoices(e *env.Env) [][]int {
+	out := [][]int{extremeChoices(e, true, 0), extremeChoices(e, false, 0)}
+	if e.NumDevices() > 1 {
+		out = append(out, extremeChoices(e, true, 1), extremeChoices(e, false, 1))
+	}
+	return out
+}
+
+// extremeChoices walks the schedule picking the max (or min) index of every
+// model setting, with every tile placed on dev.
+func extremeChoices(e *env.Env, max bool, dev int) []int {
+	w := e.NewWalker()
+	var out []int
+	for !w.Done() {
+		spec := w.Next()
+		choice := 0
+		switch spec.Type {
+		case env.ActDevice:
+			choice = dev
+			if choice >= spec.NumChoices {
+				choice = 0
+			}
+		case env.ActPartition:
+			choice = 0 // 1x1 comes first in the space
+		default:
+			if max {
+				choice = spec.NumChoices - 1
+			}
+		}
+		if err := w.Apply(choice); err != nil {
+			panic(err)
+		}
+		out = append(out, choice)
+	}
+	return out
+}
+
+// Step collects one episode and performs one imitation update. Returns the
+// collected episode's (pre-relabel) reward.
+func (t *Trainer) Step() (float64, error) {
+	// Same linear LR decay as SUPREME (fair comparison).
+	if t.Opts.Steps > 0 {
+		frac := float64(t.steps) / float64(t.Opts.Steps)
+		t.opt.LR = t.Opts.LR * (1 - 0.8*frac)
+		t.steps++
+	}
+	c := t.Space.Sample(t.rng)
+	choices, _, err := t.Policy.Rollout(c, t.rng, t.Opts.Epsilon)
+	if err != nil {
+		return 0, err
+	}
+	d, err := t.Policy.Env.Decode(choices)
+	if err != nil {
+		return 0, err
+	}
+	out, err := t.Policy.Env.Evaluate(c, d)
+	if err != nil {
+		return 0, err
+	}
+	tr, err := t.Policy.Env.Relabel(env.Trajectory{Choices: choices, Constraint: c, Outcome: out})
+	if err != nil {
+		return 0, err
+	}
+	t.push(tr)
+	t.Opts.Epsilon *= t.Opts.EpsilonDecay
+
+	if err := t.imitate(); err != nil {
+		return 0, err
+	}
+	return out.Reward, nil
+}
+
+func (t *Trainer) push(tr env.Trajectory) {
+	t.buffer = append(t.buffer, tr)
+	if len(t.buffer) > t.Opts.BufferCap {
+		// Drop a random old entry to keep diversity.
+		i := t.rng.Intn(len(t.buffer) - 1)
+		t.buffer[i] = t.buffer[len(t.buffer)-1]
+		t.buffer = t.buffer[:len(t.buffer)-1]
+	}
+}
+
+// imitate performs one supervised update on BatchEpisodes sampled episodes.
+func (t *Trainer) imitate() error {
+	if len(t.buffer) == 0 {
+		return nil
+	}
+	params := t.Policy.Params()
+	for b := 0; b < t.Opts.BatchEpisodes; b++ {
+		tr := t.buffer[t.rng.Intn(len(t.buffer))]
+		fr, err := t.Policy.Forward(tr.Constraint, tr.Choices)
+		if err != nil {
+			return err
+		}
+		dLogits := make([]*tensor.Tensor, len(tr.Choices))
+		for st := range tr.Choices {
+			_, d, _ := nn.SoftmaxCrossEntropy(fr.Logits[st], []int{tr.Choices[st]})
+			// Normalize per-episode so long episodes don't dominate.
+			d.Scale(1 / float32(len(tr.Choices)))
+			dLogits[st] = d
+		}
+		t.Policy.Backward(fr, dLogits, nil)
+	}
+	nn.ClipGradNorm(params, 5)
+	t.opt.Step(params)
+	return nil
+}
+
+// Run executes the full training loop, invoking Progress at eval points.
+func (t *Trainer) Run() error {
+	if err := t.Bootstrap(); err != nil {
+		return err
+	}
+	for step := 0; step < t.Opts.Steps; step++ {
+		if _, err := t.Step(); err != nil {
+			return err
+		}
+		if t.Opts.EvalEvery > 0 && (step%t.Opts.EvalEvery == 0 || step == t.Opts.Steps-1) {
+			ev, err := policy.Evaluate(t.Policy, t.Opts.Val)
+			if err != nil {
+				return err
+			}
+			if t.Opts.Progress != nil {
+				t.Opts.Progress(step, ev)
+			}
+		}
+	}
+	return nil
+}
+
+// BufferLen exposes the buffer size (for tests).
+func (t *Trainer) BufferLen() int { return len(t.buffer) }

@@ -1,0 +1,143 @@
+package gcsl
+
+import (
+	"testing"
+
+	"murmuration/internal/device"
+	"murmuration/internal/nas"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rl/policy"
+	"murmuration/internal/supernet"
+)
+
+func tinySetup(seed int64) (*policy.Policy, env.ConstraintSpace) {
+	a := supernet.TinyArch(4)
+	e := env.New(a, nas.NewCalibratedPredictor(a), []device.Kind{device.RaspberryPi4, device.GPUDesktop})
+	p := policy.New(e, 24, seed)
+	space := env.ConstraintSpace{
+		Type: env.LatencySLO, SLOMin: 5, SLOMax: 100,
+		BwMinMbps: 50, BwMaxMbps: 500, DelayMin: 1, DelayMax: 20,
+		Points: 10, Remotes: 1,
+	}
+	return p, space
+}
+
+func TestBootstrapTrajectoriesValid(t *testing.T) {
+	p, space := tinySetup(1)
+	tr := New(p, space, DefaultOptions())
+	if err := tr.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.BufferLen() != 4 {
+		t.Fatalf("bootstrap stored %d trajectories, want 4 (max/min x local/offload)", tr.BufferLen())
+	}
+}
+
+func TestExtremeChoicesDecodeToExtremes(t *testing.T) {
+	p, _ := tinySetup(2)
+	e := p.Env
+	if got := len(BootstrapChoices(e)); got != 4 {
+		t.Fatalf("BootstrapChoices returned %d trajectories, want 4", got)
+	}
+	// Offloaded max variant places every tile on device 1.
+	dOff, err := e.Decode(extremeChoices(e, true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range dOff.Placement.Devices {
+		for _, dev := range dOff.Placement.Devices[k] {
+			if dev != 1 {
+				t.Fatal("offloaded bootstrap must place all tiles on device 1")
+			}
+		}
+	}
+	dMax, err := e.Decode(extremeChoices(e, true, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dMin, err := e.Decode(extremeChoices(e, false, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dMax.Config.String() != e.Arch.MaxConfig().String() {
+		t.Fatalf("max bootstrap = %s\nwant %s", dMax.Config, e.Arch.MaxConfig())
+	}
+	// Min bootstrap: min settings, all local, no partition.
+	minWant := e.Arch.MinConfig()
+	if dMin.Config.Resolution != minWant.Resolution {
+		t.Fatal("min bootstrap resolution wrong")
+	}
+	for k := range dMin.Placement.Devices {
+		for _, dev := range dMin.Placement.Devices[k] {
+			if dev != 0 {
+				t.Fatal("bootstrap placements must be all-local")
+			}
+		}
+	}
+}
+
+func TestStepCollectsAndTrains(t *testing.T) {
+	p, space := tinySetup(3)
+	opts := DefaultOptions()
+	tr := New(p, space, opts)
+	if err := tr.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.BufferLen() != 24 {
+		t.Fatalf("buffer holds %d, want 24 (4 bootstrap + 20 collected)", tr.BufferLen())
+	}
+}
+
+func TestBufferCapEnforced(t *testing.T) {
+	p, space := tinySetup(4)
+	opts := DefaultOptions()
+	opts.BufferCap = 5
+	opts.BatchEpisodes = 1
+	tr := New(p, space, opts)
+	for i := 0; i < 20; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.BufferLen() > 5 {
+		t.Fatalf("buffer exceeded cap: %d", tr.BufferLen())
+	}
+}
+
+func TestEpsilonDecays(t *testing.T) {
+	p, space := tinySetup(5)
+	opts := DefaultOptions()
+	opts.Epsilon = 0.5
+	opts.EpsilonDecay = 0.9
+	tr := New(p, space, opts)
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Opts.Epsilon >= 0.5 {
+		t.Fatal("epsilon did not decay")
+	}
+}
+
+func TestRunWithEval(t *testing.T) {
+	p, space := tinySetup(6)
+	opts := DefaultOptions()
+	opts.Steps = 15
+	opts.EvalEvery = 5
+	opts.Val = space.ValidationSet(5, 1)
+	evals := 0
+	opts.Progress = func(step int, ev policy.EvalResult) { evals++ }
+	tr := New(p, space, opts)
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if evals < 3 {
+		t.Fatalf("expected ≥3 evaluations, got %d", evals)
+	}
+}

@@ -1,0 +1,36 @@
+package policy
+
+import "murmuration/internal/rl/env"
+
+// EvalResult summarizes greedy-policy performance over a validation set.
+type EvalResult struct {
+	AvgReward  float64
+	Compliance float64 // fraction of constraints whose SLO was met
+}
+
+// Evaluate runs the greedy policy on every validation constraint and returns
+// the mean reward and SLO compliance rate — the two metrics of Figs. 11/12.
+func Evaluate(p *Policy, val []env.Constraint) (EvalResult, error) {
+	var res EvalResult
+	if len(val) == 0 {
+		return res, nil
+	}
+	for _, c := range val {
+		d, err := p.GreedyDecision(c)
+		if err != nil {
+			return res, err
+		}
+		out, err := p.Env.Evaluate(c, d)
+		if err != nil {
+			return res, err
+		}
+		res.AvgReward += out.Reward
+		if out.SLOMet {
+			res.Compliance++
+		}
+	}
+	n := float64(len(val))
+	res.AvgReward /= n
+	res.Compliance /= n
+	return res, nil
+}

@@ -1,0 +1,192 @@
+// Package ppo implements Proximal Policy Optimization (Schulman et al., the
+// paper's [12]) as the second RL baseline of §6.1. Episodes here have a
+// single terminal reward (the SLO-gated reward of Eq. 2/3), so the return of
+// every step equals the episode reward and the advantage is reward − V(s_t)
+// from the policy's value head.
+package ppo
+
+import (
+	"math"
+	"math/rand"
+
+	"murmuration/internal/nn"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rl/policy"
+	"murmuration/internal/tensor"
+)
+
+// Options configures PPO training.
+type Options struct {
+	Steps         int // episodes
+	BatchEpisodes int // episodes per policy update
+	UpdateEpochs  int // optimization epochs per batch
+	LR            float64
+	ClipEps       float64
+	ValueCoef     float64
+	EntropyCoef   float64
+	Seed          int64
+	EvalEvery     int
+	Val           []env.Constraint
+	Progress      func(step int, ev policy.EvalResult)
+}
+
+// DefaultOptions returns standard PPO hyperparameters adapted to this
+// environment.
+func DefaultOptions() Options {
+	return Options{
+		Steps:         2000,
+		BatchEpisodes: 8,
+		UpdateEpochs:  3,
+		LR:            3e-3,
+		ClipEps:       0.2,
+		ValueCoef:     0.5,
+		EntropyCoef:   0.01,
+		Seed:          1,
+	}
+}
+
+// episode is one stored rollout with behavior-policy log-probs.
+type episode struct {
+	constraint env.Constraint
+	choices    []int
+	oldLogps   []float64
+	reward     float64
+}
+
+// Trainer holds PPO state.
+type Trainer struct {
+	Policy *policy.Policy
+	Space  env.ConstraintSpace
+	Opts   Options
+
+	rng   *rand.Rand
+	opt   *nn.Adam
+	batch []episode
+}
+
+// New creates a PPO trainer.
+func New(p *policy.Policy, space env.ConstraintSpace, opts Options) *Trainer {
+	return &Trainer{
+		Policy: p,
+		Space:  space,
+		Opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		opt:    nn.NewAdam(opts.LR),
+	}
+}
+
+// Step collects one episode; when the batch fills, it runs the PPO update.
+// Returns the episode reward.
+func (t *Trainer) Step() (float64, error) {
+	c := t.Space.Sample(t.rng)
+	choices, logps, err := t.Policy.Rollout(c, t.rng, 0)
+	if err != nil {
+		return 0, err
+	}
+	d, err := t.Policy.Env.Decode(choices)
+	if err != nil {
+		return 0, err
+	}
+	out, err := t.Policy.Env.Evaluate(c, d)
+	if err != nil {
+		return 0, err
+	}
+	t.batch = append(t.batch, episode{constraint: c, choices: choices, oldLogps: logps, reward: out.Reward})
+	if len(t.batch) >= t.Opts.BatchEpisodes {
+		if err := t.update(); err != nil {
+			return 0, err
+		}
+		t.batch = t.batch[:0]
+	}
+	return out.Reward, nil
+}
+
+// update runs UpdateEpochs passes of the clipped-surrogate update over the
+// current batch.
+func (t *Trainer) update() error {
+	params := t.Policy.Params()
+	for epoch := 0; epoch < t.Opts.UpdateEpochs; epoch++ {
+		for _, ep := range t.batch {
+			fr, err := t.Policy.Forward(ep.constraint, ep.choices)
+			if err != nil {
+				return err
+			}
+			T := len(ep.choices)
+			dLogits := make([]*tensor.Tensor, T)
+			dValues := make([]float64, T)
+			for st := 0; st < T; st++ {
+				probs := nn.Softmax(fr.Logits[st])
+				k := probs.Shape[1]
+				choice := ep.choices[st]
+				newLogp := math.Log(math.Max(float64(probs.Data[choice]), 1e-12))
+				ratio := math.Exp(newLogp - ep.oldLogps[st])
+				adv := ep.reward - fr.Values[st]
+
+				// Clipped surrogate: gradient flows only when the ratio is
+				// inside the trust region (or moving back toward it).
+				active := true
+				if adv > 0 && ratio > 1+t.Opts.ClipEps {
+					active = false
+				}
+				if adv < 0 && ratio < 1-t.Opts.ClipEps {
+					active = false
+				}
+				d := tensor.New(1, k)
+				if active {
+					// ∂(-ratio·adv)/∂logits = -adv·ratio·(onehot - probs)
+					coef := float32(adv * ratio / float64(T))
+					for j := 0; j < k; j++ {
+						oneHot := float32(0)
+						if j == choice {
+							oneHot = 1
+						}
+						d.Data[j] = -coef * (oneHot - probs.Data[j])
+					}
+				}
+				// Entropy bonus: ∂(-H)/∂logits = probs·(log probs + H).
+				if t.Opts.EntropyCoef > 0 {
+					var H float64
+					for j := 0; j < k; j++ {
+						pj := float64(probs.Data[j])
+						if pj > 1e-12 {
+							H -= pj * math.Log(pj)
+						}
+					}
+					ec := float32(t.Opts.EntropyCoef / float64(T))
+					for j := 0; j < k; j++ {
+						pj := float64(probs.Data[j])
+						if pj > 1e-12 {
+							d.Data[j] += ec * float32(pj*(math.Log(pj)+H))
+						}
+					}
+				}
+				dLogits[st] = d
+				// Value loss 0.5·(V - R)² per step.
+				dValues[st] = t.Opts.ValueCoef * (fr.Values[st] - ep.reward) / float64(T)
+			}
+			t.Policy.Backward(fr, dLogits, dValues)
+		}
+		nn.ClipGradNorm(params, 5)
+		t.opt.Step(params)
+	}
+	return nil
+}
+
+// Run executes the training loop with periodic evaluation.
+func (t *Trainer) Run() error {
+	for step := 0; step < t.Opts.Steps; step++ {
+		if _, err := t.Step(); err != nil {
+			return err
+		}
+		if t.Opts.EvalEvery > 0 && (step%t.Opts.EvalEvery == 0 || step == t.Opts.Steps-1) {
+			ev, err := policy.Evaluate(t.Policy, t.Opts.Val)
+			if err != nil {
+				return err
+			}
+			if t.Opts.Progress != nil {
+				t.Opts.Progress(step, ev)
+			}
+		}
+	}
+	return nil
+}

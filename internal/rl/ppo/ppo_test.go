@@ -1,0 +1,112 @@
+package ppo
+
+import (
+	"testing"
+
+	"murmuration/internal/device"
+	"murmuration/internal/nas"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rl/policy"
+	"murmuration/internal/supernet"
+)
+
+func tinySetup(seed int64) (*policy.Policy, env.ConstraintSpace) {
+	a := supernet.TinyArch(4)
+	e := env.New(a, nas.NewCalibratedPredictor(a), []device.Kind{device.RaspberryPi4, device.GPUDesktop})
+	p := policy.New(e, 24, seed)
+	space := env.ConstraintSpace{
+		Type: env.LatencySLO, SLOMin: 5, SLOMax: 100,
+		BwMinMbps: 50, BwMaxMbps: 500, DelayMin: 1, DelayMax: 20,
+		Points: 10, Remotes: 1,
+	}
+	return p, space
+}
+
+func TestStepsAndUpdatesRun(t *testing.T) {
+	p, space := tinySetup(1)
+	opts := DefaultOptions()
+	opts.BatchEpisodes = 4
+	opts.UpdateEpochs = 2
+	tr := New(p, space, opts)
+	for i := 0; i < 12; i++ { // 3 full batches
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tr.batch) != 0 {
+		t.Fatalf("batch should be drained after updates, has %d", len(tr.batch))
+	}
+}
+
+func TestPolicyStillValidAfterUpdates(t *testing.T) {
+	p, space := tinySetup(2)
+	opts := DefaultOptions()
+	opts.BatchEpisodes = 2
+	tr := New(p, space, opts)
+	for i := 0; i < 8; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Greedy decode must still produce valid decisions (no NaN logits).
+	c := space.ValidationSet(1, 3)[0]
+	d, err := p.GreedyDecision(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Env.Arch.Validate(d.Config); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithEval(t *testing.T) {
+	p, space := tinySetup(3)
+	opts := DefaultOptions()
+	opts.Steps = 12
+	opts.BatchEpisodes = 4
+	opts.EvalEvery = 4
+	opts.Val = space.ValidationSet(5, 1)
+	evals := 0
+	opts.Progress = func(step int, ev policy.EvalResult) {
+		if ev.AvgReward < 0 {
+			t.Errorf("negative reward %v", ev.AvgReward)
+		}
+		evals++
+	}
+	tr := New(p, space, opts)
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if evals < 2 {
+		t.Fatalf("expected ≥2 evals, got %d", evals)
+	}
+}
+
+func TestPPOImprovesOnEasySpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	// On a very relaxed constraint space PPO should learn to collect
+	// positive reward (even if it lags SUPREME on hard spaces).
+	p, _ := tinySetup(4)
+	space := env.ConstraintSpace{
+		Type: env.LatencySLO, SLOMin: 500, SLOMax: 2000,
+		BwMinMbps: 200, BwMaxMbps: 500, DelayMin: 1, DelayMax: 5,
+		Points: 10, Remotes: 1,
+	}
+	val := space.ValidationSet(20, 7)
+	before, _ := policy.Evaluate(p, val)
+	opts := DefaultOptions()
+	opts.Steps = 200
+	tr := New(p, space, opts)
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := policy.Evaluate(p, val)
+	if after.AvgReward < before.AvgReward-0.05 {
+		t.Fatalf("PPO got worse: %v -> %v", before.AvgReward, after.AvgReward)
+	}
+	if after.Compliance < 0.5 {
+		t.Fatalf("PPO compliance %v on easy space", after.Compliance)
+	}
+}

@@ -1,0 +1,346 @@
+// Package supreme implements the paper's SUPREME RL training algorithm
+// (Share, bUcketed, PRunE, Epsilon-greedy, Mutation Exploration — §4.4): a
+// reward-filtered bucketed replay buffer over the discretized constraint
+// space, data sharing down the constraint-relaxation partial order, pruning
+// of dominated strategies, replay mutation, epsilon-greedy exploration, and
+// curriculum over constraint dimensions, wrapped around GCSL-style policy
+// updates.
+package supreme
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"murmuration/internal/rl/env"
+)
+
+// BucketKey identifies one cell of the discretized constraint space: a grid
+// index for the SLO and for each remote device's bandwidth and delay.
+type BucketKey struct {
+	SLO   int
+	Bw    []int
+	Delay []int
+}
+
+// String renders a canonical map key.
+func (k BucketKey) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d", k.SLO)
+	for i := range k.Bw {
+		fmt.Fprintf(&b, "|b%d d%d", k.Bw[i], k.Delay[i])
+	}
+	return b.String()
+}
+
+// Entry is one stored strategy with its evaluated outcome under the bucket's
+// constraint.
+type Entry struct {
+	Choices     []int
+	Reward      float64
+	LatencyMs   float64
+	AccuracyPct float64
+}
+
+// Bucket holds the top-n entries (by reward) for one constraint cell
+// ("retaining only the top n reward data", §4.4.1).
+type Bucket struct {
+	Key     BucketKey
+	Entries []Entry // sorted by descending reward
+}
+
+// best returns the highest stored reward (or -1 when empty).
+func (b *Bucket) best() float64 {
+	if len(b.Entries) == 0 {
+		return -1
+	}
+	return b.Entries[0].Reward
+}
+
+// Buffer is the reward-filtered bucketed replay buffer (Fig. 8).
+type Buffer struct {
+	Space env.ConstraintSpace
+	TopN  int
+
+	buckets map[string]*Bucket
+}
+
+// NewBuffer creates an empty buffer over a constraint space.
+func NewBuffer(space env.ConstraintSpace, topN int) *Buffer {
+	if topN < 1 {
+		topN = 1
+	}
+	return &Buffer{Space: space, TopN: topN, buckets: make(map[string]*Bucket)}
+}
+
+// NumBuckets returns the number of non-empty cells.
+func (b *Buffer) NumBuckets() int { return len(b.buckets) }
+
+// NumEntries returns the total stored entries.
+func (b *Buffer) NumEntries() int {
+	n := 0
+	for _, bk := range b.buckets {
+		n += len(bk.Entries)
+	}
+	return n
+}
+
+// Constraint materializes the constraint of a bucket key.
+func (b *Buffer) Constraint(k BucketKey) env.Constraint {
+	c := env.Constraint{Type: b.Space.Type}
+	slo := b.Space.SLOValue(k.SLO)
+	if b.Space.Type == env.LatencySLO {
+		c.LatencyMs = slo
+	} else {
+		c.AccuracyPct = slo
+	}
+	for i := range k.Bw {
+		c.BandwidthMbps = append(c.BandwidthMbps, b.Space.BwValue(k.Bw[i]))
+		c.DelayMs = append(c.DelayMs, b.Space.DelayValue(k.Delay[i]))
+	}
+	return c
+}
+
+// KeyFor returns the *tightest* bucket whose constraint is satisfied by an
+// episode collected under `collected` network conditions that achieved
+// `out`: the smallest grid SLO the achieved latency satisfies (or largest
+// satisfied accuracy goal), the smallest grid bandwidth ≥ the collection
+// bandwidth, and the largest grid delay ≤ the collection delay.
+func (b *Buffer) KeyFor(collected env.Constraint, out env.Outcome) BucketKey {
+	s := b.Space
+	k := BucketKey{}
+	if s.Type == env.LatencySLO {
+		k.SLO = gridIdxUp(s.SLOMin, s.SLOMax, s.Points, out.LatencyMs)
+	} else {
+		k.SLO = gridIdxDown(s.SLOMin, s.SLOMax, s.Points, out.AccuracyPct)
+	}
+	for i := 0; i < s.Remotes; i++ {
+		bw, dl := s.BwMinMbps, s.DelayMax
+		if i < len(collected.BandwidthMbps) {
+			bw = collected.BandwidthMbps[i]
+		}
+		if i < len(collected.DelayMs) {
+			dl = collected.DelayMs[i]
+		}
+		k.Bw = append(k.Bw, gridIdxUp(s.BwMinMbps, s.BwMaxMbps, s.Points, bw))
+		k.Delay = append(k.Delay, gridIdxDown(s.DelayMin, s.DelayMax, s.Points, dl))
+	}
+	return k
+}
+
+func gridIdxUp(lo, hi float64, points int, v float64) int {
+	if points <= 1 {
+		return 0
+	}
+	step := (hi - lo) / float64(points-1)
+	k := int((v - lo + step - 1e-9) / step)
+	if v <= lo {
+		k = 0
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > points-1 {
+		k = points - 1
+	}
+	return k
+}
+
+func gridIdxDown(lo, hi float64, points int, v float64) int {
+	if points <= 1 {
+		return 0
+	}
+	step := (hi - lo) / float64(points-1)
+	k := int((v - lo + 1e-9) / step)
+	if k < 0 {
+		k = 0
+	}
+	if k > points-1 {
+		k = points - 1
+	}
+	return k
+}
+
+// Insert adds an entry to bucket k, keeping only the TopN rewards.
+func (b *Buffer) Insert(k BucketKey, e Entry) {
+	ks := k.String()
+	bk := b.buckets[ks]
+	if bk == nil {
+		bk = &Bucket{Key: cloneKey(k)}
+		b.buckets[ks] = bk
+	}
+	bk.Entries = append(bk.Entries, e)
+	sort.Slice(bk.Entries, func(i, j int) bool { return bk.Entries[i].Reward > bk.Entries[j].Reward })
+	if len(bk.Entries) > b.TopN {
+		bk.Entries = bk.Entries[:b.TopN]
+	}
+}
+
+func cloneKey(k BucketKey) BucketKey {
+	return BucketKey{SLO: k.SLO, Bw: append([]int(nil), k.Bw...), Delay: append([]int(nil), k.Delay...)}
+}
+
+// dominates reports whether bucket a's constraint is tighter-or-equal than
+// b's in every coordinate — i.e. any strategy stored in a is feasible under
+// b (the SUPREME lower-bound observation, Fig. 7).
+func (buf *Buffer) dominates(a, b BucketKey) bool {
+	if buf.Space.Type == env.LatencySLO {
+		if a.SLO > b.SLO {
+			return false
+		}
+	} else {
+		if a.SLO < b.SLO {
+			return false
+		}
+	}
+	for i := range a.Bw {
+		if a.Bw[i] > b.Bw[i] { // found under lower bandwidth = tighter
+			return false
+		}
+		if a.Delay[i] < b.Delay[i] { // found under higher delay = tighter
+			return false
+		}
+	}
+	return true
+}
+
+// l1 is the grid distance between two keys (tree depth difference along the
+// relaxation lattice).
+func l1(a, b BucketKey) int {
+	d := abs(a.SLO - b.SLO)
+	for i := range a.Bw {
+		d += abs(a.Bw[i]-b.Bw[i]) + abs(a.Delay[i]-b.Delay[i])
+	}
+	return d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Own returns the bucket exactly at k (no sharing), or nil when empty.
+func (b *Buffer) Own(k BucketKey) *Bucket {
+	if bk := b.buckets[k.String()]; bk != nil && len(bk.Entries) > 0 {
+		return bk
+	}
+	return nil
+}
+
+// Lookup returns the bucket for k, or — implementing the data-share walk up
+// the relaxation tree (Fig. 9a) — the nearest non-empty dominating bucket.
+// Returns nil when no applicable data exists anywhere.
+func (b *Buffer) Lookup(k BucketKey) *Bucket {
+	if bk := b.buckets[k.String()]; bk != nil && len(bk.Entries) > 0 {
+		return bk
+	}
+	var best *Bucket
+	bestDist := -1
+	for _, bk := range b.Buckets() { // sorted: deterministic tie-breaks
+		if len(bk.Entries) == 0 || !b.dominates(bk.Key, k) {
+			continue
+		}
+		d := l1(bk.Key, k)
+		if best == nil || d < bestDist {
+			best, bestDist = bk, d
+		}
+	}
+	return best
+}
+
+// Prune removes entries that are dominated: if a strictly tighter bucket
+// stores a strategy with reward ≥ an entry here, that entry can never be the
+// best answer for this cell (Fig. 9b). Returns the number removed.
+func (b *Buffer) Prune() int {
+	removed := 0
+	for _, bk := range b.buckets {
+		if len(bk.Entries) == 0 {
+			continue
+		}
+		// Best dominating reward from *other* buckets.
+		bestDom := -1.0
+		for _, other := range b.buckets {
+			if other == bk || len(other.Entries) == 0 {
+				continue
+			}
+			if b.dominates(other.Key, bk.Key) && other.best() > bestDom {
+				bestDom = other.best()
+			}
+		}
+		if bestDom < 0 {
+			continue
+		}
+		kept := bk.Entries[:0]
+		for _, e := range bk.Entries {
+			if e.Reward >= bestDom {
+				kept = append(kept, e)
+			} else {
+				removed++
+			}
+		}
+		bk.Entries = kept
+	}
+	// Drop empty cells.
+	for ks, bk := range b.buckets {
+		if len(bk.Entries) == 0 {
+			delete(b.buckets, ks)
+		}
+	}
+	return removed
+}
+
+// RandomKey samples a uniform key over the first `open` curriculum
+// dimensions (the rest pinned to their most relaxed grid index).
+func (b *Buffer) RandomKey(rng *rand.Rand, open int) BucketKey {
+	s := b.Space
+	k := BucketKey{}
+	dim := 0
+	pickIdx := func(relaxedIdx int) int {
+		dim++
+		if dim <= open {
+			return rng.Intn(s.Points)
+		}
+		return relaxedIdx
+	}
+	if s.Type == env.LatencySLO {
+		k.SLO = pickIdx(s.Points - 1) // loosest latency SLO = max
+	} else {
+		k.SLO = pickIdx(0) // loosest accuracy SLO = min
+	}
+	for i := 0; i < s.Remotes; i++ {
+		k.Bw = append(k.Bw, pickIdx(s.Points-1)) // relaxed = max bandwidth
+		k.Delay = append(k.Delay, pickIdx(0))    // relaxed = min delay
+	}
+	return k
+}
+
+// RandomEmptyKey tries to find (within maxTries) a key in the current
+// curriculum whose own bucket is empty — the target of uncertainty-driven
+// exploration. Falls back to a random key.
+func (b *Buffer) RandomEmptyKey(rng *rand.Rand, open, maxTries int) BucketKey {
+	for i := 0; i < maxTries; i++ {
+		k := b.RandomKey(rng, open)
+		if bk := b.buckets[k.String()]; bk == nil || len(bk.Entries) == 0 {
+			return k
+		}
+	}
+	return b.RandomKey(rng, open)
+}
+
+// Buckets returns all non-empty buckets in deterministic (key-sorted)
+// order, so seeded training runs are reproducible.
+func (b *Buffer) Buckets() []*Bucket {
+	keys := make([]string, 0, len(b.buckets))
+	for k := range b.buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Bucket, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, b.buckets[k])
+	}
+	return out
+}

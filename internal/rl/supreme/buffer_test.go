@@ -1,0 +1,237 @@
+package supreme
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"murmuration/internal/rl/env"
+)
+
+func space2d() env.ConstraintSpace {
+	return env.ConstraintSpace{
+		Type: env.LatencySLO, SLOMin: 100, SLOMax: 1000,
+		BwMinMbps: 50, BwMaxMbps: 500, DelayMin: 5, DelayMax: 100,
+		Points: 10, Remotes: 1,
+	}
+}
+
+func key(slo, bw, delay int) BucketKey {
+	return BucketKey{SLO: slo, Bw: []int{bw}, Delay: []int{delay}}
+}
+
+func TestInsertKeepsTopN(t *testing.T) {
+	b := NewBuffer(space2d(), 3)
+	k := key(5, 5, 5)
+	for i := 0; i < 10; i++ {
+		b.Insert(k, Entry{Reward: float64(i)})
+	}
+	bk := b.Lookup(k)
+	if len(bk.Entries) != 3 {
+		t.Fatalf("bucket holds %d entries, want 3", len(bk.Entries))
+	}
+	if bk.Entries[0].Reward != 9 || bk.Entries[2].Reward != 7 {
+		t.Fatalf("top-3 filtering wrong: %+v", bk.Entries)
+	}
+}
+
+func TestDominationDirections(t *testing.T) {
+	b := NewBuffer(space2d(), 4)
+	tight := key(2, 3, 7) // tight SLO, low bw, high delay
+	loose := key(5, 6, 3)
+	if !b.dominates(tight, loose) {
+		t.Fatal("tighter bucket must dominate looser one")
+	}
+	if b.dominates(loose, tight) {
+		t.Fatal("looser bucket must not dominate tighter one")
+	}
+	if !b.dominates(tight, tight) {
+		t.Fatal("domination must be reflexive")
+	}
+	// Mixed: tighter SLO but higher bw — incomparable.
+	mixed := key(1, 9, 7)
+	if b.dominates(mixed, loose) && b.dominates(loose, mixed) {
+		t.Fatal("incomparable keys cannot dominate both ways")
+	}
+}
+
+func TestAccuracySLODominationReversed(t *testing.T) {
+	s := space2d()
+	s.Type = env.AccuracySLO
+	b := NewBuffer(s, 4)
+	// For accuracy SLOs a *higher* goal index is tighter.
+	if !b.dominates(key(8, 3, 7), key(2, 5, 3)) {
+		t.Fatal("high-accuracy bucket must dominate low-accuracy one")
+	}
+	if b.dominates(key(2, 3, 7), key(8, 3, 7)) {
+		t.Fatal("low accuracy must not dominate high accuracy")
+	}
+}
+
+func TestLookupSharesFromAncestor(t *testing.T) {
+	b := NewBuffer(space2d(), 4)
+	tight := key(2, 3, 7)
+	b.Insert(tight, Entry{Reward: 1.0})
+	// Empty looser bucket should borrow the tight bucket's data.
+	got := b.Lookup(key(5, 6, 3))
+	if got == nil || got.best() != 1.0 {
+		t.Fatal("share walk failed to find dominating ancestor")
+	}
+	// A bucket the entry does NOT dominate gets nothing.
+	if b.Lookup(key(0, 0, 9)) != nil {
+		t.Fatal("non-dominated bucket must not receive shared data")
+	}
+}
+
+func TestLookupPrefersNearest(t *testing.T) {
+	b := NewBuffer(space2d(), 4)
+	far := key(0, 0, 9)
+	near := key(4, 4, 5)
+	b.Insert(far, Entry{Reward: 2.0})
+	b.Insert(near, Entry{Reward: 1.0})
+	got := b.Lookup(key(5, 5, 4))
+	if got == nil || got.best() != 1.0 {
+		t.Fatalf("lookup should prefer nearest dominating bucket, got %+v", got)
+	}
+}
+
+func TestPruneRemovesDominatedEntries(t *testing.T) {
+	b := NewBuffer(space2d(), 4)
+	b.Insert(key(2, 3, 7), Entry{Reward: 1.5}) // tight, high reward
+	b.Insert(key(5, 6, 3), Entry{Reward: 1.0}) // loose, lower reward → prunable
+	b.Insert(key(5, 6, 3), Entry{Reward: 1.8}) // loose, higher reward → kept
+	removed := b.Prune()
+	if removed != 1 {
+		t.Fatalf("pruned %d entries, want 1", removed)
+	}
+	bk := b.Lookup(key(5, 6, 3))
+	if len(bk.Entries) != 1 || bk.Entries[0].Reward != 1.8 {
+		t.Fatalf("wrong entries survived: %+v", bk.Entries)
+	}
+}
+
+func TestPruneDropsEmptyBuckets(t *testing.T) {
+	b := NewBuffer(space2d(), 4)
+	b.Insert(key(2, 3, 7), Entry{Reward: 2.0})
+	b.Insert(key(5, 6, 3), Entry{Reward: 0.5})
+	b.Prune()
+	if b.NumBuckets() != 1 {
+		t.Fatalf("%d buckets after prune, want 1", b.NumBuckets())
+	}
+}
+
+func TestKeyForSnapsTightest(t *testing.T) {
+	b := NewBuffer(space2d(), 4)
+	// Grid: SLO 100..1000 step 100; bw 50..500 step 50; delay 5..100 step ~10.56.
+	c := env.Constraint{Type: env.LatencySLO, LatencyMs: 500,
+		BandwidthMbps: []float64{250}, DelayMs: []float64{50}}
+	out := env.Outcome{LatencyMs: 420} // needs SLO ≥ 420 → grid 500 → idx 4
+	k := b.KeyFor(c, out)
+	if b.Space.SLOValue(k.SLO) < 420 {
+		t.Fatalf("snapped SLO %v below achieved latency", b.Space.SLOValue(k.SLO))
+	}
+	if b.Space.SLOValue(k.SLO)-420 > 100 {
+		t.Fatal("snapped SLO not tightest")
+	}
+	if b.Space.BwValue(k.Bw[0]) < 250 {
+		t.Fatal("snapped bandwidth must be ≥ collection bandwidth")
+	}
+	if b.Space.DelayValue(k.Delay[0]) > 50 {
+		t.Fatal("snapped delay must be ≤ collection delay")
+	}
+}
+
+// Property: domination is a partial order (reflexive, antisymmetric up to
+// equality, transitive) and Lookup only ever returns dominating buckets.
+func TestDominationPartialOrderProperty(t *testing.T) {
+	b := NewBuffer(space2d(), 4)
+	gen := func(seed int64) BucketKey {
+		r := rand.New(rand.NewSource(seed))
+		return key(r.Intn(10), r.Intn(10), r.Intn(10))
+	}
+	f := func(s1, s2, s3 int64) bool {
+		a, bb, c := gen(s1), gen(s2), gen(s3)
+		if !b.dominates(a, a) {
+			return false
+		}
+		if b.dominates(a, bb) && b.dominates(bb, a) && a.String() != bb.String() {
+			return false
+		}
+		if b.dominates(a, bb) && b.dominates(bb, c) && !b.dominates(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any insert sequence, every bucket holds at most TopN
+// entries sorted by descending reward.
+func TestBufferInvariantProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		b := NewBuffer(space2d(), 3)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n); i++ {
+			k := key(rng.Intn(10), rng.Intn(10), rng.Intn(10))
+			b.Insert(k, Entry{Reward: rng.Float64() * 2})
+		}
+		for _, bk := range b.Buckets() {
+			if len(bk.Entries) > 3 {
+				return false
+			}
+			for i := 1; i < len(bk.Entries); i++ {
+				if bk.Entries[i].Reward > bk.Entries[i-1].Reward {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomKeyCurriculum(t *testing.T) {
+	b := NewBuffer(space2d(), 4)
+	rng := rand.New(rand.NewSource(1))
+	// open=0: everything pinned relaxed.
+	k := b.RandomKey(rng, 0)
+	if k.SLO != 9 || k.Bw[0] != 9 || k.Delay[0] != 0 {
+		t.Fatalf("open=0 key not fully relaxed: %+v", k)
+	}
+	// open=1: only SLO varies.
+	varied := false
+	for i := 0; i < 50; i++ {
+		k := b.RandomKey(rng, 1)
+		if k.Bw[0] != 9 || k.Delay[0] != 0 {
+			t.Fatalf("open=1 must pin bw/delay: %+v", k)
+		}
+		if k.SLO != 9 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("open dimension never varied")
+	}
+}
+
+func TestRandomEmptyKeyTargetsGaps(t *testing.T) {
+	b := NewBuffer(space2d(), 4)
+	rng := rand.New(rand.NewSource(2))
+	// Fill a specific bucket; RandomEmptyKey should mostly avoid it.
+	full := key(9, 9, 0)
+	b.Insert(full, Entry{Reward: 1})
+	hits := 0
+	for i := 0; i < 50; i++ {
+		k := b.RandomEmptyKey(rng, 3, 8)
+		if k.String() == full.String() {
+			hits++
+		}
+	}
+	if hits > 10 {
+		t.Fatalf("uncertainty exploration hit the full bucket %d/50 times", hits)
+	}
+}

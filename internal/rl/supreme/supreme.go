@@ -1,0 +1,362 @@
+package supreme
+
+import (
+	"math/rand"
+
+	"murmuration/internal/nn"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rl/policy"
+	"murmuration/internal/tensor"
+)
+
+// Options configures SUPREME training.
+type Options struct {
+	Steps        int // episodes
+	TopN         int // per-bucket queue size
+	LR           float64
+	Epsilon      float64
+	EpsilonDecay float64
+	BatchBuckets int // buckets imitated per update
+	MutateEvery  int // steps between mutation passes
+	MutateCount  int // mutations per pass
+	PruneEvery   int
+	// CurriculumEvery adds one constraint dimension every this many steps
+	// (§6.1.1: start with SLO + device-1 bandwidth, then add dimensions).
+	CurriculumEvery int
+	// UncertaintyFrac is the fraction of rollouts aimed at empty buckets.
+	UncertaintyFrac float64
+	Seed            int64
+	EvalEvery       int
+	Val             []env.Constraint
+	Progress        func(step int, ev policy.EvalResult)
+
+	// Ablation switches (all false in the full algorithm). They disable,
+	// respectively: data sharing across buckets at sample time, pruning of
+	// dominated entries, and replay mutation. Used by the ablation study in
+	// internal/experiments.
+	DisableShare    bool
+	DisablePrune    bool
+	DisableMutation bool
+}
+
+// DefaultOptions returns settings that produce the Fig. 11/12 curves.
+func DefaultOptions() Options {
+	return Options{
+		Steps:           2000,
+		TopN:            4,
+		LR:              1e-3,
+		Epsilon:         0.4,
+		EpsilonDecay:    0.999,
+		BatchBuckets:    8,
+		MutateEvery:     10,
+		MutateCount:     8,
+		PruneEvery:      100,
+		CurriculumEvery: 150,
+		UncertaintyFrac: 0.3,
+		Seed:            1,
+	}
+}
+
+// Trainer is the SUPREME training loop (Fig. 6): a data-collection loop
+// feeding the bucketed buffer, a buffer-optimization loop (share at lookup
+// time, prune, mutate), and GCSL-style policy updates from bucket data.
+type Trainer struct {
+	Policy *policy.Policy
+	Space  env.ConstraintSpace
+	Opts   Options
+	Buffer *Buffer
+
+	rng  *rand.Rand
+	opt  *nn.Adam
+	open int // curriculum: number of open constraint dimensions
+}
+
+// New creates a SUPREME trainer.
+func New(p *policy.Policy, space env.ConstraintSpace, opts Options) *Trainer {
+	return &Trainer{
+		Policy: p,
+		Space:  space,
+		Opts:   opts,
+		Buffer: NewBuffer(space, opts.TopN),
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		opt:    nn.NewAdam(opts.LR),
+		open:   2, // SLO + device-1 bandwidth
+	}
+}
+
+// Bootstrap seeds the buffer with the same four anchor trajectories GCSL
+// receives ({max, min submodel} × {local, offloaded}, see
+// gcsl.BootstrapChoices), evaluated under fully relaxed conditions so each
+// lands in its tightest satisfiable cell and shares widely.
+func (t *Trainer) Bootstrap() error {
+	for _, choices := range bootstrapChoices(t.Policy.Env) {
+		k := t.Buffer.RandomKey(t.rng, 0) // all dims pinned relaxed
+		if err := t.insertEvaluated(choices, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bootstrapChoices mirrors gcsl.BootstrapChoices (duplicated to keep the
+// baseline and contribution packages decoupled).
+func bootstrapChoices(e *env.Env) [][]int {
+	out := [][]int{extremeChoices(e, true, 0), extremeChoices(e, false, 0)}
+	if e.NumDevices() > 1 {
+		out = append(out, extremeChoices(e, true, 1), extremeChoices(e, false, 1))
+	}
+	return out
+}
+
+func extremeChoices(e *env.Env, max bool, dev int) []int {
+	w := e.NewWalker()
+	var out []int
+	for !w.Done() {
+		spec := w.Next()
+		choice := 0
+		switch spec.Type {
+		case env.ActDevice:
+			choice = dev
+			if choice >= spec.NumChoices {
+				choice = 0
+			}
+		case env.ActPartition:
+			choice = 0
+		default:
+			if max {
+				choice = spec.NumChoices - 1
+			}
+		}
+		if err := w.Apply(choice); err != nil {
+			panic(err)
+		}
+		out = append(out, choice)
+	}
+	return out
+}
+
+// insertEvaluated evaluates choices under the collection conditions of key
+// k, then re-evaluates under the achieved (tightest) bucket and inserts.
+func (t *Trainer) insertEvaluated(choices []int, k BucketKey) error {
+	c := t.Buffer.Constraint(k)
+	d, err := t.Policy.Env.Decode(choices)
+	if err != nil {
+		return err
+	}
+	out, err := t.Policy.Env.Evaluate(c, d)
+	if err != nil {
+		return err
+	}
+	tight := t.Buffer.KeyFor(c, out)
+	tc := t.Buffer.Constraint(tight)
+	tout, err := t.Policy.Env.Evaluate(tc, d)
+	if err != nil {
+		return err
+	}
+	if !tout.SLOMet {
+		// Snapping can land on an unsatisfiable cell (e.g. latency just
+		// above the top grid point); keep only satisfied data — the buffer
+		// is reward-filtered.
+		return nil
+	}
+	t.Buffer.Insert(tight, Entry{
+		Choices:     choices,
+		Reward:      tout.Reward,
+		LatencyMs:   tout.LatencyMs,
+		AccuracyPct: tout.AccuracyPct,
+	})
+	return nil
+}
+
+// Step runs one SUPREME iteration: explore (epsilon-greedy, with a share of
+// uncertainty-targeted rollouts), insert relabeled data, periodically mutate
+// and prune, then update the policy from sampled buckets.
+func (t *Trainer) Step(step int) error {
+	// Linear learning-rate decay to 20% over the run keeps late imitation
+	// from oscillating between conflicting bucket optima.
+	if t.Opts.Steps > 0 {
+		frac := float64(step) / float64(t.Opts.Steps)
+		t.opt.LR = t.Opts.LR * (1 - 0.8*frac)
+	}
+	// Curriculum: CurriculumEvery == 0 disables it (all dimensions open
+	// from the start).
+	if t.Opts.CurriculumEvery > 0 {
+		t.open = 2 + step/t.Opts.CurriculumEvery
+	} else {
+		t.open = t.Space.Dims()
+	}
+	maxDims := t.Space.Dims()
+	if t.open > maxDims {
+		t.open = maxDims
+	}
+
+	// Data collection.
+	var k BucketKey
+	if t.rng.Float64() < t.Opts.UncertaintyFrac {
+		k = t.Buffer.RandomEmptyKey(t.rng, t.open, 8)
+	} else {
+		k = t.Buffer.RandomKey(t.rng, t.open)
+	}
+	c := t.Buffer.Constraint(k)
+	choices, _, err := t.Policy.Rollout(c, t.rng, t.Opts.Epsilon)
+	if err != nil {
+		return err
+	}
+	if err := t.insertEvaluated(choices, k); err != nil {
+		return err
+	}
+	t.Opts.Epsilon *= t.Opts.EpsilonDecay
+
+	// Buffer optimization loop.
+	if !t.Opts.DisableMutation && t.Opts.MutateEvery > 0 && step%t.Opts.MutateEvery == 0 {
+		if err := t.mutate(); err != nil {
+			return err
+		}
+	}
+	if !t.Opts.DisablePrune && t.Opts.PruneEvery > 0 && step > 0 && step%t.Opts.PruneEvery == 0 {
+		t.Buffer.Prune()
+	}
+
+	// Policy update from bucket data (GCSL-style imitation, with sharing).
+	return t.imitate()
+}
+
+// mutate perturbs stored strategies and re-inserts the relabeled results
+// ("randomly perturb some actions of the trajectory data ... then relabeled
+// and added back", §4.4.1). Perturbation re-samples a suffix decision so the
+// episode stays schedule-valid; a locality heuristic occasionally retargets
+// a device action to device 0 (improving execution locality).
+func (t *Trainer) mutate() error {
+	buckets := t.Buffer.Buckets()
+	if len(buckets) == 0 {
+		return nil
+	}
+	for m := 0; m < t.Opts.MutateCount; m++ {
+		bk := buckets[t.rng.Intn(len(buckets))]
+		if len(bk.Entries) == 0 {
+			continue
+		}
+		e := bk.Entries[t.rng.Intn(len(bk.Entries))]
+		if t.rng.Float64() < 0.5 {
+			// "Updating suboptimal buckets" (§4.4.1): re-evaluate a strong
+			// stored strategy under a *different* cell's conditions. A
+			// strategy found at one bandwidth often remains feasible well
+			// below it (e.g. once its transfers are quantized), and this is
+			// how that feasibility region gets charted without waiting for
+			// policy exploration to rediscover it.
+			dst := t.Buffer.RandomKey(t.rng, t.open)
+			if err := t.insertEvaluated(e.Choices, dst); err != nil {
+				return err
+			}
+			continue
+		}
+		mutated, err := t.mutateChoices(e.Choices)
+		if err != nil {
+			return err
+		}
+		if err := t.insertEvaluated(mutated, bk.Key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mutateChoices re-rolls one random step of a choice sequence. Because the
+// schedule is prefix-determined, the prefix stays valid and the suffix is
+// re-sampled uniformly where the old choices no longer fit.
+func (t *Trainer) mutateChoices(choices []int) ([]int, error) {
+	if len(choices) == 0 {
+		return choices, nil
+	}
+	pos := t.rng.Intn(len(choices))
+	w := t.Policy.Env.NewWalker()
+	var out []int
+	i := 0
+	for !w.Done() {
+		spec := w.Next()
+		var choice int
+		switch {
+		case i < pos && i < len(choices) && choices[i] < spec.NumChoices:
+			choice = choices[i]
+		case i == pos:
+			if spec.Type == env.ActDevice && t.rng.Float64() < 0.3 {
+				choice = 0 // locality heuristic: pull work back to local
+			} else {
+				choice = t.rng.Intn(spec.NumChoices)
+			}
+		case i < len(choices) && choices[i] < spec.NumChoices:
+			choice = choices[i] // suffix reuse where still valid
+		default:
+			choice = t.rng.Intn(spec.NumChoices)
+		}
+		if err := w.Apply(choice); err != nil {
+			return nil, err
+		}
+		out = append(out, choice)
+		i++
+	}
+	return out, nil
+}
+
+// imitate performs one supervised update on BatchBuckets sampled buckets,
+// using ancestor sharing for cells without their own data.
+func (t *Trainer) imitate() error {
+	params := t.Policy.Params()
+	updated := false
+	for bt := 0; bt < t.Opts.BatchBuckets; bt++ {
+		k := t.Buffer.RandomKey(t.rng, t.open)
+		var bk *Bucket
+		if t.Opts.DisableShare {
+			bk = t.Buffer.Own(k) // ablation: no ancestor sharing
+		} else {
+			bk = t.Buffer.Lookup(k) // shares from dominating ancestors
+		}
+		if bk == nil || len(bk.Entries) == 0 {
+			continue
+		}
+		// Imitate the *best* entry (reward prioritization, Fig. 8)
+		// conditioned on the queried constraint, not the ancestor's — that
+		// is exactly how sharing trains relaxed cells.
+		e := bk.Entries[0]
+		c := t.Buffer.Constraint(k)
+		fr, err := t.Policy.Forward(c, e.Choices)
+		if err != nil {
+			return err
+		}
+		dLogits := make([]*tensor.Tensor, len(e.Choices))
+		for st := range e.Choices {
+			_, d, _ := nn.SoftmaxCrossEntropy(fr.Logits[st], []int{e.Choices[st]})
+			d.Scale(1 / float32(len(e.Choices)))
+			dLogits[st] = d
+		}
+		t.Policy.Backward(fr, dLogits, nil)
+		updated = true
+	}
+	if updated {
+		nn.ClipGradNorm(params, 5)
+		t.opt.Step(params)
+	}
+	return nil
+}
+
+// Run executes the full training loop with periodic evaluation.
+func (t *Trainer) Run() error {
+	if err := t.Bootstrap(); err != nil {
+		return err
+	}
+	for step := 0; step < t.Opts.Steps; step++ {
+		if err := t.Step(step); err != nil {
+			return err
+		}
+		if t.Opts.EvalEvery > 0 && (step%t.Opts.EvalEvery == 0 || step == t.Opts.Steps-1) {
+			ev, err := policy.Evaluate(t.Policy, t.Opts.Val)
+			if err != nil {
+				return err
+			}
+			if t.Opts.Progress != nil {
+				t.Opts.Progress(step, ev)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+// Package rpcx is the stdlib-only transport that replaces the paper's gRPC:
+// a length-prefixed binary request/response protocol over TCP. Servers
+// register byte-level handlers by method name; clients issue synchronous
+// calls. Connections can be wrapped with netem shapers so the link obeys
+// emulated bandwidth/delay, which is how the runtime reproduces the paper's
+// tc-controlled testbed.
+package rpcx
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"murmuration/internal/netem"
+)
+
+// Handler processes one request payload and returns a response payload.
+type Handler func(payload []byte) ([]byte, error)
+
+// Server dispatches framed requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	wg       sync.WaitGroup
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+}
+
+// Handle registers a handler for a method name (max 255 bytes).
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen starts accepting connections on addr ("host:port"; use ":0" for an
+// ephemeral port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, closes every active connection, and waits for
+// the connection goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 64*1024)
+	w := bufio.NewWriterSize(conn, 64*1024)
+	for {
+		method, payload, err := readRequest(r)
+		if err != nil {
+			return
+		}
+		s.mu.RLock()
+		h := s.handlers[method]
+		s.mu.RUnlock()
+		var status byte
+		var resp []byte
+		if h == nil {
+			status = 1
+			resp = []byte(fmt.Sprintf("rpcx: unknown method %q", method))
+		} else if resp, err = h(payload); err != nil {
+			status = 1
+			resp = []byte(err.Error())
+		}
+		if err := writeResponse(w, status, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Frame layout (little endian):
+//   request:  u32 totalLen | u8 methodLen | method | payload
+//   response: u32 totalLen | u8 status    | payload
+
+func readRequest(r io.Reader) (string, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", nil, err
+	}
+	total := binary.LittleEndian.Uint32(lenBuf[:])
+	if total < 1 || total > 1<<30 {
+		return "", nil, errors.New("rpcx: bad frame length")
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return "", nil, err
+	}
+	ml := int(body[0])
+	if 1+ml > len(body) {
+		return "", nil, errors.New("rpcx: bad method length")
+	}
+	return string(body[1 : 1+ml]), body[1+ml:], nil
+}
+
+func writeRequest(w io.Writer, method string, payload []byte) error {
+	if len(method) > 255 {
+		return errors.New("rpcx: method name too long")
+	}
+	total := uint32(1 + len(method) + len(payload))
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], total)
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{byte(len(method))}); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, method); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeResponse(w io.Writer, status byte, payload []byte) error {
+	total := uint32(1 + len(payload))
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], total)
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{status}); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readResponse(r io.Reader) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	total := binary.LittleEndian.Uint32(lenBuf[:])
+	if total < 1 || total > 1<<30 {
+		return 0, nil, errors.New("rpcx: bad frame length")
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// Client is a synchronous RPC client over one TCP connection. Safe for
+// concurrent use; calls serialize on the connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	shaper *netem.Shaper
+}
+
+// Dial connects to addr. If shaper is non-nil, outbound traffic is
+// bandwidth-limited and delayed through it (emulating the device's uplink).
+func Dial(addr string, shaper *netem.Shaper) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, shaper), nil
+}
+
+// NewClient wraps an existing connection (e.g. a netem.Pipe end).
+func NewClient(conn net.Conn, shaper *netem.Shaper) *Client {
+	c := &Client{conn: conn, shaper: shaper}
+	c.r = bufio.NewReaderSize(conn, 64*1024)
+	c.w = bufio.NewWriterSize(conn, 64*1024)
+	return c
+}
+
+// Call issues a request and waits for the response. Emulated link cost is
+// charged on both directions' payload sizes.
+func (c *Client) Call(method string, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shaper != nil {
+		c.shaper.Throttle(len(payload) + len(method) + 5)
+		if d := c.shaper.Delay(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if err := writeRequest(c.w, method, payload); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	status, resp, err := readResponse(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if c.shaper != nil {
+		// Response pays the downlink: serialize + propagate.
+		c.shaper.Throttle(len(resp) + 5)
+		if d := c.shaper.Delay(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if status != 0 {
+		return nil, fmt.Errorf("rpcx: remote error: %s", resp)
+	}
+	return resp, nil
+}
+
+// SetLink updates the emulated link parameters (no-op without a shaper).
+func (c *Client) SetLink(bandwidthMbps float64, delay time.Duration) {
+	if c.shaper == nil {
+		return
+	}
+	c.shaper.SetRate(bandwidthMbps)
+	c.shaper.SetDelay(delay)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

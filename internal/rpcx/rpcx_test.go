@@ -1,0 +1,217 @@
+package rpcx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"murmuration/internal/netem"
+	"murmuration/internal/tensor"
+)
+
+func TestCallRoundTrip(t *testing.T) {
+	s := NewServer()
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := bytes.Repeat([]byte{0x5A}, 100000)
+	resp, err := c.Call("echo", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, payload) {
+		t.Fatal("echo corrupted payload")
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	s := NewServer()
+	addr, _ := s.Listen("127.0.0.1:0")
+	defer s.Close()
+	c, _ := Dial(addr, nil)
+	defer c.Close()
+	if _, err := c.Call("nope", nil); err == nil {
+		t.Fatal("unknown method should error")
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	s := NewServer()
+	s.Handle("fail", func(p []byte) ([]byte, error) { return nil, errors.New("boom") })
+	addr, _ := s.Listen("127.0.0.1:0")
+	defer s.Close()
+	c, _ := Dial(addr, nil)
+	defer c.Close()
+	_, err := c.Call("fail", nil)
+	if err == nil || err.Error() != "rpcx: remote error: boom" {
+		t.Fatalf("want remote error, got %v", err)
+	}
+	// The connection must survive handler errors.
+	s.Handle("ok", func(p []byte) ([]byte, error) { return []byte("fine"), nil })
+	resp, err := c.Call("ok", nil)
+	if err != nil || string(resp) != "fine" {
+		t.Fatalf("connection broken after handler error: %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	s := NewServer()
+	s.Handle("double", func(p []byte) ([]byte, error) {
+		out := make([]byte, len(p))
+		for i, b := range p {
+			out[i] = b * 2
+		}
+		return out, nil
+	})
+	addr, _ := s.Listen("127.0.0.1:0")
+	defer s.Close()
+	c, _ := Dial(addr, nil)
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.Call("double", []byte{byte(i)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp[0] != byte(i*2) {
+				errs <- fmt.Errorf("wrong response for %d: %d", i, resp[0])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	s := NewServer()
+	s.Handle("id", func(p []byte) ([]byte, error) { return p, nil })
+	addr, _ := s.Listen("127.0.0.1:0")
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		c, err := Dial(addr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Call("id", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+func TestShapedCallPaysLinkCost(t *testing.T) {
+	s := NewServer()
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, _ := s.Listen("127.0.0.1:0")
+	defer s.Close()
+
+	// 8 Mb/s + 20 ms each way: 100 KB payload ≈ 100 ms serialize + 40 ms RTT.
+	shaper := netem.NewShaper(8, 20*time.Millisecond)
+	c, err := Dial(addr, shaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := make([]byte, 100*1024)
+	start := time.Now()
+	if _, err := c.Call("echo", payload); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Fatalf("shaped call too fast: %v", elapsed)
+	}
+
+	// Upgrading the link must make it faster.
+	c.SetLink(8000, time.Millisecond)
+	start = time.Now()
+	if _, err := c.Call("echo", payload); err != nil {
+		t.Fatal(err)
+	}
+	if fast := time.Since(start); fast > elapsed/2 {
+		t.Fatalf("SetLink upgrade not effective: %v vs %v", fast, elapsed)
+	}
+}
+
+func TestTensorOverRPC(t *testing.T) {
+	s := NewServer()
+	s.Handle("scale", func(p []byte) ([]byte, error) {
+		x, err := tensor.Decode(bytes.NewReader(p))
+		if err != nil {
+			return nil, err
+		}
+		x.Scale(3)
+		var buf bytes.Buffer
+		if err := tensor.Encode(&buf, x); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	addr, _ := s.Listen("127.0.0.1:0")
+	defer s.Close()
+	c, _ := Dial(addr, nil)
+	defer c.Close()
+
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	var buf bytes.Buffer
+	if err := tensor.Encode(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Call("scale", buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := tensor.Decode(bytes.NewReader(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Data[3] != 12 {
+		t.Fatalf("tensor RPC wrong: %v", y.Data)
+	}
+}
+
+func TestServerCloseUnblocksDial(t *testing.T) {
+	s := NewServer()
+	addr, _ := s.Listen("127.0.0.1:0")
+	s.Close()
+	// After close, new calls should fail (dial might succeed briefly on
+	// some platforms, but the call must not hang).
+	c, err := Dial(addr, nil)
+	if err != nil {
+		return // expected on most platforms
+	}
+	defer c.Close()
+	done := make(chan struct{})
+	go func() {
+		c.Call("x", nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("call to closed server hung")
+	}
+}

@@ -1,0 +1,115 @@
+package runtime
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+
+	"murmuration/internal/rl/env"
+)
+
+// StrategyCache memoizes constraint→decision mappings so the RL policy need
+// not re-run for every inference (paper §5: "A Strategy Cache is utilized to
+// store the known constraint ... to strategy ... mapping"). Keys are
+// bucketized network conditions, so nearby conditions share an entry; the
+// cache is LRU-bounded.
+type StrategyCache struct {
+	mu  sync.Mutex
+	cap int
+	// Quantization steps for key bucketing.
+	bwStepMbps float64
+	delayStep  float64
+	sloStep    float64
+
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+}
+
+type cacheEntry struct {
+	key      string
+	decision *env.Decision
+}
+
+// NewStrategyCache creates a cache with the given capacity. Steps control
+// key granularity (e.g. 25 Mb/s, 5 ms, 10 ms/0.5 %).
+func NewStrategyCache(capacity int, bwStepMbps, delayStepMs, sloStep float64) *StrategyCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if bwStepMbps <= 0 {
+		bwStepMbps = 25
+	}
+	if delayStepMs <= 0 {
+		delayStepMs = 5
+	}
+	if sloStep <= 0 {
+		sloStep = 10
+	}
+	return &StrategyCache{
+		cap:        capacity,
+		bwStepMbps: bwStepMbps,
+		delayStep:  delayStepMs,
+		sloStep:    sloStep,
+		entries:    make(map[string]*list.Element),
+		order:      list.New(),
+	}
+}
+
+// Key bucketizes a constraint.
+func (c *StrategyCache) Key(ct env.Constraint) string {
+	var slo float64
+	kind := "L"
+	if ct.Type == env.LatencySLO {
+		slo = ct.LatencyMs
+	} else {
+		kind = "A"
+		slo = ct.AccuracyPct
+	}
+	key := fmt.Sprintf("%s%d", kind, int(math.Round(slo/c.sloStep)))
+	for i := range ct.BandwidthMbps {
+		key += fmt.Sprintf("|%d,%d",
+			int(math.Round(ct.BandwidthMbps[i]/c.bwStepMbps)),
+			int(math.Round(ct.DelayMs[i]/c.delayStep)))
+	}
+	return key
+}
+
+// Get returns the cached decision for a constraint, if any.
+func (c *StrategyCache) Get(ct env.Constraint) (*env.Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[c.Key(ct)]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).decision, true
+}
+
+// Put stores a decision for a constraint, evicting the least recently used
+// entry at capacity.
+func (c *StrategyCache) Put(ct env.Constraint, d *env.Decision) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := c.Key(ct)
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).decision = d
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, decision: d})
+	c.entries[key] = el
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached strategies.
+func (c *StrategyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

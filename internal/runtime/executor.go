@@ -1,0 +1,86 @@
+// Package runtime implements stage 3 of Murmuration (paper §5, Fig. 10):
+// the per-device Executor serving remote block execution over rpcx, the
+// Scheduler that dispatches a decision's partitions across devices, the
+// Strategy Cache, the in-memory Model Reconfig, and the Runtime coordinator
+// that ties them to the SLO API, the network monitor, and the decision
+// engine.
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+
+	"murmuration/internal/rpcx"
+	"murmuration/internal/supernet"
+	"murmuration/internal/tensor"
+)
+
+// ExecBlockMethod is the RPC method for remote tile execution.
+const ExecBlockMethod = "exec.block"
+
+// blockHeader is the fixed wire header preceding the quantized input tile.
+//
+//	[0] stage, [1] block index, [2] kernel, [3] expand,
+//	[4] request quant bits, [5] response quant bits
+const blockHeaderLen = 6
+
+// Executor serves block execution against an in-memory supernet. Every
+// device keeps the *full* supernet resident (paper §5.1), so any submodel
+// slice can execute without weight loading.
+type Executor struct {
+	Net *supernet.Supernet
+}
+
+// NewExecutor wraps a supernet.
+func NewExecutor(net *supernet.Supernet) *Executor { return &Executor{Net: net} }
+
+// Register installs the executor's handlers on an RPC server.
+func (e *Executor) Register(s *rpcx.Server) {
+	s.Handle(ExecBlockMethod, e.handleExecBlock)
+}
+
+func (e *Executor) handleExecBlock(payload []byte) ([]byte, error) {
+	if len(payload) < blockHeaderLen {
+		return nil, fmt.Errorf("runtime: short exec.block payload")
+	}
+	stage := int(payload[0])
+	index := int(payload[1])
+	ls := supernet.LayerSetting{
+		Kernel: int(payload[2]),
+		Expand: int(payload[3]),
+		Quant:  tensor.Bitwidth(payload[4]),
+		// Partition is irrelevant per tile; the scheduler already tiled.
+		Partition: supernet.Partition{Gy: 1, Gx: 1},
+	}
+	respBits := tensor.Bitwidth(payload[5])
+	if !respBits.Valid() {
+		return nil, fmt.Errorf("runtime: bad response bits %d", respBits)
+	}
+	q, err := tensor.DecodeQuantized(bytes.NewReader(payload[blockHeaderLen:]))
+	if err != nil {
+		return nil, err
+	}
+	x := q.Dequantize()
+	y, err := e.Net.ExecBlock(stage, index, x, ls)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := tensor.EncodeQuantized(&buf, tensor.Quantize(y, respBits)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// encodeBlockRequest builds the exec.block payload.
+func encodeBlockRequest(stage, index int, ls supernet.LayerSetting, respBits tensor.Bitwidth, tile *tensor.Tensor) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write([]byte{
+		byte(stage), byte(index), byte(ls.Kernel), byte(ls.Expand),
+		byte(ls.Quant), byte(respBits),
+	})
+	if err := tensor.EncodeQuantized(&buf, tensor.Quantize(tile, ls.Quant)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"murmuration/internal/monitor"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/tensor"
+)
+
+// Decider produces a decision for a constraint — in production this is the
+// trained SUPREME policy's greedy decode; tests and baselines can plug in
+// anything (evolutionary search, fixed strategies).
+type Decider interface {
+	Decide(c env.Constraint) (*env.Decision, error)
+}
+
+// DeciderFunc adapts a function to the Decider interface.
+type DeciderFunc func(c env.Constraint) (*env.Decision, error)
+
+// Decide implements Decider.
+func (f DeciderFunc) Decide(c env.Constraint) (*env.Decision, error) { return f(c) }
+
+// SLO is the user-facing service-level objective (paper §5: "The SLO API
+// enables users to specify latency or accuracy SLOs as a scalar value").
+type SLO struct {
+	Type  env.SLOType
+	Value float64 // ms for latency SLOs, percent for accuracy SLOs
+}
+
+// Runtime is the deployment coordinator: it assembles the live constraint
+// from monitors (optionally through the predictor), resolves a strategy via
+// the cache or the decider, and executes inference through the scheduler.
+type Runtime struct {
+	Scheduler *Scheduler
+	Decider   Decider
+	Cache     *StrategyCache
+	// Monitors[i] tracks the link of remote device i+1. May be nil when
+	// link state is set manually via SetLinkState.
+	Monitors []*monitor.LinkMonitor
+
+	// PredictAhead, when > 0, uses the monitor predictor's forecast that
+	// far ahead instead of the current estimate (precompute support).
+	PredictAhead time.Duration
+
+	mu         sync.Mutex
+	slo        SLO
+	manualLink []monitor.Sample // fallback when Monitors are absent
+
+	// Counters.
+	CacheHits   int
+	CacheMisses int
+}
+
+// New creates a runtime.
+func New(s *Scheduler, d Decider, cache *StrategyCache, monitors []*monitor.LinkMonitor) *Runtime {
+	return &Runtime{
+		Scheduler:  s,
+		Decider:    d,
+		Cache:      cache,
+		Monitors:   monitors,
+		manualLink: make([]monitor.Sample, len(s.Remotes)),
+	}
+}
+
+// SetSLO sets the active objective.
+func (r *Runtime) SetSLO(s SLO) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.slo = s
+}
+
+// SLO returns the active objective.
+func (r *Runtime) SLO() SLO {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slo
+}
+
+// SetLinkState manually sets the link estimate for remote device i+1 (used
+// when no active monitor runs, e.g. in simulations and tests).
+func (r *Runtime) SetLinkState(i int, bandwidthMbps, delayMs float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.manualLink) {
+		return fmt.Errorf("runtime: link index %d out of range", i)
+	}
+	r.manualLink[i] = monitor.Sample{At: time.Now(), BandwidthMbps: bandwidthMbps, DelayMs: delayMs}
+	return nil
+}
+
+// Constraint assembles the current (goal, task) pair from the SLO and the
+// freshest link state.
+func (r *Runtime) Constraint() env.Constraint {
+	r.mu.Lock()
+	slo := r.slo
+	manual := append([]monitor.Sample(nil), r.manualLink...)
+	r.mu.Unlock()
+
+	c := env.Constraint{Type: slo.Type}
+	if slo.Type == env.LatencySLO {
+		c.LatencyMs = slo.Value
+	} else {
+		c.AccuracyPct = slo.Value
+	}
+	for i := 0; i < len(r.Scheduler.Remotes); i++ {
+		var s monitor.Sample
+		switch {
+		case i < len(r.Monitors) && r.Monitors[i] != nil && r.Monitors[i].Samples() > 0:
+			if r.PredictAhead > 0 {
+				s = r.Monitors[i].Predict(r.PredictAhead)
+			} else {
+				s = r.Monitors[i].Current()
+			}
+		default:
+			s = manual[i]
+		}
+		c.BandwidthMbps = append(c.BandwidthMbps, s.BandwidthMbps)
+		c.DelayMs = append(c.DelayMs, s.DelayMs)
+	}
+	return c
+}
+
+// Result is the outcome of one SLO-aware inference.
+type Result struct {
+	Report     *InferenceReport
+	Decision   *env.Decision
+	Constraint env.Constraint
+	DecideTime time.Duration
+	CacheHit   bool
+}
+
+// Infer performs one inference: resolve strategy (cache → decider), then
+// execute it across the cluster.
+func (r *Runtime) Infer(x *tensor.Tensor) (*Result, error) {
+	c := r.Constraint()
+	start := time.Now()
+	var d *env.Decision
+	hit := false
+	if r.Cache != nil {
+		if cached, ok := r.Cache.Get(c); ok {
+			d = cached
+			hit = true
+			r.mu.Lock()
+			r.CacheHits++
+			r.mu.Unlock()
+		}
+	}
+	if d == nil {
+		var err error
+		d, err = r.Decider.Decide(c)
+		if err != nil {
+			return nil, err
+		}
+		if r.Cache != nil {
+			r.Cache.Put(c, d)
+		}
+		r.mu.Lock()
+		r.CacheMisses++
+		r.mu.Unlock()
+	}
+	decideTime := time.Since(start)
+
+	rep, err := r.Scheduler.Infer(x, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Report: rep, Decision: d, Constraint: c, DecideTime: decideTime, CacheHit: hit}, nil
+}
+
+// Precompute resolves and caches the strategy for the *predicted* network
+// state without running an inference (paper §5.1: "The Monitoring Data
+// Predictor forecasts network conditions, allowing for precomputation with
+// RL algorithm and caching of strategies").
+func (r *Runtime) Precompute(ahead time.Duration) error {
+	old := r.PredictAhead
+	r.PredictAhead = ahead
+	c := r.Constraint()
+	r.PredictAhead = old
+	if r.Cache == nil {
+		return fmt.Errorf("runtime: no cache configured")
+	}
+	if _, ok := r.Cache.Get(c); ok {
+		return nil
+	}
+	d, err := r.Decider.Decide(c)
+	if err != nil {
+		return err
+	}
+	r.Cache.Put(c, d)
+	return nil
+}

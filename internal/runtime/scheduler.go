@@ -1,0 +1,149 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"murmuration/internal/rpcx"
+	"murmuration/internal/supernet"
+	"murmuration/internal/tensor"
+)
+
+// Scheduler executes a joint (config, placement) decision across devices:
+// it runs the stem and head locally, tiles each block's input per the
+// decision's FDSP grid, dispatches tiles to the assigned devices (local
+// inline, remote via rpcx), and reassembles outputs. This is the paper's
+// Scheduler + Remote Execution path (Fig. 10).
+type Scheduler struct {
+	Local *supernet.Supernet
+	// Remotes[i] is the client for device i+1 (device 0 is local).
+	Remotes []*rpcx.Client
+}
+
+// NewScheduler creates a scheduler for a local supernet and remote clients.
+func NewScheduler(local *supernet.Supernet, remotes []*rpcx.Client) *Scheduler {
+	return &Scheduler{Local: local, Remotes: remotes}
+}
+
+// NumDevices returns the cluster size (local + remotes).
+func (s *Scheduler) NumDevices() int { return 1 + len(s.Remotes) }
+
+// InferenceReport describes one distributed inference.
+type InferenceReport struct {
+	Logits      *tensor.Tensor
+	Elapsed     time.Duration
+	RemoteTiles int
+	LocalTiles  int
+}
+
+// Infer runs input x (N,C,H,W) through the decision end to end.
+func (s *Scheduler) Infer(x *tensor.Tensor, d *supernet.Decision) (*InferenceReport, error) {
+	start := time.Now()
+	arch := s.Local.Arch
+	cfg := d.Config
+	if err := arch.Validate(cfg); err != nil {
+		return nil, err
+	}
+	costs, err := arch.Costs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Placement.Validate(costs, s.NumDevices()); err != nil {
+		return nil, err
+	}
+
+	x = tensor.BilinearResize(x, cfg.Resolution, cfg.Resolution)
+	y := s.Local.ExecStem(x)
+	report := &InferenceReport{}
+
+	for layer := 0; layer < cfg.NumLayers(); layer++ {
+		ls := cfg.Layers[layer]
+		stage, index, stride, err := arch.BlockAt(cfg, layer)
+		if err != nil {
+			return nil, err
+		}
+		y, err = s.execLayer(y, stage, index, stride, ls, d.Placement.Devices[layer], report)
+		if err != nil {
+			return nil, err
+		}
+	}
+	report.Logits = s.Local.ExecHead(y)
+	report.Elapsed = time.Since(start)
+	return report, nil
+}
+
+// execLayer tiles the input, dispatches tiles concurrently, and pastes the
+// outputs into the layer result.
+func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
+	ls supernet.LayerSetting, assign []int, report *InferenceReport) (*tensor.Tensor, error) {
+
+	h, w := x.Shape[2], x.Shape[3]
+	y0s, x0s, ths, tws, err := supernet.TileSplit(h, w, ls.Partition, stride)
+	if err != nil {
+		return nil, err
+	}
+	if len(y0s) != len(assign) {
+		return nil, fmt.Errorf("runtime: %d tiles but %d assignments", len(y0s), len(assign))
+	}
+
+	// Determine the block's output channel count from the stage spec.
+	outC := s.Local.Arch.Stages[stage].Width
+	out := tensor.New(x.Shape[0], outC, h/stride, w/stride)
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(assign))
+	tiles := make([]*tensor.Tensor, len(assign))
+	for t := range assign {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			tile := tensor.CropSpatial(x, y0s[t], x0s[t], ths[t], tws[t])
+			if assign[t] == 0 {
+				// Local execution still simulates the quantization the
+				// training saw (straight-through in stage 1).
+				if ls.Quant != tensor.Bits32 {
+					tile = tensor.Quantize(tile, ls.Quant).Dequantize()
+				}
+				tiles[t], errs[t] = s.Local.ExecBlock(stage, index, tile, ls)
+				return
+			}
+			client := s.Remotes[assign[t]-1]
+			// The request tile is quantized at the layer's bitwidth (the
+			// paper's input quantization); the response returns lossless so
+			// the result matches single-device execution bit for bit.
+			payload, err := encodeBlockRequest(stage, index, ls, tensor.Bits32, tile)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			resp, err := client.Call(ExecBlockMethod, payload)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			q, err := tensor.DecodeQuantized(bytes.NewReader(resp))
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			tiles[t] = q.Dequantize()
+		}(t)
+	}
+	wg.Wait()
+	for t, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runtime: tile %d on device %d: %w", t, assign[t], err)
+		}
+	}
+	for t := range tiles {
+		tensor.PasteSpatial(out, tiles[t], y0s[t]/stride, x0s[t]/stride)
+		if assign[t] == 0 {
+			report.LocalTiles++
+		} else {
+			report.RemoteTiles++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,419 @@
+// Package supernet implements Murmuration's partition-ready one-shot NAS
+// supernet (paper §4.1): a MobileNetV3-style weight-shared network whose
+// submodels vary along six axes — input resolution, per-stage block depth,
+// per-layer kernel size, per-layer expansion (channel) width, per-layer
+// spatial partitioning (FDSP), and per-layer input feature-map quantization.
+//
+// The package provides the search space and submodel configs, a per-layer
+// cost model (FLOPs, memory traffic, wire bytes) consumed by the RL
+// environment and the baselines, and a real executable/trainable network for
+// the in-Go NAS pipeline.
+package supernet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"murmuration/internal/tensor"
+)
+
+// Partition is a spatial FDSP grid (Gy × Gx tiles).
+type Partition struct {
+	Gy, Gx int
+}
+
+// NumTiles returns Gy·Gx.
+func (p Partition) NumTiles() int { return p.Gy * p.Gx }
+
+// String renders "2x2".
+func (p Partition) String() string { return fmt.Sprintf("%dx%d", p.Gy, p.Gx) }
+
+// StageSpec describes one stage (block) of the supernet.
+type StageSpec struct {
+	// Width is the stage output channel count at maximum width.
+	Width int
+	// MinDepth and MaxDepth bound the number of MBConv layers.
+	MinDepth, MaxDepth int
+	// Stride of the first layer in the stage (rest are stride 1).
+	Stride int
+	// SE enables squeeze-and-excitation in this stage's blocks.
+	SE bool
+}
+
+// Arch defines the full search space: the static backbone plus the elastic
+// choice sets. The paper's configuration ("a variance of MobileNetV3") is
+// DefaultArch; TinyArch is a reduced instance trainable in-process.
+type Arch struct {
+	Name         string
+	StemChannels int
+	Stages       []StageSpec
+	HeadChannels int
+	NumClasses   int
+	InChannels   int
+
+	Resolutions []int             // e.g. 160..224
+	Kernels     []int             // e.g. 3,5,7
+	Expands     []int             // expansion ratios, e.g. 3,4,6
+	Partitions  []Partition       // e.g. 1x1, 1x2, 2x1, 2x2
+	QuantBits   []tensor.Bitwidth // e.g. 8,16,32
+}
+
+// DefaultArch is the paper-scale search space: a MobileNetV3-Large variant
+// evaluated at ImageNet resolutions. Matches §6.1.1: spatial partitioning
+// 1×1–2×2, quantization 32→8 bits, resolution 224→160, block depth 4→2,
+// kernel 7→3.
+func DefaultArch() *Arch {
+	return &Arch{
+		Name:         "mbv3-supernet",
+		StemChannels: 16,
+		Stages: []StageSpec{
+			{Width: 24, MinDepth: 2, MaxDepth: 4, Stride: 2, SE: false},
+			{Width: 40, MinDepth: 2, MaxDepth: 4, Stride: 2, SE: true},
+			{Width: 80, MinDepth: 2, MaxDepth: 4, Stride: 2, SE: false},
+			{Width: 112, MinDepth: 2, MaxDepth: 4, Stride: 1, SE: true},
+			{Width: 160, MinDepth: 2, MaxDepth: 4, Stride: 2, SE: true},
+		},
+		HeadChannels: 960,
+		NumClasses:   1000,
+		InChannels:   3,
+		Resolutions:  []int{160, 176, 192, 208, 224},
+		Kernels:      []int{3, 5, 7},
+		Expands:      []int{3, 4, 6},
+		Partitions:   []Partition{{1, 1}, {1, 2}, {2, 1}, {2, 2}},
+		QuantBits:    []tensor.Bitwidth{tensor.Bits8, tensor.Bits16, tensor.Bits32},
+	}
+}
+
+// TinyArch is a scaled-down instance of the same search space, small enough
+// to train for real inside the Go test-suite and examples.
+func TinyArch(numClasses int) *Arch {
+	return &Arch{
+		Name:         "tiny-supernet",
+		StemChannels: 8,
+		Stages: []StageSpec{
+			{Width: 12, MinDepth: 1, MaxDepth: 2, Stride: 2, SE: false},
+			{Width: 16, MinDepth: 1, MaxDepth: 2, Stride: 2, SE: true},
+		},
+		HeadChannels: 32,
+		NumClasses:   numClasses,
+		InChannels:   3,
+		Resolutions:  []int{24, 32},
+		Kernels:      []int{3, 5},
+		Expands:      []int{2, 3},
+		Partitions:   []Partition{{1, 1}, {1, 2}, {2, 2}},
+		QuantBits:    []tensor.Bitwidth{tensor.Bits8, tensor.Bits32},
+	}
+}
+
+// MaxDepthTotal returns the number of layer slots across all stages.
+func (a *Arch) MaxDepthTotal() int {
+	n := 0
+	for _, s := range a.Stages {
+		n += s.MaxDepth
+	}
+	return n
+}
+
+// MaxKernel returns the largest kernel in the space.
+func (a *Arch) MaxKernel() int {
+	m := 0
+	for _, k := range a.Kernels {
+		if k > m {
+			m = k
+		}
+	}
+	return m
+}
+
+// MaxExpand returns the largest expansion ratio in the space.
+func (a *Arch) MaxExpand() int {
+	m := 0
+	for _, e := range a.Expands {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// LayerSetting holds the elastic settings of one active MBConv layer.
+type LayerSetting struct {
+	Kernel    int
+	Expand    int
+	Partition Partition
+	Quant     tensor.Bitwidth
+}
+
+// Config is a fully specified submodel: resolution, per-stage depths, and
+// per-active-layer settings (indexed stage-major: all layers of stage 0,
+// then stage 1, ...). Layers[i] corresponds to ActiveLayerIndex.
+type Config struct {
+	Resolution int
+	Depths     []int
+	Layers     []LayerSetting
+}
+
+// Clone deep-copies the config.
+func (c *Config) Clone() *Config {
+	return &Config{
+		Resolution: c.Resolution,
+		Depths:     append([]int(nil), c.Depths...),
+		Layers:     append([]LayerSetting(nil), c.Layers...),
+	}
+}
+
+// NumLayers returns the number of active MBConv layers.
+func (c *Config) NumLayers() int { return len(c.Layers) }
+
+// Validate checks the config against the search space.
+func (a *Arch) Validate(c *Config) error {
+	if !containsInt(a.Resolutions, c.Resolution) {
+		return fmt.Errorf("supernet: resolution %d not in space %v", c.Resolution, a.Resolutions)
+	}
+	if len(c.Depths) != len(a.Stages) {
+		return fmt.Errorf("supernet: %d depths for %d stages", len(c.Depths), len(a.Stages))
+	}
+	total := 0
+	for i, d := range c.Depths {
+		s := a.Stages[i]
+		if d < s.MinDepth || d > s.MaxDepth {
+			return fmt.Errorf("supernet: stage %d depth %d outside [%d,%d]", i, d, s.MinDepth, s.MaxDepth)
+		}
+		total += d
+	}
+	if len(c.Layers) != total {
+		return fmt.Errorf("supernet: %d layer settings for %d active layers", len(c.Layers), total)
+	}
+	for i, l := range c.Layers {
+		if !containsInt(a.Kernels, l.Kernel) {
+			return fmt.Errorf("supernet: layer %d kernel %d not in %v", i, l.Kernel, a.Kernels)
+		}
+		if !containsInt(a.Expands, l.Expand) {
+			return fmt.Errorf("supernet: layer %d expand %d not in %v", i, l.Expand, a.Expands)
+		}
+		if !containsPartition(a.Partitions, l.Partition) {
+			return fmt.Errorf("supernet: layer %d partition %v not in space", i, l.Partition)
+		}
+		if !containsBits(a.QuantBits, l.Quant) {
+			return fmt.Errorf("supernet: layer %d quant %d not in space", i, l.Quant)
+		}
+	}
+	return nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsPartition(xs []Partition, v Partition) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsBits(xs []tensor.Bitwidth, v tensor.Bitwidth) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxConfig returns the largest submodel: max resolution, depth, kernel,
+// expand, no partitioning, full precision.
+func (a *Arch) MaxConfig() *Config {
+	c := &Config{Resolution: maxInt(a.Resolutions)}
+	for _, s := range a.Stages {
+		c.Depths = append(c.Depths, s.MaxDepth)
+		for i := 0; i < s.MaxDepth; i++ {
+			c.Layers = append(c.Layers, LayerSetting{
+				Kernel: a.MaxKernel(), Expand: a.MaxExpand(),
+				Partition: Partition{1, 1}, Quant: tensor.Bits32,
+			})
+		}
+	}
+	return c
+}
+
+// MinConfig returns the smallest submodel: min resolution, depth, kernel,
+// expand, no partitioning, 8-bit activations.
+func (a *Arch) MinConfig() *Config {
+	minQ := a.QuantBits[0]
+	for _, q := range a.QuantBits {
+		if q < minQ {
+			minQ = q
+		}
+	}
+	c := &Config{Resolution: minInt(a.Resolutions)}
+	for _, s := range a.Stages {
+		c.Depths = append(c.Depths, s.MinDepth)
+		for i := 0; i < s.MinDepth; i++ {
+			c.Layers = append(c.Layers, LayerSetting{
+				Kernel: minInt(a.Kernels), Expand: minInt(a.Expands),
+				Partition: Partition{1, 1}, Quant: minQ,
+			})
+		}
+	}
+	return c
+}
+
+// RandomConfig samples a uniform random submodel.
+func (a *Arch) RandomConfig(rng *rand.Rand) *Config {
+	c := &Config{Resolution: a.Resolutions[rng.Intn(len(a.Resolutions))]}
+	for _, s := range a.Stages {
+		d := s.MinDepth + rng.Intn(s.MaxDepth-s.MinDepth+1)
+		c.Depths = append(c.Depths, d)
+		for i := 0; i < d; i++ {
+			c.Layers = append(c.Layers, LayerSetting{
+				Kernel:    a.Kernels[rng.Intn(len(a.Kernels))],
+				Expand:    a.Expands[rng.Intn(len(a.Expands))],
+				Partition: a.Partitions[rng.Intn(len(a.Partitions))],
+				Quant:     a.QuantBits[rng.Intn(len(a.QuantBits))],
+			})
+		}
+	}
+	return c
+}
+
+// Mutate returns a copy of c with roughly rate·|settings| random settings
+// re-sampled (at least one). Used by evolutionary search and SUPREME's
+// replay-buffer mutation.
+func (a *Arch) Mutate(c *Config, rate float64, rng *rand.Rand) *Config {
+	out := c.Clone()
+	if rng.Float64() < rate {
+		out.Resolution = a.Resolutions[rng.Intn(len(a.Resolutions))]
+	}
+	// Depth mutation requires re-shaping the layer list.
+	for si := range out.Depths {
+		if rng.Float64() < rate {
+			s := a.Stages[si]
+			newD := s.MinDepth + rng.Intn(s.MaxDepth-s.MinDepth+1)
+			out = reshapeDepth(a, out, si, newD, rng)
+		}
+	}
+	for i := range out.Layers {
+		if rng.Float64() < rate {
+			out.Layers[i].Kernel = a.Kernels[rng.Intn(len(a.Kernels))]
+		}
+		if rng.Float64() < rate {
+			out.Layers[i].Expand = a.Expands[rng.Intn(len(a.Expands))]
+		}
+		if rng.Float64() < rate {
+			out.Layers[i].Partition = a.Partitions[rng.Intn(len(a.Partitions))]
+		}
+		if rng.Float64() < rate {
+			out.Layers[i].Quant = a.QuantBits[rng.Intn(len(a.QuantBits))]
+		}
+	}
+	if out.String() == c.String() && len(a.Kernels) > 1 {
+		// Force one real change so Mutate never returns an identical config.
+		i := rng.Intn(len(out.Layers))
+		cur := out.Layers[i].Kernel
+		for {
+			k := a.Kernels[rng.Intn(len(a.Kernels))]
+			if k != cur {
+				out.Layers[i].Kernel = k
+				break
+			}
+		}
+	}
+	return out
+}
+
+// reshapeDepth changes stage si of cfg to depth newD, trimming or extending
+// the layer list with random settings.
+func reshapeDepth(a *Arch, cfg *Config, si, newD int, rng *rand.Rand) *Config {
+	out := &Config{Resolution: cfg.Resolution, Depths: append([]int(nil), cfg.Depths...)}
+	idx := 0
+	for s := 0; s < len(a.Stages); s++ {
+		d := cfg.Depths[s]
+		stageLayers := cfg.Layers[idx : idx+d]
+		idx += d
+		if s != si {
+			out.Layers = append(out.Layers, stageLayers...)
+			continue
+		}
+		out.Depths[s] = newD
+		for i := 0; i < newD; i++ {
+			if i < len(stageLayers) {
+				out.Layers = append(out.Layers, stageLayers[i])
+			} else {
+				out.Layers = append(out.Layers, LayerSetting{
+					Kernel:    a.Kernels[rng.Intn(len(a.Kernels))],
+					Expand:    a.Expands[rng.Intn(len(a.Expands))],
+					Partition: a.Partitions[rng.Intn(len(a.Partitions))],
+					Quant:     a.QuantBits[rng.Intn(len(a.QuantBits))],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Crossover produces a child taking each stage's depth and layers from one of
+// the two parents uniformly at random (used by evolutionary search).
+func (a *Arch) Crossover(p1, p2 *Config, rng *rand.Rand) *Config {
+	child := &Config{}
+	if rng.Intn(2) == 0 {
+		child.Resolution = p1.Resolution
+	} else {
+		child.Resolution = p2.Resolution
+	}
+	i1, i2 := 0, 0
+	for s := range a.Stages {
+		d1, d2 := p1.Depths[s], p2.Depths[s]
+		l1 := p1.Layers[i1 : i1+d1]
+		l2 := p2.Layers[i2 : i2+d2]
+		i1 += d1
+		i2 += d2
+		if rng.Intn(2) == 0 {
+			child.Depths = append(child.Depths, d1)
+			child.Layers = append(child.Layers, l1...)
+		} else {
+			child.Depths = append(child.Depths, d2)
+			child.Layers = append(child.Layers, l2...)
+		}
+	}
+	return child
+}
+
+func maxInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// String renders a compact human-readable config description.
+func (c *Config) String() string {
+	s := fmt.Sprintf("r%d d%v [", c.Resolution, c.Depths)
+	for i, l := range c.Layers {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("k%de%d%sq%d", l.Kernel, l.Expand, l.Partition, l.Quant)
+	}
+	return s + "]"
+}

@@ -1,0 +1,167 @@
+package supernet
+
+import (
+	"math/rand"
+	"testing"
+
+	"murmuration/internal/tensor"
+)
+
+func TestMaxMinConfigsValid(t *testing.T) {
+	for _, a := range []*Arch{DefaultArch(), TinyArch(4)} {
+		if err := a.Validate(a.MaxConfig()); err != nil {
+			t.Fatalf("%s max config invalid: %v", a.Name, err)
+		}
+		if err := a.Validate(a.MinConfig()); err != nil {
+			t.Fatalf("%s min config invalid: %v", a.Name, err)
+		}
+	}
+}
+
+func TestMaxConfigIsLargest(t *testing.T) {
+	a := DefaultArch()
+	maxC, _ := a.Costs(a.MaxConfig())
+	minC, _ := a.Costs(a.MinConfig())
+	if TotalFLOPs(maxC) <= TotalFLOPs(minC) {
+		t.Fatal("max config must have more FLOPs than min config")
+	}
+	if TotalWeightBytes(maxC) <= TotalWeightBytes(minC) {
+		t.Fatal("max config must have more weights than min config")
+	}
+}
+
+func TestRandomConfigsValid(t *testing.T) {
+	a := DefaultArch()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		c := a.RandomConfig(rng)
+		if err := a.Validate(c); err != nil {
+			t.Fatalf("random config %d invalid: %v\n%s", i, err, c)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	a := DefaultArch()
+	good := a.MaxConfig()
+
+	bad := good.Clone()
+	bad.Resolution = 999
+	if a.Validate(bad) == nil {
+		t.Fatal("bad resolution accepted")
+	}
+
+	bad = good.Clone()
+	bad.Depths[0] = 99
+	if a.Validate(bad) == nil {
+		t.Fatal("bad depth accepted")
+	}
+
+	bad = good.Clone()
+	bad.Layers[0].Kernel = 11
+	if a.Validate(bad) == nil {
+		t.Fatal("bad kernel accepted")
+	}
+
+	bad = good.Clone()
+	bad.Layers[2].Partition = Partition{3, 3}
+	if a.Validate(bad) == nil {
+		t.Fatal("bad partition accepted")
+	}
+
+	bad = good.Clone()
+	bad.Layers[1].Quant = tensor.Bitwidth(4)
+	if a.Validate(bad) == nil {
+		t.Fatal("bad quant accepted")
+	}
+
+	bad = good.Clone()
+	bad.Layers = bad.Layers[:len(bad.Layers)-1]
+	if a.Validate(bad) == nil {
+		t.Fatal("layer/depth mismatch accepted")
+	}
+}
+
+func TestMutateProducesValidDistinctConfigs(t *testing.T) {
+	a := DefaultArch()
+	rng := rand.New(rand.NewSource(2))
+	base := a.RandomConfig(rng)
+	for i := 0; i < 100; i++ {
+		m := a.Mutate(base, 0.1, rng)
+		if err := a.Validate(m); err != nil {
+			t.Fatalf("mutation %d invalid: %v", i, err)
+		}
+		if m.String() == base.String() {
+			t.Fatalf("mutation %d produced identical config", i)
+		}
+	}
+}
+
+func TestMutateDoesNotAliasParent(t *testing.T) {
+	a := TinyArch(4)
+	rng := rand.New(rand.NewSource(3))
+	base := a.MaxConfig()
+	snapshot := base.String()
+	for i := 0; i < 50; i++ {
+		a.Mutate(base, 0.5, rng)
+	}
+	if base.String() != snapshot {
+		t.Fatal("Mutate modified the parent config")
+	}
+}
+
+func TestCrossoverValid(t *testing.T) {
+	a := DefaultArch()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		p1 := a.RandomConfig(rng)
+		p2 := a.RandomConfig(rng)
+		child := a.Crossover(p1, p2, rng)
+		if err := a.Validate(child); err != nil {
+			t.Fatalf("crossover %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := TinyArch(4)
+	c := a.MaxConfig()
+	cl := c.Clone()
+	cl.Layers[0].Kernel = 3 // max config uses kernel 5 in TinyArch
+	cl.Depths[0] = 1
+	if c.Layers[0].Kernel == 3 || c.Depths[0] == 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestPartitionHelpers(t *testing.T) {
+	p := Partition{2, 2}
+	if p.NumTiles() != 4 || p.String() != "2x2" {
+		t.Fatalf("partition helpers: %d %s", p.NumTiles(), p)
+	}
+}
+
+func TestArchBounds(t *testing.T) {
+	a := DefaultArch()
+	if a.MaxKernel() != 7 || a.MaxExpand() != 6 {
+		t.Fatalf("MaxKernel/MaxExpand = %d/%d", a.MaxKernel(), a.MaxExpand())
+	}
+	if a.MaxDepthTotal() != 20 {
+		t.Fatalf("MaxDepthTotal = %d, want 20 (5 stages × 4)", a.MaxDepthTotal())
+	}
+}
+
+func TestPaperScaleFLOPsRange(t *testing.T) {
+	// The MobileNetV3-Large family runs 150–700 MFLOPs at these
+	// resolutions; the supernet's max config should land in that regime
+	// (×2 for our multiply+add counting convention).
+	a := DefaultArch()
+	costs, err := a.Costs(a.MaxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := TotalFLOPs(costs)
+	if fl < 100e6 || fl > 3e9 {
+		t.Fatalf("max config FLOPs %v outside MobileNetV3 regime", fl)
+	}
+}

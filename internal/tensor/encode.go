@@ -1,0 +1,184 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format (little endian):
+//
+//	u8   tag ('T' plain, 'Q' quantized)
+//	u8   rank | bits marker
+//	u32  per-dim sizes
+//	f32  scale (quantized only)
+//	payload
+//
+// Used by rpcx to stream activations between executors; the payload size of a
+// quantized tensor is exactly Quantized.WireBytes, so emulated transfer time
+// matches the cost model.
+
+var errBadWire = errors.New("tensor: malformed wire data")
+
+// Encode writes t to w in the plain float32 wire format.
+func Encode(w io.Writer, t *Tensor) error {
+	hdr := []byte{'T', byte(len(t.Shape))}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	var b4 [4]byte
+	for _, s := range t.Shape {
+		binary.LittleEndian.PutUint32(b4[:], uint32(s))
+		if _, err := w.Write(b4[:]); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 4*len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Decode reads a plain tensor previously written by Encode.
+func Decode(r io.Reader) (*Tensor, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != 'T' {
+		return nil, fmt.Errorf("%w: tag %q", errBadWire, hdr[0])
+	}
+	rank := int(hdr[1])
+	shape := make([]int, rank)
+	var b4 [4]byte
+	n := 1
+	for i := 0; i < rank; i++ {
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			return nil, err
+		}
+		shape[i] = int(binary.LittleEndian.Uint32(b4[:]))
+		n *= shape[i]
+	}
+	if n < 0 || n > 1<<30 {
+		return nil, fmt.Errorf("%w: implausible element count %d", errBadWire, n)
+	}
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return t, nil
+}
+
+// EncodeQuantized writes q to w. The payload is the integer codes at the
+// quantized bitwidth, so lower bitwidths genuinely send fewer bytes.
+func EncodeQuantized(w io.Writer, q *Quantized) error {
+	hdr := []byte{'Q', byte(len(q.Shape)), byte(q.Bits)}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	var b4 [4]byte
+	for _, s := range q.Shape {
+		binary.LittleEndian.PutUint32(b4[:], uint32(s))
+		if _, err := w.Write(b4[:]); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(b4[:], math.Float32bits(q.Scale))
+	if _, err := w.Write(b4[:]); err != nil {
+		return err
+	}
+	switch q.Bits {
+	case Bits8:
+		buf := make([]byte, len(q.Q8))
+		for i, v := range q.Q8 {
+			buf[i] = byte(v)
+		}
+		_, err := w.Write(buf)
+		return err
+	case Bits16:
+		buf := make([]byte, 2*len(q.Q16))
+		for i, v := range q.Q16 {
+			binary.LittleEndian.PutUint16(buf[i*2:], uint16(v))
+		}
+		_, err := w.Write(buf)
+		return err
+	default:
+		buf := make([]byte, 4*len(q.F32))
+		for i, v := range q.F32 {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		_, err := w.Write(buf)
+		return err
+	}
+}
+
+// DecodeQuantized reads a quantized tensor written by EncodeQuantized.
+func DecodeQuantized(r io.Reader) (*Quantized, error) {
+	var hdr [3]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != 'Q' {
+		return nil, fmt.Errorf("%w: tag %q", errBadWire, hdr[0])
+	}
+	rank := int(hdr[1])
+	bits := Bitwidth(hdr[2])
+	if !bits.Valid() {
+		return nil, fmt.Errorf("%w: bits %d", errBadWire, bits)
+	}
+	q := &Quantized{Bits: bits, Shape: make([]int, rank)}
+	var b4 [4]byte
+	n := 1
+	for i := 0; i < rank; i++ {
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			return nil, err
+		}
+		q.Shape[i] = int(binary.LittleEndian.Uint32(b4[:]))
+		n *= q.Shape[i]
+	}
+	if n < 0 || n > 1<<30 {
+		return nil, fmt.Errorf("%w: implausible element count %d", errBadWire, n)
+	}
+	if _, err := io.ReadFull(r, b4[:]); err != nil {
+		return nil, err
+	}
+	q.Scale = math.Float32frombits(binary.LittleEndian.Uint32(b4[:]))
+	switch bits {
+	case Bits8:
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		q.Q8 = make([]int8, n)
+		for i, b := range buf {
+			q.Q8[i] = int8(b)
+		}
+	case Bits16:
+		buf := make([]byte, 2*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		q.Q16 = make([]int16, n)
+		for i := range q.Q16 {
+			q.Q16[i] = int16(binary.LittleEndian.Uint16(buf[i*2:]))
+		}
+	default:
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		q.F32 = make([]float32, n)
+		for i := range q.F32 {
+			q.F32[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+	}
+	return q, nil
+}

@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRoundTrip32(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 2, 3, 4, 4)
+	q := Quantize(x, Bits32)
+	y := q.Dequantize()
+	if d := maxDiff(x, y); d != 0 {
+		t.Fatalf("32-bit quantization must be lossless, diff %v", d)
+	}
+}
+
+func TestQuantizeErrorBound8And16(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randTensor(rng, 1, 8, 14, 14)
+	for _, bits := range []Bitwidth{Bits8, Bits16} {
+		q := Quantize(x, bits)
+		y := q.Dequantize()
+		bound := float64(MaxQuantError(x.MaxAbs(), bits))
+		if d := maxDiff(x, y); d > bound {
+			t.Fatalf("bits %d: error %v exceeds bound %v", bits, d, bound)
+		}
+	}
+}
+
+func TestQuantizeZeroTensor(t *testing.T) {
+	x := New(4, 4)
+	for _, bits := range []Bitwidth{Bits8, Bits16, Bits32} {
+		q := Quantize(x, bits)
+		y := q.Dequantize()
+		for _, v := range y.Data {
+			if v != 0 {
+				t.Fatalf("bits %d: zero tensor roundtrip nonzero %v", bits, v)
+			}
+		}
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	x := New(2, 3, 4, 4) // 96 elements
+	if got := Quantize(x, Bits8).WireBytes(); got != 96 {
+		t.Fatalf("8-bit wire bytes = %d, want 96", got)
+	}
+	if got := Quantize(x, Bits16).WireBytes(); got != 192 {
+		t.Fatalf("16-bit wire bytes = %d, want 192", got)
+	}
+	if got := Quantize(x, Bits32).WireBytes(); got != 384 {
+		t.Fatalf("32-bit wire bytes = %d, want 384", got)
+	}
+}
+
+func TestBitwidthValid(t *testing.T) {
+	if !Bits8.Valid() || !Bits16.Valid() || !Bits32.Valid() {
+		t.Fatal("supported widths must be valid")
+	}
+	if Bitwidth(4).Valid() || Bitwidth(0).Valid() {
+		t.Fatal("unsupported widths must be invalid")
+	}
+}
+
+// Property: quantization error never exceeds the analytic half-step bound,
+// for any finite input and either lossy bitwidth.
+func TestQuantErrorBoundProperty(t *testing.T) {
+	f := func(raw []float32, use8 bool) bool {
+		vals := make([]float32, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) && math.Abs(float64(v)) < 1e30 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		x := FromSlice(vals, len(vals))
+		bits := Bits16
+		if use8 {
+			bits = Bits8
+		}
+		q := Quantize(x, bits)
+		y := q.Dequantize()
+		bound := float64(MaxQuantError(x.MaxAbs(), bits))
+		return maxDiff(x, y) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeTensor(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := randTensor(rng, 2, 3, 5, 5)
+	var buf bytes.Buffer
+	if err := Encode(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.SameShape(y) || maxDiff(x, y) != 0 {
+		t.Fatal("encode/decode roundtrip mismatch")
+	}
+}
+
+func TestEncodeDecodeQuantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := randTensor(rng, 1, 4, 6, 6)
+	for _, bits := range []Bitwidth{Bits8, Bits16, Bits32} {
+		q := Quantize(x, bits)
+		var buf bytes.Buffer
+		if err := EncodeQuantized(&buf, q); err != nil {
+			t.Fatal(err)
+		}
+		// Header is tag+rank+bits + 4 dims*4 + scale; payload must dominate.
+		wantPayload := q.WireBytes()
+		if buf.Len() != wantPayload+3+4*4+4 {
+			t.Fatalf("bits %d: wire size %d, want %d", bits, buf.Len(), wantPayload+3+16+4)
+		}
+		q2, err := DecodeQuantized(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := q.Dequantize(), q2.Dequantize()
+		if maxDiff(a, b) != 0 {
+			t.Fatalf("bits %d: quantized roundtrip mismatch", bits)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte{'X', 1, 0, 0, 0, 0})); err == nil {
+		t.Fatal("Decode should reject bad tag")
+	}
+	if _, err := DecodeQuantized(bytes.NewReader([]byte{'Q', 1, 7, 1, 0, 0, 0})); err == nil {
+		t.Fatal("DecodeQuantized should reject bad bitwidth")
+	}
+}
+
+func BenchmarkConv2DIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 1, 32, 56, 56)
+	w := randTensor(rng, 64, 32, 3, 3)
+	bias := randTensor(rng, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, w, bias, ConvOpts{Stride: 1, Padding: 1})
+	}
+}
+
+func BenchmarkDepthwiseConv(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 1, 64, 56, 56)
+	w := randTensor(rng, 64, 1, 3, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DepthwiseConv2D(x, w, nil, ConvOpts{Stride: 1, Padding: 1})
+	}
+}
+
+func BenchmarkQuantize8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 1, 64, 56, 56)
+	b.SetBytes(int64(4 * x.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Quantize(x, Bits8)
+	}
+}

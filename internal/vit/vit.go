@@ -1,0 +1,283 @@
+// Package vit implements the Vision-Transformer extension the paper sketches
+// in §4.1: "this spatial partitioning strategy can also be applied to other
+// DNN models such as Vision Transformers, where different image patches are
+// sent to different devices for parallel attention computation".
+//
+// It provides an elastic ViT search space (depth, embedding width, heads,
+// patch resolution — the Autoformer [2] axes) with a per-block cost model
+// compatible with the supernet latency machinery, plus a patch-parallel
+// execution estimator: each device holds a shard of the token sequence,
+// computes Q/K/V locally, exchanges K/V shards for full attention, and runs
+// its MLP shard independently.
+package vit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"murmuration/internal/device"
+	"murmuration/internal/supernet"
+	"murmuration/internal/tensor"
+)
+
+// Arch is the elastic ViT search space.
+type Arch struct {
+	Name        string
+	PatchSize   int
+	NumClasses  int
+	Resolutions []int
+	Depths      []int // encoder block counts
+	Dims        []int // embedding widths
+	Heads       []int
+	MLPRatio    int
+	QuantBits   []tensor.Bitwidth
+}
+
+// DefaultArch is a DeiT-Small-like elastic space.
+func DefaultArch() *Arch {
+	return &Arch{
+		Name:        "vit-supernet",
+		PatchSize:   16,
+		NumClasses:  1000,
+		Resolutions: []int{160, 192, 224},
+		Depths:      []int{6, 9, 12},
+		Dims:        []int{192, 288, 384},
+		Heads:       []int{3, 6},
+		MLPRatio:    4,
+		QuantBits:   []tensor.Bitwidth{tensor.Bits8, tensor.Bits16, tensor.Bits32},
+	}
+}
+
+// Config is one ViT submodel.
+type Config struct {
+	Resolution int
+	Depth      int
+	Dim        int
+	Heads      int
+	Quant      tensor.Bitwidth
+	// Shards is the number of devices the token sequence is split across
+	// (1 = no partitioning).
+	Shards int
+}
+
+// Validate checks cfg against the space.
+func (a *Arch) Validate(c Config) error {
+	if !has(a.Resolutions, c.Resolution) {
+		return fmt.Errorf("vit: resolution %d not in %v", c.Resolution, a.Resolutions)
+	}
+	if !has(a.Depths, c.Depth) {
+		return fmt.Errorf("vit: depth %d not in %v", c.Depth, a.Depths)
+	}
+	if !has(a.Dims, c.Dim) {
+		return fmt.Errorf("vit: dim %d not in %v", c.Dim, a.Dims)
+	}
+	if !has(a.Heads, c.Heads) {
+		return fmt.Errorf("vit: heads %d not in %v", c.Heads, a.Heads)
+	}
+	if c.Dim%c.Heads != 0 {
+		return fmt.Errorf("vit: dim %d not divisible by heads %d", c.Dim, c.Heads)
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("vit: shards %d < 1", c.Shards)
+	}
+	valid := false
+	for _, q := range a.QuantBits {
+		if q == c.Quant {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("vit: quant %d not in space", c.Quant)
+	}
+	return nil
+}
+
+func has(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomConfig samples a uniform config (Shards fixed to 1; the placement
+// decision adds sharding).
+func (a *Arch) RandomConfig(rng *rand.Rand) Config {
+	c := Config{
+		Resolution: a.Resolutions[rng.Intn(len(a.Resolutions))],
+		Depth:      a.Depths[rng.Intn(len(a.Depths))],
+		Dim:        a.Dims[rng.Intn(len(a.Dims))],
+		Heads:      a.Heads[rng.Intn(len(a.Heads))],
+		Quant:      a.QuantBits[rng.Intn(len(a.QuantBits))],
+		Shards:     1,
+	}
+	for c.Dim%c.Heads != 0 {
+		c.Heads = a.Heads[rng.Intn(len(a.Heads))]
+	}
+	return c
+}
+
+// Tokens returns the sequence length (patches + class token).
+func (c Config) Tokens() int {
+	n := c.Resolution / 16
+	return n*n + 1
+}
+
+// Costs returns the per-block cost chain of the config, in the shared
+// LayerCost format (stem = patch embedding, one entry per encoder block,
+// head = classifier). Encoder blocks are partitionable: tokens shard across
+// devices.
+func (a *Arch) Costs(c Config) ([]supernet.LayerCost, error) {
+	if err := a.Validate(c); err != nil {
+		return nil, err
+	}
+	n := float64(c.Tokens())
+	d := float64(c.Dim)
+	var out []supernet.LayerCost
+
+	// Patch embedding: conv patchify + position add.
+	patchFlops := 2 * n * d * float64(3*a.PatchSize*a.PatchSize)
+	patchW := float64(3*a.PatchSize*a.PatchSize) * d * 4
+	out = append(out, supernet.LayerCost{
+		Name: "patch-embed", FLOPs: patchFlops,
+		MemBytes:    patchW + (n*d+float64(c.Resolution*c.Resolution*3))*4,
+		WeightBytes: patchW,
+		InElems:     c.Resolution * c.Resolution * 3,
+		OutElems:    int(n * d),
+		Partition:   supernet.Partition{Gy: 1, Gx: 1},
+		Quant:       tensor.Bits32,
+	})
+
+	// Encoder blocks: attention (QKV proj + scores + AV + out proj) + MLP.
+	attn := 2*n*d*d*4 + 2*n*n*d*2 // projections + attention matmuls
+	mlp := 2 * n * d * d * float64(a.MLPRatio) * 2
+	blockW := (4*d*d + 2*d*d*float64(a.MLPRatio)) * 4
+	for b := 0; b < c.Depth; b++ {
+		out = append(out, supernet.LayerCost{
+			Name:          fmt.Sprintf("block%d", b),
+			FLOPs:         attn + mlp,
+			MemBytes:      blockW + 3*n*d*4,
+			WeightBytes:   blockW,
+			InElems:       int(n * d),
+			OutElems:      int(n * d),
+			Partition:     supernet.Partition{Gy: 1, Gx: 1},
+			Quant:         c.Quant,
+			Partitionable: true,
+		})
+	}
+
+	headW := d * float64(a.NumClasses) * 4
+	out = append(out, supernet.LayerCost{
+		Name: "head", FLOPs: 2 * d * float64(a.NumClasses),
+		MemBytes: headW + d*4, WeightBytes: headW,
+		InElems: int(n * d), OutElems: a.NumClasses,
+		Partition: supernet.Partition{Gy: 1, Gx: 1},
+		Quant:     tensor.Bits32,
+	})
+	return out, nil
+}
+
+// Accuracy is a calibrated predictor over the elastic axes, anchored to the
+// DeiT family (DeiT-S 79.8 %, reduced-depth/width/resolution variants lower)
+// with the same quantization penalty as the CNN predictor.
+func (a *Arch) Accuracy(c Config) float64 {
+	acc := 79.8
+	acc -= 7.0 * (1 - float64(c.Dim)/float64(maxOf(a.Dims)))
+	acc -= 0.35 * float64(maxOf(a.Depths)-c.Depth)
+	maxRes := float64(maxOf(a.Resolutions))
+	acc -= 5.0 * (maxRes - float64(c.Resolution)) / maxRes
+	acc -= 0.4 * (32 - float64(c.Quant)) / 24
+	if c.Heads < maxOf(a.Heads) {
+		acc -= 0.2
+	}
+	// Patch-parallel execution computes exact attention (K/V are
+	// exchanged), so sharding itself costs no accuracy.
+	return acc
+}
+
+// Breakdown itemizes the patch-parallel latency estimate.
+type Breakdown struct {
+	ComputeSec  float64
+	ExchangeSec float64
+	TotalSec    float64
+}
+
+// EstimateLatency models patch-parallel execution of cfg on the cluster:
+// the token sequence shards evenly over cfg.Shards devices (device 0 first);
+// each encoder block computes local Q/K/V, all-gathers the K/V shards
+// through the star topology, attends its shard against the full sequence,
+// and runs its MLP shard. The patch embedding and classifier run on the
+// local device.
+func EstimateLatency(a *Arch, c Config, cluster *device.Cluster) (Breakdown, error) {
+	costs, err := a.Costs(c)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	if c.Shards > cluster.N() {
+		return Breakdown{}, fmt.Errorf("vit: %d shards > %d devices", c.Shards, cluster.N())
+	}
+	var br Breakdown
+	n := float64(c.Tokens())
+	d := float64(c.Dim)
+	qBytes := float64(c.Quant.BytesPerElement())
+
+	// Patch embedding local.
+	br.ComputeSec += cluster.Devices[0].Profile.LayerTime(costs[0].FLOPs, costs[0].MemBytes)
+
+	if c.Shards == 1 {
+		for _, lc := range costs[1 : len(costs)-1] {
+			br.ComputeSec += cluster.Devices[0].Profile.LayerTime(lc.FLOPs, lc.MemBytes)
+		}
+	} else {
+		// Scatter token shards once (embedded tokens, quantized). Links to
+		// distinct devices run in parallel (switch topology).
+		shardBytes := n * d * qBytes / float64(c.Shards)
+		br.ExchangeSec += maxLinkTime(cluster, 1, c.Shards, shardBytes)
+		// Per block: parallel compute of 1/Shards of the work + K/V
+		// all-gather (each remote ships its K/V shard up and pulls the
+		// other shards down; both directions share its link).
+		kvShard := 2 * n * d * qBytes / float64(c.Shards)
+		for _, lc := range costs[1 : len(costs)-1] {
+			var maxComp float64
+			for s := 0; s < c.Shards; s++ {
+				t := cluster.Devices[s].Profile.LayerTime(lc.FLOPs/float64(c.Shards), lc.MemBytes/float64(c.Shards))
+				if t > maxComp {
+					maxComp = t
+				}
+			}
+			br.ComputeSec += maxComp
+			br.ExchangeSec += maxLinkTime(cluster, 1, c.Shards, kvShard*float64(c.Shards))
+		}
+		// Gather final token shards back to local for the head.
+		br.ExchangeSec += maxLinkTime(cluster, 1, c.Shards, shardBytes)
+	}
+
+	// Head local.
+	last := costs[len(costs)-1]
+	br.ComputeSec += cluster.Devices[0].Profile.LayerTime(last.FLOPs, last.MemBytes)
+	br.TotalSec = br.ComputeSec + br.ExchangeSec
+	return br, nil
+}
+
+// maxLinkTime is the duration of a synchronized transfer phase where every
+// device in [lo, hi) moves `bytes` over its own link in parallel.
+func maxLinkTime(cluster *device.Cluster, lo, hi int, bytes float64) float64 {
+	var worst float64
+	for s := lo; s < hi; s++ {
+		if t := cluster.Devices[s].TransferTime(bytes); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+func maxOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,178 @@
+package vit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"murmuration/internal/device"
+	"murmuration/internal/tensor"
+)
+
+func maxCfg() Config {
+	return Config{Resolution: 224, Depth: 12, Dim: 384, Heads: 6, Quant: tensor.Bits32, Shards: 1}
+}
+
+func TestValidate(t *testing.T) {
+	a := DefaultArch()
+	if err := a.Validate(maxCfg()); err != nil {
+		t.Fatal(err)
+	}
+	bad := maxCfg()
+	bad.Resolution = 100
+	if a.Validate(bad) == nil {
+		t.Fatal("bad resolution accepted")
+	}
+	bad = maxCfg()
+	bad.Dim = 200
+	if a.Validate(bad) == nil {
+		t.Fatal("bad dim accepted")
+	}
+	bad = maxCfg()
+	bad.Shards = 0
+	if a.Validate(bad) == nil {
+		t.Fatal("zero shards accepted")
+	}
+}
+
+func TestRandomConfigsValid(t *testing.T) {
+	a := DefaultArch()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		c := a.RandomConfig(rng)
+		if err := a.Validate(c); err != nil {
+			t.Fatalf("random config %d: %v", i, err)
+		}
+	}
+}
+
+func TestTokens(t *testing.T) {
+	c := maxCfg()
+	if c.Tokens() != 14*14+1 {
+		t.Fatalf("224/16 should give 197 tokens, got %d", c.Tokens())
+	}
+}
+
+func TestCostsInDeiTRegime(t *testing.T) {
+	// DeiT-S at 224 is ~4.6 GMACs; the cost chain should land near 2x that
+	// in FLOPs (generous band: structure, not exactness).
+	a := DefaultArch()
+	costs, err := a.Costs(maxCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, lc := range costs {
+		total += lc.FLOPs
+	}
+	if total < 3e9 || total > 30e9 {
+		t.Fatalf("ViT-S FLOPs %v outside regime", total)
+	}
+	if len(costs) != 1+12+1 {
+		t.Fatalf("cost chain has %d entries", len(costs))
+	}
+	if costs[0].Partitionable || costs[len(costs)-1].Partitionable {
+		t.Fatal("patch embed and head must not be partitionable")
+	}
+}
+
+func TestAccuracyMonotone(t *testing.T) {
+	a := DefaultArch()
+	base := a.Accuracy(maxCfg())
+	if base < 79 || base > 80.5 {
+		t.Fatalf("max ViT accuracy %v, want ≈79.8", base)
+	}
+	small := maxCfg()
+	small.Dim = 192
+	small.Depth = 6
+	small.Resolution = 160
+	small.Quant = tensor.Bits8
+	if got := a.Accuracy(small); got >= base || got < 65 {
+		t.Fatalf("small ViT accuracy %v implausible (base %v)", got, base)
+	}
+	// Sharding is accuracy-free (exact attention via K/V exchange).
+	sharded := maxCfg()
+	sharded.Shards = 4
+	if a.Accuracy(sharded) != base {
+		t.Fatal("patch-parallel sharding must not change accuracy")
+	}
+}
+
+func TestPatchParallelSpeedsUpOnFastLinks(t *testing.T) {
+	a := DefaultArch()
+	cl := device.DeviceSwarm(4, 1000, 2)
+	single, err := EstimateLatency(a, maxCfg(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := maxCfg()
+	sharded.Shards = 4
+	sharded.Quant = tensor.Bits8 // quantized K/V exchange
+	par, err := EstimateLatency(a, sharded, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalSec >= single.TotalSec {
+		t.Fatalf("patch-parallel (%v) should beat single device (%v) at 1 Gb/s",
+			par.TotalSec, single.TotalSec)
+	}
+	if par.ExchangeSec <= 0 {
+		t.Fatal("sharded execution must pay K/V exchange")
+	}
+}
+
+func TestSlowLinksKillPatchParallel(t *testing.T) {
+	a := DefaultArch()
+	cl := device.DeviceSwarm(4, 2, 50) // 2 Mb/s, 50 ms
+	single, _ := EstimateLatency(a, maxCfg(), cl)
+	sharded := maxCfg()
+	sharded.Shards = 4
+	par, err := EstimateLatency(a, sharded, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalSec <= single.TotalSec {
+		t.Fatal("K/V exchange at 2 Mb/s should make sharding slower — the crossover the policy must learn")
+	}
+}
+
+func TestShardsBounded(t *testing.T) {
+	a := DefaultArch()
+	cl := device.DeviceSwarm(2, 100, 10)
+	c := maxCfg()
+	c.Shards = 4
+	if _, err := EstimateLatency(a, c, cl); err == nil {
+		t.Fatal("more shards than devices accepted")
+	}
+}
+
+// Property: quantizing the exchange never increases latency, and more
+// bandwidth never hurts.
+func TestViTLatencyMonotonicityProperty(t *testing.T) {
+	a := DefaultArch()
+	f := func(seed int64, bwRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := a.RandomConfig(rng)
+		c.Shards = 1 + rng.Intn(4)
+		bw := float64(bwRaw%500) + 5
+		cl := device.DeviceSwarm(4, bw, 10)
+		c32 := c
+		c32.Quant = tensor.Bits32
+		c8 := c
+		c8.Quant = tensor.Bits8
+		b32, e1 := EstimateLatency(a, c32, cl)
+		b8, e2 := EstimateLatency(a, c8, cl)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		if b8.TotalSec > b32.TotalSec+1e-9 {
+			return false
+		}
+		cl2 := device.DeviceSwarm(4, bw*2, 10)
+		b2, e3 := EstimateLatency(a, c32, cl2)
+		return e3 == nil && b2.TotalSec <= b32.TotalSec+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

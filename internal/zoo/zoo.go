@@ -1,0 +1,290 @@
+// Package zoo provides per-layer cost profiles of the fixed DNNs the paper
+// combines with the Neurosurgeon and ADCNN baselines (§6.2.1, Figs. 13–16):
+// MobileNetV3-Large, ResNet-50, Inception-V3, DenseNet-161, and
+// ResNeXt101-32x8d.
+//
+// Layer tables are built from each architecture's published structure
+// (stage layout, channel widths, block types) and then scaled so the model
+// totals match the published MAC and parameter counts; top-1 accuracies are
+// the torchvision ImageNet numbers the paper quotes (e.g. DenseNet161 77.1%,
+// ResNeXt101 79.3%).
+package zoo
+
+import (
+	"fmt"
+
+	"murmuration/internal/supernet"
+	"murmuration/internal/tensor"
+)
+
+// Model is a fixed DNN: an immutable per-layer cost table plus metadata.
+type Model struct {
+	Name     string
+	Accuracy float64 // ImageNet top-1, percent
+	// Layers is ordered input→output; Layers[0] is the stem and the last
+	// entry is the classifier head, matching supernet cost tables.
+	Layers []supernet.LayerCost
+}
+
+// TotalFLOPs returns the model's total FLOP count.
+func (m *Model) TotalFLOPs() float64 { return supernet.TotalFLOPs(m.Layers) }
+
+// TotalWeightBytes returns the model's parameter footprint in bytes.
+func (m *Model) TotalWeightBytes() float64 { return supernet.TotalWeightBytes(m.Layers) }
+
+// All returns every zoo model, ordered by accuracy.
+func All() []*Model {
+	return []*Model{
+		MobileNetV3(),
+		ResNet50(),
+		InceptionV3(),
+		DenseNet161(),
+		ResNeXt101(),
+	}
+}
+
+// ByName returns the model with the given name, or an error.
+func ByName(name string) (*Model, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("zoo: unknown model %q", name)
+}
+
+// layerSpec is an intermediate description used by the builders.
+type layerSpec struct {
+	name     string
+	flops    float64
+	weights  float64 // scalar parameter count
+	inElems  int
+	outElems int
+}
+
+// build converts specs into LayerCosts and rescales FLOPs/params to the
+// published totals (macs·2 and params, both absolute counts).
+func build(name string, acc float64, specs []layerSpec, totalMACs, totalParams float64) *Model {
+	var fsum, wsum float64
+	for _, s := range specs {
+		fsum += s.flops
+		wsum += s.weights
+	}
+	fScale := totalMACs * 2 / fsum
+	wScale := totalParams / wsum
+	m := &Model{Name: name, Accuracy: acc}
+	for _, s := range specs {
+		wBytes := s.weights * wScale * 4
+		m.Layers = append(m.Layers, supernet.LayerCost{
+			Name:          s.name,
+			FLOPs:         s.flops * fScale,
+			MemBytes:      wBytes + float64(s.inElems+s.outElems)*4,
+			WeightBytes:   wBytes,
+			InElems:       s.inElems,
+			OutElems:      s.outElems,
+			Partition:     supernet.Partition{Gy: 1, Gx: 1},
+			Quant:         tensor.Bits32,
+			Partitionable: true,
+		})
+	}
+	// Stem and head are not spatially partitionable (matches supernet
+	// conventions: the head is the centrally executed FC).
+	m.Layers[0].Partitionable = false
+	m.Layers[len(m.Layers)-1].Partitionable = false
+	return m
+}
+
+func conv(name string, h, w, cin, cout, k, stride int) layerSpec {
+	oh, ow := h/stride, w/stride
+	return layerSpec{
+		name:     name,
+		flops:    2 * float64(oh*ow) * float64(cin*cout*k*k),
+		weights:  float64(cin*cout*k*k + cout),
+		inElems:  h * w * cin,
+		outElems: oh * ow * cout,
+	}
+}
+
+// MobileNetV3 is MobileNetV3-Large: 219 M MACs, 5.48 M params, 75.2 % top-1.
+func MobileNetV3() *Model {
+	type blk struct{ cin, exp, cout, k, s, res int }
+	blocks := []blk{
+		{16, 16, 16, 3, 1, 112},
+		{16, 64, 24, 3, 2, 112},
+		{24, 72, 24, 3, 1, 56},
+		{24, 72, 40, 5, 2, 56},
+		{40, 120, 40, 5, 1, 28},
+		{40, 120, 40, 5, 1, 28},
+		{40, 240, 80, 3, 2, 28},
+		{80, 200, 80, 3, 1, 14},
+		{80, 184, 80, 3, 1, 14},
+		{80, 184, 80, 3, 1, 14},
+		{80, 480, 112, 3, 1, 14},
+		{112, 672, 112, 3, 1, 14},
+		{112, 672, 160, 5, 2, 14},
+		{160, 960, 160, 5, 1, 7},
+		{160, 960, 160, 5, 1, 7},
+	}
+	specs := []layerSpec{conv("stem", 224, 224, 3, 16, 3, 2)}
+	for i, b := range blocks {
+		oh := b.res / b.s
+		fl := 2*float64(b.res*b.res)*float64(b.cin*b.exp) + // expand
+			2*float64(oh*oh)*float64(b.exp*b.k*b.k) + // depthwise
+			2*float64(oh*oh)*float64(b.exp*b.cout) // project
+		wts := float64(b.cin*b.exp + b.exp*b.k*b.k + b.exp*b.cout)
+		specs = append(specs, layerSpec{
+			name:     fmt.Sprintf("block%d", i),
+			flops:    fl,
+			weights:  wts,
+			inElems:  b.res * b.res * b.cin,
+			outElems: oh * oh * b.cout,
+		})
+	}
+	specs = append(specs, layerSpec{
+		name:     "head",
+		flops:    2 * (float64(7*7*160*960) + 960*1280 + 1280*1000),
+		weights:  float64(160*960 + 960*1280 + 1280*1000),
+		inElems:  7 * 7 * 160,
+		outElems: 1000,
+	})
+	return build("mobilenetv3-large", 75.2, specs, 219e6, 5.48e6)
+}
+
+// ResNet50: 4.09 G MACs, 25.6 M params, 76.1 % top-1.
+func ResNet50() *Model {
+	specs := []layerSpec{conv("stem", 224, 224, 3, 64, 7, 2)}
+	type stage struct{ blocks, width, res int }
+	stages := []stage{{3, 256, 56}, {4, 512, 28}, {6, 1024, 14}, {3, 2048, 7}}
+	cin := 64
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			mid := st.width / 4
+			res := st.res
+			inRes := res
+			if b == 0 && si > 0 {
+				inRes = res * 2
+			}
+			fl := 2*float64(res*res)*float64(cin*mid)/float64(inRes*inRes/(res*res)) +
+				2*float64(res*res)*float64(mid*mid*9) +
+				2*float64(res*res)*float64(mid*st.width)
+			wts := float64(cin*mid + mid*mid*9 + mid*st.width)
+			if b == 0 {
+				wts += float64(cin * st.width) // downsample projection
+			}
+			specs = append(specs, layerSpec{
+				name:     fmt.Sprintf("s%d.b%d", si, b),
+				flops:    fl,
+				weights:  wts,
+				inElems:  inRes * inRes * cin,
+				outElems: res * res * st.width,
+			})
+			cin = st.width
+		}
+	}
+	specs = append(specs, layerSpec{
+		name: "head", flops: 2 * 2048 * 1000, weights: 2048*1000 + 1000,
+		inElems: 7 * 7 * 2048, outElems: 1000,
+	})
+	return build("resnet50", 76.1, specs, 4.09e9, 25.6e6)
+}
+
+// InceptionV3: 5.7 G MACs, 27.2 M params, 77.3 % top-1 (299×299 input).
+func InceptionV3() *Model {
+	specs := []layerSpec{conv("stem", 299, 299, 3, 32, 3, 2)}
+	specs = append(specs,
+		conv("stem2", 149, 149, 32, 64, 3, 1),
+		conv("stem3", 73, 73, 64, 192, 3, 1),
+	)
+	// Inception module groups: 3 at 35×35/288, 5 at 17×17/768, 2 at 8×8/2048.
+	type grp struct{ n, res, ch int }
+	for gi, g := range []grp{{3, 35, 288}, {5, 17, 768}, {2, 8, 2048}} {
+		for i := 0; i < g.n; i++ {
+			// Treat each module as a 1x1-heavy mixed conv of its width.
+			fl := 2 * float64(g.res*g.res) * float64(g.ch*g.ch) * 0.6
+			specs = append(specs, layerSpec{
+				name:     fmt.Sprintf("inception%d.%d", gi, i),
+				flops:    fl,
+				weights:  float64(g.ch*g.ch) * 0.6,
+				inElems:  g.res * g.res * g.ch,
+				outElems: g.res * g.res * g.ch,
+			})
+		}
+	}
+	specs = append(specs, layerSpec{
+		name: "head", flops: 2 * 2048 * 1000, weights: 2048*1000 + 1000,
+		inElems: 8 * 8 * 2048, outElems: 1000,
+	})
+	return build("inceptionv3", 77.3, specs, 5.7e9, 27.2e6)
+}
+
+// DenseNet161: 7.79 G MACs, 28.7 M params, 77.1 % top-1.
+func DenseNet161() *Model {
+	specs := []layerSpec{conv("stem", 224, 224, 3, 96, 7, 2)}
+	// Dense blocks (growth 48): widths after each block, halved by
+	// transitions; modelled at dense-layer granularity grouped in fours.
+	type blk struct{ layers, res, cin, cout int }
+	blocks := []blk{
+		{6, 56, 96, 384},
+		{12, 28, 192, 768},
+		{36, 14, 384, 2112},
+		{24, 7, 1056, 2208},
+	}
+	for bi, b := range blocks {
+		groups := (b.layers + 3) / 4
+		for g := 0; g < groups; g++ {
+			frac := float64(g+1) / float64(groups)
+			ch := float64(b.cin) + (float64(b.cout)-float64(b.cin))*frac
+			fl := 2 * float64(b.res*b.res) * ch * 48 * 4 * 2.5
+			specs = append(specs, layerSpec{
+				name:     fmt.Sprintf("dense%d.%d", bi, g),
+				flops:    fl,
+				weights:  ch * 48 * 5,
+				inElems:  b.res * b.res * int(ch*0.8),
+				outElems: b.res * b.res * int(ch),
+			})
+		}
+	}
+	specs = append(specs, layerSpec{
+		name: "head", flops: 2 * 2208 * 1000, weights: 2208*1000 + 1000,
+		inElems: 7 * 7 * 2208, outElems: 1000,
+	})
+	return build("densenet161", 77.1, specs, 7.79e9, 28.7e6)
+}
+
+// ResNeXt101 is ResNeXt101-32x8d: 16.5 G MACs, 88.8 M params, 79.3 % top-1.
+func ResNeXt101() *Model {
+	specs := []layerSpec{conv("stem", 224, 224, 3, 64, 7, 2)}
+	type stage struct{ blocks, width, mid, res int }
+	stages := []stage{{3, 256, 256, 56}, {4, 512, 512, 28}, {23, 1024, 1024, 14}, {3, 2048, 2048, 7}}
+	cin := 64
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			res := st.res
+			inRes := res
+			if b == 0 && si > 0 {
+				inRes = res * 2
+			}
+			// Grouped 3x3 (32 groups) reduces the middle conv cost.
+			fl := 2*float64(res*res)*float64(cin*st.mid) +
+				2*float64(res*res)*float64(st.mid*st.mid*9)/32 +
+				2*float64(res*res)*float64(st.mid*st.width)
+			wts := float64(cin*st.mid) + float64(st.mid*st.mid*9)/32 + float64(st.mid*st.width)
+			if b == 0 {
+				wts += float64(cin * st.width)
+			}
+			specs = append(specs, layerSpec{
+				name:     fmt.Sprintf("s%d.b%d", si, b),
+				flops:    fl,
+				weights:  wts,
+				inElems:  inRes * inRes * cin,
+				outElems: res * res * st.width,
+			})
+			cin = st.width
+		}
+	}
+	specs = append(specs, layerSpec{
+		name: "head", flops: 2 * 2048 * 1000, weights: 2048*1000 + 1000,
+		inElems: 7 * 7 * 2048, outElems: 1000,
+	})
+	return build("resnext101-32x8d", 79.3, specs, 16.5e9, 88.8e6)
+}

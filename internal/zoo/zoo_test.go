@@ -1,0 +1,138 @@
+package zoo
+
+import (
+	"math"
+	"testing"
+
+	"murmuration/internal/device"
+	"murmuration/internal/supernet"
+)
+
+func TestAllModelsPresent(t *testing.T) {
+	models := All()
+	if len(models) != 5 {
+		t.Fatalf("expected 5 zoo models, got %d", len(models))
+	}
+	names := map[string]bool{}
+	for _, m := range models {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"mobilenetv3-large", "resnet50", "inceptionv3", "densenet161", "resnext101-32x8d"} {
+		if !names[want] {
+			t.Fatalf("missing model %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("resnet50")
+	if err != nil || m.Name != "resnet50" {
+		t.Fatalf("ByName failed: %v", err)
+	}
+	if _, err := ByName("vgg16"); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestPublishedTotalsPreserved(t *testing.T) {
+	cases := []struct {
+		name     string
+		macs     float64
+		params   float64
+		accuracy float64
+	}{
+		{"mobilenetv3-large", 219e6, 5.48e6, 75.2},
+		{"resnet50", 4.09e9, 25.6e6, 76.1},
+		{"inceptionv3", 5.7e9, 27.2e6, 77.3},
+		{"densenet161", 7.79e9, 28.7e6, 77.1},
+		{"resnext101-32x8d", 16.5e9, 88.8e6, 79.3},
+	}
+	for _, c := range cases {
+		m, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.TotalFLOPs()-c.macs*2)/(c.macs*2) > 1e-6 {
+			t.Fatalf("%s FLOPs %v, want %v", c.name, m.TotalFLOPs(), c.macs*2)
+		}
+		if math.Abs(m.TotalWeightBytes()-c.params*4)/(c.params*4) > 1e-6 {
+			t.Fatalf("%s weights %v bytes, want %v", c.name, m.TotalWeightBytes(), c.params*4)
+		}
+		if m.Accuracy != c.accuracy {
+			t.Fatalf("%s accuracy %v, want %v", c.name, m.Accuracy, c.accuracy)
+		}
+	}
+}
+
+func TestAccuracyOrdering(t *testing.T) {
+	// Paper's baseline set: ResNeXt101 > Inception ≈ DenseNet > ResNet50 >
+	// MobileNetV3.
+	rx, _ := ByName("resnext101-32x8d")
+	mb, _ := ByName("mobilenetv3-large")
+	if rx.Accuracy <= mb.Accuracy {
+		t.Fatal("ResNeXt101 must beat MobileNetV3 on accuracy")
+	}
+	if rx.TotalFLOPs() <= mb.TotalFLOPs() {
+		t.Fatal("ResNeXt101 must cost more FLOPs than MobileNetV3")
+	}
+}
+
+func TestLayerChainsConsistent(t *testing.T) {
+	for _, m := range All() {
+		if len(m.Layers) < 5 {
+			t.Fatalf("%s has only %d layers", m.Name, len(m.Layers))
+		}
+		if m.Layers[0].Partitionable || m.Layers[len(m.Layers)-1].Partitionable {
+			t.Fatalf("%s stem/head must not be partitionable", m.Name)
+		}
+		for i, lc := range m.Layers {
+			if lc.FLOPs <= 0 || lc.OutElems <= 0 || lc.InElems <= 0 {
+				t.Fatalf("%s layer %d (%s) has non-positive fields", m.Name, i, lc.Name)
+			}
+		}
+		if m.Layers[len(m.Layers)-1].OutElems != 1000 {
+			t.Fatalf("%s head must emit 1000 classes", m.Name)
+		}
+	}
+}
+
+func TestZooModelsWorkWithLatencyModel(t *testing.T) {
+	// The whole point of shared LayerCost: zoo models drop into
+	// EstimateLatency unchanged.
+	cl := device.AugmentedComputing(100, 10)
+	for _, m := range All() {
+		p := supernet.LocalPlacement(m.Layers)
+		br, err := supernet.EstimateLatency(m.Layers, cl, p)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if br.TotalSec <= 0 {
+			t.Fatalf("%s latency %v", m.Name, br.TotalSec)
+		}
+	}
+	// Heavier model must be slower on the same device.
+	mb, _ := ByName("mobilenetv3-large")
+	rx, _ := ByName("resnext101-32x8d")
+	bMB, _ := supernet.EstimateLatency(mb.Layers, cl, supernet.LocalPlacement(mb.Layers))
+	bRX, _ := supernet.EstimateLatency(rx.Layers, cl, supernet.LocalPlacement(rx.Layers))
+	if bRX.TotalSec <= bMB.TotalSec {
+		t.Fatal("ResNeXt101 must be slower than MobileNetV3 on a Pi")
+	}
+}
+
+func TestPiLatencyRegime(t *testing.T) {
+	// MobileNetV3 on an RPi4 runs on the order of 100 ms; heavy models run
+	// in seconds. The profiles should land in those regimes (±5x) so the
+	// paper's 140 ms/2000 ms SLOs discriminate the same way.
+	cl := device.DeviceSwarm(1, 1000, 0)
+	mb, _ := ByName("mobilenetv3-large")
+	bMB, _ := supernet.EstimateLatency(mb.Layers, cl, supernet.LocalPlacement(mb.Layers))
+	if bMB.TotalSec < 0.02 || bMB.TotalSec > 0.5 {
+		t.Fatalf("MobileNetV3 on Pi = %v s, want ~0.05–0.5", bMB.TotalSec)
+	}
+	rx, _ := ByName("resnext101-32x8d")
+	bRX, _ := supernet.EstimateLatency(rx.Layers, cl, supernet.LocalPlacement(rx.Layers))
+	if bRX.TotalSec < 1 || bRX.TotalSec > 60 {
+		t.Fatalf("ResNeXt101 on Pi = %v s, want seconds", bRX.TotalSec)
+	}
+}

@@ -1,0 +1,366 @@
+// Package murmuration is the public API of the Murmuration reproduction: an
+// SLO-aware distributed DNN inference system that jointly adapts the neural
+// architecture (a partition-ready one-shot NAS supernet) and its
+// partitioning/placement across edge devices, following Lin et al.,
+// "Murmuration: On-the-fly DNN Adaptation for SLO-Aware Distributed
+// Inference in Dynamic Edge Environments" (ICPP '24).
+//
+// The package re-exports the stable core types and wires the three stages
+// together behind two entry points:
+//
+//   - Train: stage 1 (one-shot NAS supernet training) and stage 2 (SUPREME
+//     RL policy training) — see TrainSupernet and TrainPolicy.
+//   - Serve: stage 3 — ServeDevice runs a device daemon; NewDeployment
+//     connects to a set of devices and serves SLO-aware inferences.
+//
+// Implementation packages live under internal/; see README.md for the map.
+package murmuration
+
+import (
+	"fmt"
+	"time"
+
+	"murmuration/internal/dataset"
+	"murmuration/internal/device"
+	"murmuration/internal/monitor"
+	"murmuration/internal/nas"
+	"murmuration/internal/netem"
+	"murmuration/internal/nn"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rl/policy"
+	"murmuration/internal/rl/supreme"
+	"murmuration/internal/rpcx"
+	"murmuration/internal/runtime"
+	"murmuration/internal/supernet"
+	"murmuration/internal/tensor"
+)
+
+// Re-exported core types. These aliases are the supported public surface;
+// their methods are documented on the underlying types.
+type (
+	// Arch is a supernet search space (elastic resolution/depth/kernel/
+	// width/partition/quantization).
+	Arch = supernet.Arch
+	// SubmodelConfig selects one submodel from a supernet.
+	SubmodelConfig = supernet.Config
+	// Decision is a joint submodel + placement choice.
+	Decision = supernet.Decision
+	// Placement assigns FDSP tiles to devices.
+	Placement = supernet.Placement
+	// Supernet holds the weight-shared network.
+	Supernet = supernet.Supernet
+	// Constraint is an SLO plus per-device network conditions.
+	Constraint = env.Constraint
+	// Tensor is the dense float32 array type used for inputs and outputs.
+	Tensor = tensor.Tensor
+	// SLO is a user objective (latency ms or accuracy percent).
+	SLO = runtime.SLO
+	// DeviceKind identifies a device profile.
+	DeviceKind = device.Kind
+	// Policy is the trained decision network.
+	Policy = policy.Policy
+)
+
+// SLO types and device kinds.
+const (
+	LatencySLO  = env.LatencySLO
+	AccuracySLO = env.AccuracySLO
+
+	RaspberryPi4 = device.RaspberryPi4
+	GPUDesktop   = device.GPUDesktop
+)
+
+// TinyArch returns the search space that trains in-process (examples,
+// tests); DefaultArch returns the paper-scale space.
+func TinyArch(classes int) *Arch { return supernet.TinyArch(classes) }
+
+// DefaultArch returns the paper-scale MobileNetV3-style search space.
+func DefaultArch() *Arch { return supernet.DefaultArch() }
+
+// NewSupernet builds a supernet with deterministic weights. All devices of a
+// deployment must use the same arch and seed (or share a checkpoint).
+func NewSupernet(a *Arch, seed int64) *Supernet { return supernet.New(a, seed) }
+
+// TrainSupernetOptions configures stage-1 training on the synthetic dataset.
+type TrainSupernetOptions struct {
+	Steps     int
+	BatchSize int
+	Classes   int
+	PerClass  int
+	Seed      int64
+}
+
+// TrainSupernet runs one-shot NAS training (sandwich rule + distillation) on
+// a freshly generated synthetic dataset and reports the max-submodel
+// validation accuracy.
+func TrainSupernet(net *Supernet, opts TrainSupernetOptions) (valAccuracy float64, err error) {
+	if opts.Steps <= 0 {
+		opts.Steps = 300
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 16
+	}
+	if opts.Classes <= 0 {
+		opts.Classes = net.Arch.NumClasses
+	}
+	if opts.PerClass <= 0 {
+		opts.PerClass = 40
+	}
+	ds := dataset.Generate(dataset.Config{
+		Classes: opts.Classes, PerClass: opts.PerClass, Size: 32,
+		NoiseStd: 0.15, Seed: opts.Seed,
+	})
+	train, val := ds.Split(0.8)
+	to := nas.DefaultTrainOptions()
+	to.Steps = opts.Steps
+	to.BatchSize = opts.BatchSize
+	to.Seed = opts.Seed
+	to.WarmupSteps = opts.Steps / 4
+	if err := nas.Train(net, train, to); err != nil {
+		return 0, err
+	}
+	return nas.Evaluate(net, net.Arch.MaxConfig(), val)
+}
+
+// TrainPolicyOptions configures stage-2 SUPREME training.
+type TrainPolicyOptions struct {
+	// Kinds are the deployment's device types (index 0 local).
+	Kinds []DeviceKind
+	// Latency SLO training range, milliseconds.
+	SLOMinMs, SLOMaxMs float64
+	// Link condition ranges.
+	BwMinMbps, BwMaxMbps   float64
+	DelayMinMs, DelayMaxMs float64
+	Steps                  int
+	Hidden                 int
+	Seed                   int64
+}
+
+// TrainPolicy trains a SUPREME policy for the search space and device set
+// and returns it ready for NewDeployment.
+func TrainPolicy(a *Arch, opts TrainPolicyOptions) (*Policy, error) {
+	if len(opts.Kinds) < 1 {
+		return nil, fmt.Errorf("murmuration: at least one device kind required")
+	}
+	if opts.Steps <= 0 {
+		opts.Steps = 1000
+	}
+	if opts.Hidden <= 0 {
+		opts.Hidden = 64
+	}
+	if opts.SLOMaxMs <= 0 {
+		opts.SLOMinMs, opts.SLOMaxMs = 10, 140
+	}
+	if opts.BwMaxMbps <= 0 {
+		opts.BwMinMbps, opts.BwMaxMbps = 5, 400
+	}
+	if opts.DelayMaxMs <= 0 {
+		opts.DelayMinMs, opts.DelayMaxMs = 5, 100
+	}
+	e := env.New(a, nas.NewCalibratedPredictor(a), opts.Kinds)
+	p := policy.New(e, opts.Hidden, opts.Seed)
+	space := env.ConstraintSpace{
+		Type:   env.LatencySLO,
+		SLOMin: opts.SLOMinMs, SLOMax: opts.SLOMaxMs,
+		BwMinMbps: opts.BwMinMbps, BwMaxMbps: opts.BwMaxMbps,
+		DelayMin: opts.DelayMinMs, DelayMax: opts.DelayMaxMs,
+		Points: 10, Remotes: len(opts.Kinds) - 1,
+	}
+	o := supreme.DefaultOptions()
+	o.Steps = opts.Steps
+	o.Seed = opts.Seed
+	o.CurriculumEvery = opts.Steps / (space.Dims() + 1)
+	if err := supreme.New(p, space, o).Run(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SavePolicy / LoadPolicy persist trained policies.
+func SavePolicy(path string, p *Policy) error { return nn.SaveParams(path, p.Params()) }
+
+// LoadPolicy restores a policy trained with the same arch/kinds/hidden.
+func LoadPolicy(path string, p *Policy) error { return nn.LoadParams(path, p.Params()) }
+
+// ServeDevice starts a device daemon (executor + monitoring endpoints) for
+// the given supernet on addr (use ":0" for an ephemeral port). It returns
+// the bound address and a shutdown function.
+func ServeDevice(net *Supernet, addr string) (bound string, shutdown func() error, err error) {
+	srv := rpcx.NewServer()
+	runtime.NewExecutor(net).Register(srv)
+	monitor.RegisterHandlers(srv)
+	bound, err = srv.Listen(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, srv.Close, nil
+}
+
+// Link describes an emulated link to one remote device.
+type Link struct {
+	Addr          string
+	BandwidthMbps float64
+	DelayMs       float64
+}
+
+// Deployment is a live Murmuration inference service: scheduler + decider +
+// strategy cache + monitors over a set of devices.
+type Deployment struct {
+	rt      *runtime.Runtime
+	clients []*rpcx.Client
+}
+
+// NewDeployment connects the local supernet to remote devices and wires the
+// runtime. decider is typically a trained policy's GreedyDecision; pass nil
+// to use a built-in structured search (slower per cache miss).
+func NewDeployment(local *Supernet, kinds []DeviceKind, links []Link,
+	decider func(Constraint) (*Decision, error)) (*Deployment, error) {
+
+	if len(kinds) != len(links)+1 {
+		return nil, fmt.Errorf("murmuration: %d kinds for %d links (+1 local)", len(kinds), len(links))
+	}
+	var clients []*rpcx.Client
+	var monitors []*monitor.LinkMonitor
+	for _, l := range links {
+		shaper := netem.NewShaper(l.BandwidthMbps, time.Duration(l.DelayMs*float64(time.Millisecond)))
+		cl, err := rpcx.Dial(l.Addr, shaper)
+		if err != nil {
+			for _, c := range clients {
+				c.Close()
+			}
+			return nil, err
+		}
+		clients = append(clients, cl)
+		monitors = append(monitors, monitor.NewLinkMonitor(cl))
+	}
+	e := env.New(local.Arch, nas.NewCalibratedPredictor(local.Arch), kinds)
+	var d runtime.Decider
+	if decider != nil {
+		d = runtime.DeciderFunc(decider)
+	} else {
+		d = runtime.DeciderFunc(func(c Constraint) (*Decision, error) {
+			return structuredSearch(e, c)
+		})
+	}
+	sched := runtime.NewScheduler(local, clients)
+	rt := runtime.New(sched, d, runtime.NewStrategyCache(64, 25, 5, 10), monitors)
+	dep := &Deployment{rt: rt, clients: clients}
+	for i, l := range links {
+		rt.SetLinkState(i, l.BandwidthMbps, l.DelayMs)
+	}
+	return dep, nil
+}
+
+// SetSLO sets the active objective.
+func (d *Deployment) SetSLO(s SLO) { d.rt.SetSLO(s) }
+
+// SetLinkState overrides the link estimate for remote device i (0-based).
+func (d *Deployment) SetLinkState(i int, bandwidthMbps, delayMs float64) error {
+	return d.rt.SetLinkState(i, bandwidthMbps, delayMs)
+}
+
+// InferenceResult reports one SLO-aware inference.
+type InferenceResult struct {
+	Logits     *Tensor
+	Decision   *Decision
+	Elapsed    time.Duration
+	DecideTime time.Duration
+	CacheHit   bool
+}
+
+// Infer runs one SLO-aware distributed inference on x (N,C,H,W).
+func (d *Deployment) Infer(x *Tensor) (*InferenceResult, error) {
+	res, err := d.rt.Infer(x)
+	if err != nil {
+		return nil, err
+	}
+	return &InferenceResult{
+		Logits:     res.Report.Logits,
+		Decision:   res.Decision,
+		Elapsed:    res.Report.Elapsed,
+		DecideTime: res.DecideTime,
+		CacheHit:   res.CacheHit,
+	}, nil
+}
+
+// Close disconnects from all devices.
+func (d *Deployment) Close() error {
+	var first error
+	for _, c := range d.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// structuredSearch sweeps the uniform strategy family and returns the best
+// decision by environment reward (the policy-free fallback decider).
+func structuredSearch(e *env.Env, c Constraint) (*Decision, error) {
+	best := (*Decision)(nil)
+	bestReward := -1.0
+	for _, size := range []float64{0, 0.5, 1} {
+		for pIdx := range e.Arch.Partitions {
+			for qIdx := range e.Arch.QuantBits {
+				for pl := -1; pl < e.NumDevices(); pl++ {
+					g := uniformGenome(e, size, pIdx, qIdx, pl)
+					d, err := e.Decode(g)
+					if err != nil {
+						continue
+					}
+					out, err := e.Evaluate(c, d)
+					if err != nil {
+						continue
+					}
+					if out.Reward > bestReward {
+						best, bestReward = d, out.Reward
+					}
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("murmuration: no feasible strategy")
+	}
+	return best, nil
+}
+
+// uniformGenome builds a schedule-valid choice sequence with uniform
+// settings. pl == -1 means round-robin tiles; otherwise a fixed device.
+func uniformGenome(e *env.Env, size float64, pIdx, qIdx, pl int) []int {
+	w := e.NewWalker()
+	var g []int
+	for !w.Done() {
+		spec := w.Next()
+		choice := 0
+		switch spec.Type {
+		case env.ActResolution, env.ActDepth, env.ActKernel, env.ActExpand:
+			choice = int(size*float64(spec.NumChoices-1) + 0.5)
+		case env.ActPartition:
+			choice = minInt(pIdx, spec.NumChoices-1)
+		case env.ActQuant:
+			choice = minInt(qIdx, spec.NumChoices-1)
+		case env.ActDevice:
+			if pl < 0 {
+				choice = spec.Tile % spec.NumChoices
+			} else {
+				choice = minInt(pl, spec.NumChoices-1)
+			}
+		}
+		if err := w.Apply(choice); err != nil {
+			panic(err)
+		}
+		g = append(g, choice)
+	}
+	return g
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NewInput allocates an input tensor (N,C,H,W).
+func NewInput(n, c, h, w int) *Tensor { return tensor.New(n, c, h, w) }

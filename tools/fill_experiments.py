@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md's <!-- MEASURED:* --> markers from results/*.csv.
+
+Run after `go run ./cmd/benchall -out results`:
+
+    python3 tools/fill_experiments.py
+"""
+import csv
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+
+
+def rows(name):
+    with open(RESULTS / f"{name}.csv") as f:
+        return list(csv.DictReader(f))
+
+
+def f(v):
+    return float(v)
+
+
+def fig11(name):
+    rs = rows(name)
+    last = rs[-1]
+    out = ["| method | final avg reward | final compliance |", "|---|---|---|"]
+    for m in ["SUPREME", "GCSL", "PPO"]:
+        out.append(f"| {m} | {f(last[m+'_reward']):.3f} | {f(last[m+'_compliance']):.3f} |")
+    return "\n".join(out)
+
+
+def fig12():
+    rs = rows("fig12")
+    last = rs[-1]
+    out = ["| method | final normalized compliance |", "|---|---|"]
+    for m in ["SUPREME", "GCSL", "PPO"]:
+        out.append(f"| {m} | {f(last[m+'_compliance']):.3f} |")
+    return "\n".join(out)
+
+
+def coverage(name, total_label):
+    rs = rows(name)
+    cells = set()
+    cover = {}
+    acc_win = []
+    per_cell = {}
+    for r in rs:
+        key = (r.get("delay_ms", r.get("latency_slo_ms")), r["bandwidth_mbps"])
+        cells.add(key)
+        if r["slo_met"] == "true":
+            cover[r["method"]] = cover.get(r["method"], 0) + 1
+            per_cell.setdefault(key, {})[r["method"]] = f(r["accuracy_pct"])
+    for key, methods in per_cell.items():
+        if "murmuration" in methods:
+            base = [a for m, a in methods.items() if m != "murmuration"]
+            if base:
+                acc_win.append(methods["murmuration"] - max(base))
+    out = [f"| method | cells meeting the SLO (of {len(cells)} {total_label}) |", "|---|---|"]
+    for m, c in sorted(cover.items(), key=lambda kv: -kv[1]):
+        out.append(f"| {m} | {c} |")
+    if acc_win:
+        out.append("")
+        out.append(
+            f"Where both are feasible, Murmuration's accuracy is {min(acc_win):+.2f}…{max(acc_win):+.2f} pts "
+            f"vs the best baseline (mean {sum(acc_win)/len(acc_win):+.2f})."
+        )
+    return "\n".join(out)
+
+
+def fig15():
+    rs = rows("fig15")
+    mur, base = {}, {}
+    for r in rs:
+        if r["slo_met"] != "true":
+            continue
+        key = (r["bandwidth_mbps"], r["accuracy_slo_pct"])
+        lat = f(r["latency_ms"])
+        if r["method"] == "murmuration":
+            mur[key] = lat
+        else:
+            base[key] = min(base.get(key, 1e18), lat)
+    wins = [base[k] / mur[k] for k in base if k in mur]
+    mur_only = len([k for k in mur if k not in base])
+    return (
+        f"Murmuration meets {len(mur)} (bandwidth, accuracy-SLO) cells, {mur_only} of them "
+        f"infeasible for every baseline. Against the best feasible baseline its latency is "
+        f"{min(wins):.2f}x–{max(wins):.2f}x lower (mean {sum(wins)/len(wins):.2f}x)."
+    )
+
+
+def fig16(name):
+    rs = rows(name)
+    by_slo = {}
+    for r in rs:
+        by_slo.setdefault(r["latency_slo_ms"], {})[r["method"]] = f(r["compliance_pct"])
+    out = ["| latency SLO (ms) | best baseline | murmuration | improvement (pts) |", "|---|---|---|---|"]
+    for slo, methods in sorted(by_slo.items(), key=lambda kv: f(kv[0])):
+        mur = methods["murmuration"]
+        bb = max(v for m, v in methods.items() if m != "murmuration")
+        out.append(f"| {slo} | {bb:.1f}% | {mur:.1f}% | {mur-bb:+.1f} |")
+    return "\n".join(out)
+
+
+def fig17():
+    rs = rows("fig17")
+    out = ["| devices | accuracy SLO | latency (ms) | speedup vs 1 |", "|---|---|---|---|"]
+    for r in rs:
+        out.append(
+            f"| {r['devices']} | {r['accuracy_slo_pct']}% | {f(r['latency_ms']):.1f} | {f(r['speedup_vs_1']):.2f}x |"
+        )
+    return "\n".join(out)
+
+
+def fig18():
+    rs = rows("fig18")
+    out = ["| method | device | search time (s) |", "|---|---|---|"]
+    for r in rs:
+        out.append(f"| {r['method']} | {r['device']} | {f(r['search_time_s']):.4g} |")
+    host = {r["method"]: f(r["search_time_s"]) for r in rs if r["device"] == "host-measured"}
+    out.append("")
+    out.append(
+        f"RL decode is {host['evolutionary-search']/host['murmuration-rl']:.0f}x faster than the "
+        f"evolutionary search at the same decision quality target."
+    )
+    return "\n".join(out)
+
+
+def fig19():
+    rs = rows("fig19")
+    out = ["| model | mechanism | switch time (ms) |", "|---|---|---|"]
+    for r in rs:
+        out.append(f"| {r['model']} | {r['mechanism']} | {f(r['switch_time_ms']):.3g} |")
+    rec = max(f(r["switch_time_ms"]) for r in rs if r["mechanism"] == "in-memory reconfig")
+    rel = min(f(r["switch_time_ms"]) for r in rs if r["mechanism"] == "weight reload")
+    out.append("")
+    out.append(f"Smallest weight reload is {rel/rec:.0f}x slower than the supernet reconfig.")
+    return "\n".join(out)
+
+
+def ablation():
+    rs = rows("ablation")
+    out = ["| variant | final reward | final compliance |", "|---|---|---|"]
+    for r in rs:
+        out.append(f"| {r['variant']} | {f(r['final_reward']):.3f} | {f(r['final_compliance']):.3f} |")
+    return "\n".join(out)
+
+
+def main():
+    sections = {
+        "FIG11": "### 11a (augmented)\n\n" + fig11("fig11a") + "\n\n### 11b (swarm)\n\n" + fig11("fig11b"),
+        "FIG12": fig12(),
+        "FIG13": coverage("fig13", "cells"),
+        "FIG14": coverage("fig14", "(SLO, bandwidth) cells"),
+        "FIG15": fig15(),
+        "FIG16": "### 16a (augmented)\n\n" + fig16("fig16a") + "\n\n### 16b (swarm)\n\n" + fig16("fig16b"),
+        "FIG17": fig17(),
+        "FIG18": fig18(),
+        "FIG19": fig19(),
+        "ABLATION": ablation(),
+    }
+    path = ROOT / "EXPERIMENTS.md"
+    text = path.read_text()
+    for key, content in sections.items():
+        marker = f"<!-- MEASURED:{key} -->"
+        block = f"{marker}\n\n{content}\n"
+        pat = re.compile(re.escape(marker) + r"(?:\n\n.*?\n)?(?=\n##|\n\*\*|\Z)", re.S)
+        if marker in text:
+            text = pat.sub(block, text)
+        else:
+            print(f"warning: marker {key} not found", file=sys.stderr)
+    path.write_text(text)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()
