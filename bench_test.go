@@ -10,11 +10,17 @@
 package murmuration
 
 import (
+	"math/rand"
 	"strconv"
 	"testing"
+	"time"
 
 	"murmuration/internal/experiments"
 	"murmuration/internal/rl/env"
+	"murmuration/internal/runtime"
+	"murmuration/internal/serve"
+	"murmuration/internal/supernet"
+	"murmuration/internal/tensor"
 )
 
 func parseCell(b *testing.B, s string) float64 {
@@ -294,5 +300,52 @@ func BenchmarkFig19ModelSwitchTime(b *testing.B) {
 			}
 		}
 		b.ReportMetric(minReload/reconfig, "reload_vs_reconfig_x")
+	}
+}
+
+// BenchmarkServeThroughput measures the serving gateway end to end: b.N
+// latency-SLO requests from parallel clients through admission control,
+// dynamic batching, and local supernet execution. Reports achieved
+// requests/sec and the mean coalesced batch size.
+func BenchmarkServeThroughput(b *testing.B) {
+	a := supernet.TinyArch(4)
+	net := supernet.New(a, 42)
+	decider := runtime.DeciderFunc(func(c env.Constraint) (*env.Decision, error) {
+		cfg := a.MinConfig()
+		costs, _ := a.Costs(cfg)
+		return &env.Decision{Config: cfg, Placement: supernet.LocalPlacement(costs)}, nil
+	})
+	rt := runtime.New(runtime.NewScheduler(net, nil), decider,
+		runtime.NewStrategyCache(32, 25, 5, 10), nil)
+	g := serve.New(rt, serve.Options{
+		Workers:    2,
+		MaxBatch:   8,
+		MaxLinger:  500 * time.Microsecond,
+		QueueDepth: 1 << 16, // benchmark measures throughput, not shedding
+	})
+	defer g.Close(time.Minute)
+
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(1, a.InChannels, 32, 32)
+	x.RandNormal(rng, 0.5)
+	slo := runtime.SLO{Type: env.LatencySLO, Value: 60_000}
+
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := g.Submit(x, slo); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	st := g.Stats()
+	b.ReportMetric(float64(st.Served)/elapsed.Seconds(), "req/s")
+	if st.Batches > 0 {
+		b.ReportMetric(float64(st.BatchedRequests)/float64(st.Batches), "batch_size")
 	}
 }

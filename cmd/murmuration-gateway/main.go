@@ -1,0 +1,162 @@
+// Command murmuration-gateway is the serving front-end of a Murmuration
+// deployment: it holds the strategy runtime (decider + cache + scheduler)
+// and exposes a concurrent inference service over rpcx. Requests carry their
+// own SLO; the gateway classifies them (latency > accuracy > best-effort),
+// applies deadline-aware admission control, coalesces compatible requests
+// into batched distributed inferences, and sheds load it cannot serve in
+// time instead of missing deadlines silently.
+//
+// Usage:
+//
+//	murmuration-gateway -listen :7100 \
+//	  -devices 127.0.0.1:7000,127.0.0.1:7001 -bw 100 -delay 10 \
+//	  -workers 2 -max-batch 8 -linger 2ms
+//
+// SIGINT/SIGTERM drains queued requests for up to -grace before exiting; a
+// second signal forces immediate shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"murmuration/internal/device"
+	"murmuration/internal/monitor"
+	"murmuration/internal/nas"
+	"murmuration/internal/netem"
+	"murmuration/internal/nn"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rl/policy"
+	"murmuration/internal/rpcx"
+	"murmuration/internal/runtime"
+	"murmuration/internal/serve"
+	"murmuration/internal/supernet"
+)
+
+func main() {
+	listen := flag.String("listen", ":7100", "address to serve the gateway rpcx API on")
+	devices := flag.String("devices", "", "comma-separated murmurationd addresses (remote devices)")
+	archName := flag.String("arch", "tiny", "supernet search space: tiny or default")
+	seed := flag.Int64("seed", 42, "supernet weight seed (must match daemons)")
+	classes := flag.Int("classes", 4, "classifier classes for the tiny arch")
+	checkpoint := flag.String("checkpoint", "", "optional supernet checkpoint to load")
+	bw := flag.Float64("bw", 100, "emulated link bandwidth, Mb/s")
+	delay := flag.Float64("delay", 10, "emulated one-way link delay, ms")
+	policyCkpt := flag.String("policy", "", "trained policy checkpoint (default: structured search)")
+	hidden := flag.Int("hidden", 64, "policy LSTM width (must match checkpoint)")
+	workers := flag.Int("workers", 2, "concurrent batch executors")
+	maxBatch := flag.Int("max-batch", 8, "max requests coalesced into one inference")
+	linger := flag.Duration("linger", 2*time.Millisecond, "max wait for a batch to fill")
+	queueDepth := flag.Int("queue-depth", 64, "per-class queue bound; excess is shed")
+	grace := flag.Duration("grace", 10*time.Second, "drain window on shutdown")
+	remoteTimeout := flag.Duration("remote-timeout", 0, "per-call deadline on device RPCs (0 = none)")
+	statsEvery := flag.Duration("stats-every", 0, "periodic stats log interval (0 = off)")
+	flag.Parse()
+
+	var arch *supernet.Arch
+	switch *archName {
+	case "tiny":
+		arch = supernet.TinyArch(*classes)
+	case "default":
+		arch = supernet.DefaultArch()
+	default:
+		log.Fatalf("unknown arch %q (want tiny or default)", *archName)
+	}
+	net := supernet.New(arch, *seed)
+	if *checkpoint != "" {
+		if err := nn.LoadParams(*checkpoint, net.Params()); err != nil {
+			log.Fatalf("load checkpoint: %v", err)
+		}
+		log.Printf("loaded supernet checkpoint %s", *checkpoint)
+	}
+
+	var addrs []string
+	if *devices != "" {
+		addrs = strings.Split(*devices, ",")
+	}
+	kinds := []device.Kind{device.RaspberryPi4}
+	var clients []*rpcx.Client
+	var monitors []*monitor.LinkMonitor
+	for _, addr := range addrs {
+		shaper := netem.NewShaper(*bw, time.Duration(*delay*float64(time.Millisecond)))
+		cl, err := rpcx.Dial(strings.TrimSpace(addr), shaper)
+		if err != nil {
+			log.Fatalf("dial %s: %v", addr, err)
+		}
+		defer cl.Close()
+		clients = append(clients, cl)
+		monitors = append(monitors, monitor.NewLinkMonitor(cl))
+		kinds = append(kinds, device.RaspberryPi4)
+	}
+
+	e := env.New(arch, nas.NewCalibratedPredictor(arch), kinds)
+	var decider runtime.Decider
+	if *policyCkpt != "" {
+		p := policy.New(e, *hidden, 1)
+		if err := nn.LoadParams(*policyCkpt, p.Params()); err != nil {
+			log.Fatalf("load policy: %v", err)
+		}
+		decider = runtime.DeciderFunc(p.GreedyDecision)
+		log.Println("decider: trained RL policy")
+	} else {
+		decider = runtime.DeciderFunc(func(c env.Constraint) (*env.Decision, error) {
+			return env.StructuredSearch(e, c)
+		})
+		log.Println("decider: structured search (no policy checkpoint given)")
+	}
+
+	sched := runtime.NewScheduler(net, clients)
+	sched.RemoteTimeout = *remoteTimeout
+	rt := runtime.New(sched, decider, runtime.NewStrategyCache(64, 25, 5, 10), monitors)
+	for i := range addrs {
+		rt.SetLinkState(i, *bw, *delay)
+		if _, err := monitors[i].Probe(); err != nil {
+			log.Printf("probe device %d: %v (using manual link state)", i+1, err)
+		}
+	}
+
+	gw := serve.New(rt, serve.Options{
+		Workers:    *workers,
+		MaxBatch:   *maxBatch,
+		MaxLinger:  *linger,
+		QueueDepth: *queueDepth,
+	})
+
+	srv := rpcx.NewServer()
+	gw.Register(srv)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("murmuration-gateway serving on %s (arch=%s seed=%d devices=%d workers=%d max-batch=%d)\n",
+		addr, arch.Name, *seed, len(clients), *workers, *maxBatch)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				log.Printf("stats: %+v", gw.Stats())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("%v: draining (grace %v; signal again to force)", s, *grace)
+	go func() {
+		<-sig
+		log.Println("second signal: forcing shutdown")
+		os.Exit(1)
+	}()
+	// Stop accepting and drain in-flight RPCs, then drain the gateway's own
+	// queues: requests admitted before the signal still get their outcome.
+	srv.Shutdown(*grace)
+	gw.Close(*grace)
+	log.Printf("drained; final stats: %+v", gw.Stats())
+}

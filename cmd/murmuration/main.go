@@ -87,7 +87,7 @@ func main() {
 		// Without a trained policy, fall back to a direct search per
 		// constraint (slower per decision; the strategy cache amortizes it).
 		decider = runtime.DeciderFunc(func(c env.Constraint) (*env.Decision, error) {
-			return searchDecision(e, c)
+			return env.StructuredSearch(e, c)
 		})
 		fmt.Println("decider: structured search (no policy checkpoint given)")
 	}
@@ -122,77 +122,3 @@ func main() {
 	fmt.Printf("strategy cache: %d hits, %d misses\n", rt.CacheHits, rt.CacheMisses)
 }
 
-// searchDecision does a small structured sweep: every uniform strategy from
-// the structured family, scored by the environment, best reward wins.
-func searchDecision(e *env.Env, c env.Constraint) (*env.Decision, error) {
-	var best *env.Decision
-	bestReward := -1.0
-	for _, g := range structuredGenomes(e) {
-		d, err := e.Decode(g)
-		if err != nil {
-			continue
-		}
-		out, err := e.Evaluate(c, d)
-		if err != nil {
-			continue
-		}
-		if out.Reward > bestReward {
-			best, bestReward = d, out.Reward
-		}
-	}
-	if best == nil {
-		return nil, fmt.Errorf("no feasible strategy found")
-	}
-	return best, nil
-}
-
-// structuredGenomes enumerates uniform (size, partition, quant, placement)
-// strategies over the walker schedule.
-func structuredGenomes(e *env.Env) [][]int {
-	var out [][]int
-	nDev := e.NumDevices()
-	for _, size := range []float64{0, 0.5, 1} {
-		for pIdx := range e.Arch.Partitions {
-			for qIdx := range e.Arch.QuantBits {
-				for pl := -2; pl < nDev; pl++ {
-					if pl == -1 {
-						continue // -2 round-robin, 0.. fixed device
-					}
-					w := e.NewWalker()
-					var g []int
-					for !w.Done() {
-						spec := w.Next()
-						choice := 0
-						switch spec.Type {
-						case env.ActResolution, env.ActDepth, env.ActKernel, env.ActExpand:
-							choice = int(size*float64(spec.NumChoices-1) + 0.5)
-						case env.ActPartition:
-							choice = min(pIdx, spec.NumChoices-1)
-						case env.ActQuant:
-							choice = min(qIdx, spec.NumChoices-1)
-						case env.ActDevice:
-							if pl == -2 {
-								choice = spec.Tile % spec.NumChoices
-							} else {
-								choice = min(pl, spec.NumChoices-1)
-							}
-						}
-						if err := w.Apply(choice); err != nil {
-							panic(err)
-						}
-						g = append(g, choice)
-					}
-					out = append(out, g)
-				}
-			}
-		}
-	}
-	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"murmuration/internal/monitor"
 	"murmuration/internal/nn"
@@ -33,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "deterministic weight seed (must match across devices)")
 	classes := flag.Int("classes", 4, "classifier classes for the tiny arch")
 	checkpoint := flag.String("checkpoint", "", "optional supernet checkpoint to load")
+	grace := flag.Duration("grace", 10*time.Second, "drain window for in-flight requests on shutdown")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -63,9 +65,15 @@ func main() {
 	}
 	fmt.Printf("murmurationd serving on %s (arch=%s seed=%d)\n", addr, arch.Name, *seed)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Println("shutting down")
-	srv.Close()
+	s := <-sig
+	log.Printf("%v: draining in-flight requests (grace %v; signal again to force)", s, *grace)
+	go func() {
+		<-sig
+		log.Println("second signal: forcing shutdown")
+		os.Exit(1)
+	}()
+	srv.Shutdown(*grace)
+	log.Println("drained")
 }

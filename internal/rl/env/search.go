@@ -1,0 +1,82 @@
+package env
+
+import "fmt"
+
+// StructuredSearch does a small structured sweep: every uniform strategy
+// from the structured family, scored by the environment, best reward wins.
+// It is the policy-free fallback decider used by the deployment commands
+// when no trained checkpoint is given (slower per decision; the strategy
+// cache amortizes it).
+func StructuredSearch(e *Env, c Constraint) (*Decision, error) {
+	var best *Decision
+	bestReward := -1.0
+	for _, g := range StructuredGenomes(e) {
+		d, err := e.Decode(g)
+		if err != nil {
+			continue
+		}
+		out, err := e.Evaluate(c, d)
+		if err != nil {
+			continue
+		}
+		if out.Reward > bestReward {
+			best, bestReward = d, out.Reward
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("env: no feasible strategy found")
+	}
+	return best, nil
+}
+
+// StructuredGenomes enumerates uniform (size, partition, quant, placement)
+// strategies over the walker schedule: three model sizes × every partition
+// grid × every bitwidth × {round-robin, each fixed device}.
+func StructuredGenomes(e *Env) [][]int {
+	var out [][]int
+	nDev := e.NumDevices()
+	for _, size := range []float64{0, 0.5, 1} {
+		for pIdx := range e.Arch.Partitions {
+			for qIdx := range e.Arch.QuantBits {
+				for pl := -2; pl < nDev; pl++ {
+					if pl == -1 {
+						continue // -2 round-robin, 0.. fixed device
+					}
+					w := e.NewWalker()
+					var g []int
+					for !w.Done() {
+						spec := w.Next()
+						choice := 0
+						switch spec.Type {
+						case ActResolution, ActDepth, ActKernel, ActExpand:
+							choice = int(size*float64(spec.NumChoices-1) + 0.5)
+						case ActPartition:
+							choice = minChoice(pIdx, spec.NumChoices-1)
+						case ActQuant:
+							choice = minChoice(qIdx, spec.NumChoices-1)
+						case ActDevice:
+							if pl == -2 {
+								choice = spec.Tile % spec.NumChoices
+							} else {
+								choice = minChoice(pl, spec.NumChoices-1)
+							}
+						}
+						if err := w.Apply(choice); err != nil {
+							panic(err)
+						}
+						g = append(g, choice)
+					}
+					out = append(out, g)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func minChoice(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

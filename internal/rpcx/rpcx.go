@@ -22,6 +22,35 @@ import (
 // Handler processes one request payload and returns a response payload.
 type Handler func(payload []byte) ([]byte, error)
 
+// TimeoutError is returned by Client.CallTimeout when the per-call deadline
+// elapses before the response arrives. It satisfies net.Error's Timeout and
+// unwraps to ErrTimeout so callers can use errors.Is.
+type TimeoutError struct {
+	Method string
+	After  time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("rpcx: call %q timed out after %v", e.Method, e.After)
+}
+
+// Timeout reports that this error is a deadline expiry (net.Error shape).
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Unwrap lets errors.Is(err, ErrTimeout) match.
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
+
+// Sentinel errors for client call failures.
+var (
+	// ErrTimeout is the target for errors.Is on per-call deadline expiry.
+	ErrTimeout = errors.New("rpcx: call timeout")
+	// ErrClientBroken is returned for calls on a client whose connection was
+	// poisoned by an earlier timeout (the stream may hold a stale response,
+	// so the connection cannot be reused).
+	ErrClientBroken = errors.New("rpcx: client connection broken by earlier timeout")
+)
+
 // Server dispatches framed requests to registered handlers.
 type Server struct {
 	mu       sync.RWMutex
@@ -30,6 +59,12 @@ type Server struct {
 	wg       sync.WaitGroup
 	conns    map[net.Conn]struct{}
 	closed   bool
+
+	// In-flight handler tracking for graceful shutdown.
+	inflightMu   sync.Mutex
+	draining     bool
+	inflightN    int
+	inflightDone chan struct{} // closed when inflightN drops to 0 while draining
 }
 
 // NewServer returns an empty server.
@@ -68,6 +103,62 @@ func (s *Server) Listen(addr string) (string, error) {
 		}
 	}()
 	return ln.Addr().String(), nil
+}
+
+// Shutdown gracefully stops the server: it stops accepting new connections
+// and new requests, waits up to grace for in-flight handler calls to finish,
+// then closes every connection. Requests arriving on live connections during
+// the drain are answered with an error instead of being executed.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	ln := s.ln
+	s.mu.Unlock()
+
+	s.inflightMu.Lock()
+	s.draining = true
+	done := make(chan struct{})
+	if s.inflightN == 0 {
+		close(done)
+	} else {
+		s.inflightDone = done
+	}
+	s.inflightMu.Unlock()
+
+	var lnErr error
+	if ln != nil {
+		lnErr = ln.Close()
+	}
+	deadline := time.NewTimer(grace)
+	defer deadline.Stop()
+	select {
+	case <-done:
+	case <-deadline.C:
+	}
+
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+
+	// Connection goroutines normally exit as soon as their conn closes, but
+	// one stuck inside a hung handler would block forever — bound the wait so
+	// Shutdown honors its grace contract even then.
+	exited := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(exited)
+	}()
+	select {
+	case <-exited:
+	case <-time.After(grace + 100*time.Millisecond):
+	}
+	return lnErr
 }
 
 // Close stops the listener, closes every active connection, and waits for
@@ -114,12 +205,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.RUnlock()
 		var status byte
 		var resp []byte
-		if h == nil {
+		switch {
+		case h == nil:
 			status = 1
 			resp = []byte(fmt.Sprintf("rpcx: unknown method %q", method))
-		} else if resp, err = h(payload); err != nil {
+		case !s.beginCall():
 			status = 1
-			resp = []byte(err.Error())
+			resp = []byte("rpcx: server shutting down")
+		default:
+			if resp, err = h(payload); err != nil {
+				status = 1
+				resp = []byte(err.Error())
+			}
+			s.endCall()
 		}
 		if err := writeResponse(w, status, resp); err != nil {
 			return
@@ -127,6 +225,30 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+	}
+}
+
+// beginCall registers an in-flight handler invocation; it reports false when
+// the server is draining and the request must be rejected.
+func (s *Server) beginCall() bool {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflightN++
+	return true
+}
+
+// endCall retires an in-flight handler invocation and releases a pending
+// Shutdown when the last one finishes.
+func (s *Server) endCall() {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	s.inflightN--
+	if s.inflightN == 0 && s.inflightDone != nil {
+		close(s.inflightDone)
+		s.inflightDone = nil
 	}
 }
 
@@ -212,6 +334,7 @@ type Client struct {
 	r      *bufio.Reader
 	w      *bufio.Writer
 	shaper *netem.Shaper
+	broken bool // a timed-out call desynced the stream; no further calls
 }
 
 // Dial connects to addr. If shaper is non-nil, outbound traffic is
@@ -235,35 +358,67 @@ func NewClient(conn net.Conn, shaper *netem.Shaper) *Client {
 // Call issues a request and waits for the response. Emulated link cost is
 // charged on both directions' payload sizes.
 func (c *Client) Call(method string, payload []byte) ([]byte, error) {
+	return c.CallTimeout(method, payload, 0)
+}
+
+// CallTimeout issues a request and waits at most d for the full response
+// (d <= 0 means no deadline). On expiry it returns a *TimeoutError (matching
+// errors.Is(err, ErrTimeout)) and poisons the client: the connection may
+// still deliver the stale response, so it is closed and every later call
+// fails with ErrClientBroken. The deadline covers connection I/O, not the
+// emulated link's shaping sleeps.
+func (c *Client) CallTimeout(method string, payload []byte, d time.Duration) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return nil, ErrClientBroken
+	}
+	if d > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(d)); err != nil {
+			return nil, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if c.shaper != nil {
 		c.shaper.Throttle(len(payload) + len(method) + 5)
-		if d := c.shaper.Delay(); d > 0 {
-			time.Sleep(d)
+		if sd := c.shaper.Delay(); sd > 0 {
+			time.Sleep(sd)
 		}
 	}
 	if err := writeRequest(c.w, method, payload); err != nil {
-		return nil, err
+		return nil, c.callErr(method, d, err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return nil, c.callErr(method, d, err)
 	}
 	status, resp, err := readResponse(c.r)
 	if err != nil {
-		return nil, err
+		return nil, c.callErr(method, d, err)
 	}
 	if c.shaper != nil {
 		// Response pays the downlink: serialize + propagate.
 		c.shaper.Throttle(len(resp) + 5)
-		if d := c.shaper.Delay(); d > 0 {
-			time.Sleep(d)
+		if sd := c.shaper.Delay(); sd > 0 {
+			time.Sleep(sd)
 		}
 	}
 	if status != 0 {
 		return nil, fmt.Errorf("rpcx: remote error: %s", resp)
 	}
 	return resp, nil
+}
+
+// callErr converts a transport error into a *TimeoutError when it was caused
+// by the per-call deadline, poisoning the client so the desynced stream is
+// never reused.
+func (c *Client) callErr(method string, d time.Duration, err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.broken = true
+		c.conn.Close()
+		return &TimeoutError{Method: method, After: d}
+	}
+	return err
 }
 
 // SetLink updates the emulated link parameters (no-op without a shaper).

@@ -193,6 +193,150 @@ func TestTensorOverRPC(t *testing.T) {
 	}
 }
 
+func TestCallTimeoutStalledHandler(t *testing.T) {
+	s := NewServer()
+	release := make(chan struct{})
+	s.Handle("stall", func(p []byte) ([]byte, error) {
+		<-release // deliberately stalled until the test ends
+		return nil, nil
+	})
+	addr, _ := s.Listen("127.0.0.1:0")
+	defer s.Close()
+	defer close(release)
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, err = c.CallTimeout("stall", []byte("x"), 100*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled call should time out")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) || !te.Timeout() || te.Method != "stall" {
+		t.Fatalf("want *TimeoutError for method stall, got %#v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~100ms", elapsed)
+	}
+	// The stream is desynced: the client must refuse reuse rather than
+	// deliver the stalled call's late response to the next caller.
+	if _, err := c.Call("stall", nil); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("post-timeout call should fail with ErrClientBroken, got %v", err)
+	}
+}
+
+func TestCallTimeoutFastCallUnaffected(t *testing.T) {
+	s := NewServer()
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, _ := s.Listen("127.0.0.1:0")
+	defer s.Close()
+	c, _ := Dial(addr, nil)
+	defer c.Close()
+	resp, err := c.CallTimeout("echo", []byte("hi"), time.Second)
+	if err != nil || string(resp) != "hi" {
+		t.Fatalf("fast call under deadline failed: %v %q", err, resp)
+	}
+	// The deadline must be cleared for following undeadlined calls.
+	if _, err := c.Call("echo", []byte("again")); err != nil {
+		t.Fatalf("call after CallTimeout failed: %v", err)
+	}
+}
+
+func TestShutdownDrainsInflight(t *testing.T) {
+	s := NewServer()
+	started := make(chan struct{})
+	s.Handle("slow", func(p []byte) ([]byte, error) {
+		close(started)
+		time.Sleep(150 * time.Millisecond)
+		return []byte("done"), nil
+	})
+	addr, _ := s.Listen("127.0.0.1:0")
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type result struct {
+		resp []byte
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := c.Call("slow", nil)
+		got <- result{resp, err}
+	}()
+	<-started
+	if err := s.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || string(r.resp) != "done" {
+		t.Fatalf("in-flight call not drained: %v %q", r.err, r.resp)
+	}
+}
+
+func TestShutdownRejectsNewRequests(t *testing.T) {
+	s := NewServer()
+	started := make(chan struct{})
+	s.Handle("slow", func(p []byte) ([]byte, error) {
+		close(started)
+		time.Sleep(200 * time.Millisecond)
+		return nil, nil
+	})
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, _ := s.Listen("127.0.0.1:0")
+	c1, _ := Dial(addr, nil)
+	defer c1.Close()
+	c2, _ := Dial(addr, nil)
+	defer c2.Close()
+
+	go c1.Call("slow", nil)
+	<-started
+	done := make(chan struct{})
+	go func() {
+		s.Shutdown(2 * time.Second)
+		close(done)
+	}()
+	// While draining, a request on an existing connection is rejected.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := c2.Call("echo", []byte("x")); err == nil {
+		t.Fatal("request during drain should be rejected")
+	}
+	<-done
+}
+
+func TestShutdownGraceBounded(t *testing.T) {
+	s := NewServer()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s.Handle("hang", func(p []byte) ([]byte, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	addr, _ := s.Listen("127.0.0.1:0")
+	c, _ := Dial(addr, nil)
+	defer c.Close()
+	go c.Call("hang", nil)
+	<-started
+	defer close(release)
+
+	start := time.Now()
+	s.Shutdown(100 * time.Millisecond)
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("shutdown with hung handler took %v, grace not bounded", e)
+	}
+}
+
 func TestServerCloseUnblocksDial(t *testing.T) {
 	s := NewServer()
 	addr, _ := s.Listen("127.0.0.1:0")

@@ -24,6 +24,30 @@ type StrategyCache struct {
 
 	entries map[string]*list.Element
 	order   *list.List // front = most recent
+
+	// Occupancy / effectiveness counters, see Stats.
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// CacheStats is a point-in-time snapshot of cache occupancy and hit-rate,
+// for the serving layer and tests to observe without poking exported fields.
+type CacheStats struct {
+	Len       int
+	Cap       int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 type cacheEntry struct {
@@ -81,8 +105,10 @@ func (c *StrategyCache) Get(ct env.Constraint) (*env.Decision, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[c.Key(ct)]
 	if !ok {
+		c.misses++
 		return nil, false
 	}
+	c.hits++
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).decision, true
 }
@@ -104,6 +130,7 @@ func (c *StrategyCache) Put(ct env.Constraint, d *env.Decision) {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
@@ -112,4 +139,17 @@ func (c *StrategyCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Stats returns a snapshot of occupancy and hit/miss/eviction counters.
+func (c *StrategyCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Len:       c.order.Len(),
+		Cap:       c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
 }

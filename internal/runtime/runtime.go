@@ -94,8 +94,14 @@ func (r *Runtime) SetLinkState(i int, bandwidthMbps, delayMs float64) error {
 // Constraint assembles the current (goal, task) pair from the SLO and the
 // freshest link state.
 func (r *Runtime) Constraint() env.Constraint {
+	return r.ConstraintFor(r.SLO())
+}
+
+// ConstraintFor assembles the (goal, task) pair for an explicit SLO and the
+// freshest link state. The serving layer uses it to resolve strategies for
+// per-request SLOs without mutating the runtime's global objective.
+func (r *Runtime) ConstraintFor(slo SLO) env.Constraint {
 	r.mu.Lock()
-	slo := r.slo
 	manual := append([]monitor.Sample(nil), r.manualLink...)
 	r.mu.Unlock()
 
@@ -132,14 +138,38 @@ type Result struct {
 	CacheHit   bool
 }
 
-// Infer performs one inference: resolve strategy (cache → decider), then
-// execute it across the cluster.
-func (r *Runtime) Infer(x *tensor.Tensor) (*Result, error) {
-	c := r.Constraint()
+// Resolution is a resolved strategy: the decision to execute plus the
+// bucketized cache key identifying the (SLO, network-state) regime it was
+// resolved for. Requests sharing a Key are batch-compatible.
+type Resolution struct {
+	Decision   *env.Decision
+	Constraint env.Constraint
+	Key        string
+	CacheHit   bool
+	DecideTime time.Duration
+}
+
+// StrategyKeyFor returns the bucketized cache key for an SLO under current
+// link state without resolving a decision. The serving layer uses it at
+// admission time to group batch-compatible requests cheaply.
+func (r *Runtime) StrategyKeyFor(slo SLO) string {
+	c := r.ConstraintFor(slo)
+	if r.Cache != nil {
+		return r.Cache.Key(c)
+	}
+	return fmt.Sprintf("%d|%.0f|%.0f|%v|%v", c.Type, c.LatencyMs, c.AccuracyPct, c.BandwidthMbps, c.DelayMs)
+}
+
+// ResolveFor resolves the strategy for an explicit SLO (cache → decider)
+// without executing an inference.
+func (r *Runtime) ResolveFor(slo SLO) (*Resolution, error) {
+	c := r.ConstraintFor(slo)
 	start := time.Now()
+	key := ""
 	var d *env.Decision
 	hit := false
 	if r.Cache != nil {
+		key = r.Cache.Key(c)
 		if cached, ok := r.Cache.Get(c); ok {
 			d = cached
 			hit = true
@@ -161,13 +191,76 @@ func (r *Runtime) Infer(x *tensor.Tensor) (*Result, error) {
 		r.CacheMisses++
 		r.mu.Unlock()
 	}
-	decideTime := time.Since(start)
+	return &Resolution{
+		Decision:   d,
+		Constraint: c,
+		Key:        key,
+		CacheHit:   hit,
+		DecideTime: time.Since(start),
+	}, nil
+}
 
-	rep, err := r.Scheduler.Infer(x, d)
+// Infer performs one inference: resolve strategy (cache → decider), then
+// execute it across the cluster.
+func (r *Runtime) Infer(x *tensor.Tensor) (*Result, error) {
+	res, err := r.ResolveFor(r.SLO())
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Report: rep, Decision: d, Constraint: c, DecideTime: decideTime, CacheHit: hit}, nil
+	rep, err := r.Scheduler.Infer(x, res.Decision)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Report: rep, Decision: res.Decision, Constraint: res.Constraint,
+		DecideTime: res.DecideTime, CacheHit: res.CacheHit}, nil
+}
+
+// ExecBatch executes one resolved decision over a batch of inputs in a
+// single distributed inference: every input is resized to the decision's
+// resolution, stacked along the batch dimension, run through the scheduler
+// once, and the per-input logit rows are split back out. This is the serving
+// layer's dynamic-batching entry point: requests that resolved to the same
+// strategy amortize tiling, dispatch, and per-layer overhead.
+func (r *Runtime) ExecBatch(xs []*tensor.Tensor, d *env.Decision) ([]*tensor.Tensor, *InferenceReport, error) {
+	if len(xs) == 0 {
+		return nil, nil, fmt.Errorf("runtime: empty batch")
+	}
+	res := d.Config.Resolution
+	ch := xs[0].Shape[1]
+	n := 0
+	for i, x := range xs {
+		if x.Rank() != 4 {
+			return nil, nil, fmt.Errorf("runtime: batch input %d has rank %d, want 4", i, x.Rank())
+		}
+		if x.Shape[1] != ch {
+			return nil, nil, fmt.Errorf("runtime: batch input %d has %d channels, want %d", i, x.Shape[1], ch)
+		}
+		n += x.Shape[0]
+	}
+	batch := tensor.New(n, ch, res, res)
+	plane := ch * res * res
+	row := 0
+	for _, x := range xs {
+		rx := tensor.BilinearResize(x, res, res)
+		copy(batch.Data[row*plane:], rx.Data)
+		row += x.Shape[0]
+	}
+
+	rep, err := r.Scheduler.Infer(batch, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	classes := rep.Logits.Shape[1]
+	outs := make([]*tensor.Tensor, len(xs))
+	row = 0
+	for i, x := range xs {
+		k := x.Shape[0]
+		t := tensor.New(k, classes)
+		copy(t.Data, rep.Logits.Data[row*classes:(row+k)*classes])
+		outs[i] = t
+		row += k
+	}
+	return outs, rep, nil
 }
 
 // Precompute resolves and caches the strategy for the *predicted* network

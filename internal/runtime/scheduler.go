@@ -20,6 +20,9 @@ type Scheduler struct {
 	Local *supernet.Supernet
 	// Remotes[i] is the client for device i+1 (device 0 is local).
 	Remotes []*rpcx.Client
+	// RemoteTimeout, when > 0, bounds each remote tile call so a hung or
+	// stalled daemon fails the inference instead of blocking it forever.
+	RemoteTimeout time.Duration
 }
 
 // NewScheduler creates a scheduler for a local supernet and remote clients.
@@ -118,7 +121,7 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 				errs[t] = err
 				return
 			}
-			resp, err := client.Call(ExecBlockMethod, payload)
+			resp, err := client.CallTimeout(ExecBlockMethod, payload, s.RemoteTimeout)
 			if err != nil {
 				errs[t] = err
 				return

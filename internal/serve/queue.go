@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"murmuration/internal/runtime"
+	"murmuration/internal/tensor"
+)
+
+// request is one queued inference.
+type request struct {
+	x        *tensor.Tensor
+	slo      runtime.SLO
+	class    Class
+	key      string    // strategy key at admission; batch-compatibility group
+	deadline time.Time // zero for non-latency classes
+	enqueued time.Time
+	done     chan Outcome // buffered(1); exactly one Outcome is ever sent
+}
+
+// expired reports whether the request's deadline has passed.
+func (r *request) expired(now time.Time) bool {
+	return !r.deadline.IsZero() && now.After(r.deadline)
+}
+
+// Gateway is the serving front-end: bounded per-class queues, deadline-aware
+// admission, a batching worker pool, and counters. Create with New; stop
+// with Close.
+type Gateway struct {
+	rt   *runtime.Runtime
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [numClasses][]*request
+	closing bool
+
+	// emaBatchSec is an exponential moving average of batched-inference
+	// duration, feeding the admission-time queue-wait estimate.
+	emaBatchSec float64
+
+	stats Stats
+
+	workers sync.WaitGroup
+}
+
+// New creates a gateway over a runtime and starts its worker pool.
+func New(rt *runtime.Runtime, opts Options) *Gateway {
+	g := &Gateway{rt: rt, opts: opts.withDefaults()}
+	g.cond = sync.NewCond(&g.mu)
+	for i := 0; i < g.opts.Workers; i++ {
+		g.workers.Add(1)
+		go func() {
+			defer g.workers.Done()
+			g.worker()
+		}()
+	}
+	return g
+}
+
+// admit applies admission control: shed when closing, when the class queue
+// is at depth, or when a latency-SLO request cannot plausibly make its
+// deadline given the queue ahead of it.
+func (g *Gateway) admit(req *request) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closing {
+		g.stats.Shed++
+		return ErrShuttingDown
+	}
+	q := req.class
+	if len(g.queues[q]) >= g.opts.QueueDepth {
+		g.stats.Shed++
+		return ErrQueueFull
+	}
+	if q == ClassLatency && g.emaBatchSec > 0 {
+		// Queue-wait estimate: batches ahead of us in our class, divided
+		// over the worker pool, plus our own batch's execution.
+		batchesAhead := (len(g.queues[q]) + g.opts.MaxBatch - 1) / g.opts.MaxBatch
+		est := time.Duration((float64(batchesAhead)/float64(g.opts.Workers) + 1) *
+			g.emaBatchSec * float64(time.Second))
+		if time.Now().Add(est).After(req.deadline) {
+			g.stats.Shed++
+			return ErrDeadlineUnattainable
+		}
+	}
+	g.stats.Admitted++
+	g.queues[q] = append(g.queues[q], req)
+	// Broadcast, not Signal: a lingering worker could otherwise swallow the
+	// wakeup meant for an idle one and strand an incompatible request.
+	g.cond.Broadcast()
+	return nil
+}
+
+// popHead removes and returns the first live request from the highest-
+// priority non-empty queue, failing expired ones on the way. Returns nil
+// when every queue is empty. Caller holds g.mu.
+func (g *Gateway) popHead(now time.Time) *request {
+	for c := Class(0); c < numClasses; c++ {
+		for len(g.queues[c]) > 0 {
+			req := g.queues[c][0]
+			g.queues[c] = g.queues[c][1:]
+			if req.expired(now) {
+				g.failLocked(req, ErrDeadlineMissed)
+				continue
+			}
+			return req
+		}
+	}
+	return nil
+}
+
+// collectCompatible removes up to max additional requests with the head's
+// class and strategy key, preserving queue order of the rest. Expired
+// requests encountered during the scan are failed. Caller holds g.mu.
+func (g *Gateway) collectCompatible(head *request, max int, now time.Time) []*request {
+	if max <= 0 {
+		return nil
+	}
+	q := head.class
+	var batch []*request
+	kept := g.queues[q][:0]
+	for _, req := range g.queues[q] {
+		switch {
+		case len(batch) < max && req.key == head.key:
+			if req.expired(now) {
+				g.failLocked(req, ErrDeadlineMissed)
+				continue
+			}
+			batch = append(batch, req)
+		default:
+			kept = append(kept, req)
+		}
+	}
+	// Zero the tail so dropped slots don't pin requests.
+	for i := len(kept); i < len(g.queues[q]); i++ {
+		g.queues[q][i] = nil
+	}
+	g.queues[q] = kept
+	return batch
+}
+
+// failLocked delivers an error outcome for an admitted request that will
+// not execute and updates the drop counters. Caller holds g.mu.
+func (g *Gateway) failLocked(req *request, err error) {
+	g.stats.Dropped++
+	if req.class == ClassLatency {
+		g.stats.DeadlineMissed++
+	}
+	req.done <- Outcome{Err: err}
+}
+
+// Stats returns a snapshot of the gateway's counters.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.stats
+	for c := Class(0); c < numClasses; c++ {
+		s.QueueDepth[c] = len(g.queues[c])
+	}
+	if g.rt.Cache != nil {
+		s.Cache = g.rt.Cache.Stats()
+	}
+	return s
+}
+
+// Close drains the gateway: admission stops immediately, queued requests
+// keep executing for up to grace, and whatever is still queued after that
+// is failed with ErrShuttingDown. Close returns once every worker exited.
+func (g *Gateway) Close(grace time.Duration) {
+	g.mu.Lock()
+	g.closing = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		g.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return
+	case <-time.After(grace):
+	}
+	// Grace expired: abandon what is still queued so workers can exit.
+	g.mu.Lock()
+	for c := Class(0); c < numClasses; c++ {
+		for _, req := range g.queues[c] {
+			g.failLocked(req, ErrShuttingDown)
+		}
+		g.queues[c] = nil
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	<-done
+}

@@ -1,0 +1,175 @@
+// Package serve is Murmuration's SLO-aware serving layer: a concurrent
+// inference gateway that sits in front of runtime.Runtime and turns the
+// single-request pipeline into a request-serving system.
+//
+// Requests are classified by their SLO into service classes (latency-SLO
+// ahead of accuracy-SLO ahead of best-effort) and admitted into bounded
+// per-class queues. Admission is deadline-aware: a latency-SLO request whose
+// estimated queue wait already exceeds its budget is shed immediately rather
+// than admitted and missed. A worker pool drains the queues in strict class
+// priority, coalescing compatible requests — same resolved strategy key from
+// the StrategyCache — into one batched Scheduler inference (up to MaxBatch,
+// waiting at most MaxLinger to fill a batch). Everything observable is
+// counted and exposed via Stats() so experiments and benchmarks can assert
+// on admitted / served / shed / deadline-missed totals.
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"murmuration/internal/rl/env"
+	"murmuration/internal/runtime"
+	"murmuration/internal/tensor"
+)
+
+// Class is the service class a request is queued under, derived from its
+// SLO. Lower values are served first.
+type Class int
+
+// Service classes in strict priority order.
+const (
+	ClassLatency    Class = iota // latency-SLO requests: have a hard deadline
+	ClassAccuracy                // accuracy-SLO requests: quality-bound, no deadline
+	ClassBestEffort              // no SLO: served when capacity is idle
+	numClasses
+)
+
+// String names the class for logs and stats.
+func (c Class) String() string {
+	switch c {
+	case ClassLatency:
+		return "latency"
+	case ClassAccuracy:
+		return "accuracy"
+	case ClassBestEffort:
+		return "best-effort"
+	}
+	return "unknown"
+}
+
+// classOf derives the service class from an SLO. A latency SLO with a
+// positive budget gets the deadline class; a positive accuracy SLO gets the
+// quality class; anything else is best-effort.
+func classOf(slo runtime.SLO) Class {
+	switch {
+	case slo.Type == env.LatencySLO && slo.Value > 0:
+		return ClassLatency
+	case slo.Type == env.AccuracySLO && slo.Value > 0:
+		return ClassAccuracy
+	}
+	return ClassBestEffort
+}
+
+// Sentinel errors surfaced to submitters. Over the wire they travel as rpcx
+// remote-error strings; Client maps them back with IsShed / errors.Is.
+var (
+	// ErrQueueFull sheds a request because its class queue is at depth.
+	ErrQueueFull = errors.New("serve: shed: queue full")
+	// ErrDeadlineUnattainable sheds a latency-SLO request at admission
+	// because the estimated queue wait already exceeds its budget.
+	ErrDeadlineUnattainable = errors.New("serve: shed: deadline unattainable")
+	// ErrDeadlineMissed fails an admitted request whose deadline passed
+	// while it waited in the queue.
+	ErrDeadlineMissed = errors.New("serve: deadline missed in queue")
+	// ErrShuttingDown rejects work during/after gateway shutdown.
+	ErrShuttingDown = errors.New("serve: shed: gateway shutting down")
+)
+
+// Options configures a Gateway. Zero values select the defaults.
+type Options struct {
+	// Workers is the number of parallel batch executors (default 2).
+	Workers int
+	// MaxBatch caps how many compatible requests coalesce into one batched
+	// inference (default 8, max 255 — the wire encodes it in one byte).
+	MaxBatch int
+	// MaxLinger is how long a worker waits to fill a batch after the first
+	// request is taken (default 2ms). Lingering never extends past a
+	// latency-SLO head's feasible slack.
+	MaxLinger time.Duration
+	// QueueDepth bounds each class queue (default 64).
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxBatch > 255 {
+		o.MaxBatch = 255
+	}
+	if o.MaxLinger <= 0 {
+		o.MaxLinger = 2 * time.Millisecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the gateway's counters. After a
+// drain, Admitted == Served + Dropped + Failed: no admitted request
+// disappears silently.
+type Stats struct {
+	// Admitted counts requests that passed admission control.
+	Admitted uint64
+	// Served counts admitted requests that completed execution and were
+	// delivered (late completions included — see DeadlineMissed).
+	Served uint64
+	// Shed counts requests rejected at admission: full queue, hopeless
+	// deadline, or shutdown.
+	Shed uint64
+	// Dropped counts admitted requests abandoned before execution (deadline
+	// expired in queue, or shutdown drain gave up).
+	Dropped uint64
+	// DeadlineMissed counts admitted latency-SLO requests that did not make
+	// their budget: every Dropped latency request plus every late Served
+	// completion.
+	DeadlineMissed uint64
+	// Failed counts admitted requests whose execution errored.
+	Failed uint64
+	// Batches / BatchedRequests describe batching efficiency:
+	// BatchedRequests/Batches is the mean batch size.
+	Batches         uint64
+	BatchedRequests uint64
+	// QueueDepth is the current per-class queue occupancy.
+	QueueDepth [numClasses]int
+	// Cache is the runtime strategy-cache snapshot (occupancy, hit-rate).
+	Cache runtime.CacheStats
+}
+
+// Outcome is the per-request result delivered to a submitter.
+type Outcome struct {
+	Logits     *tensor.Tensor
+	QueueWait  time.Duration // admission → execution start
+	ExecTime   time.Duration // the batched scheduler call this request rode in
+	DecideTime time.Duration // strategy resolution time for the batch
+	BatchSize  int
+	CacheHit   bool
+	Err        error
+}
+
+// Submit enqueues one inference under slo and blocks until its outcome is
+// ready. It is safe for concurrent use; the returned error is also set on
+// Outcome.Err.
+func (g *Gateway) Submit(x *tensor.Tensor, slo runtime.SLO) (Outcome, error) {
+	req := &request{
+		x:        x,
+		slo:      slo,
+		class:    classOf(slo),
+		key:      g.rt.StrategyKeyFor(slo),
+		enqueued: time.Now(),
+		done:     make(chan Outcome, 1),
+	}
+	if req.class == ClassLatency {
+		req.deadline = req.enqueued.Add(time.Duration(slo.Value * float64(time.Millisecond)))
+	}
+	if err := g.admit(req); err != nil {
+		return Outcome{Err: err}, err
+	}
+	out := <-req.done
+	return out, out.Err
+}

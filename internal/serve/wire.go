@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rpcx"
+	"murmuration/internal/runtime"
+	"murmuration/internal/tensor"
+)
+
+// RPC method names served by a gateway.
+const (
+	// InferMethod takes an SLO-tagged encoded image and returns logits plus
+	// per-request timing.
+	InferMethod = "serve.infer"
+	// StatsMethod returns the gateway's Stats snapshot.
+	StatsMethod = "serve.stats"
+)
+
+// Wire layout (little endian).
+//
+//	infer request:  u8 sloKind (0 latency, 1 accuracy, 2 best-effort)
+//	                f64 sloValue | tensor.Encode(image)
+//	infer response: u8 batchSize | u8 cacheHit | u64 queueWaitµs
+//	                u64 execµs | u64 decideµs | tensor.Encode(logits)
+//	stats response: 16 × u64 (see encodeStats)
+const inferHeaderLen = 1 + 8
+
+// Register installs the gateway's handlers on an rpcx server.
+func (g *Gateway) Register(s *rpcx.Server) {
+	s.Handle(InferMethod, g.handleInfer)
+	s.Handle(StatsMethod, g.handleStats)
+}
+
+func (g *Gateway) handleInfer(payload []byte) ([]byte, error) {
+	if len(payload) < inferHeaderLen {
+		return nil, fmt.Errorf("serve: short infer payload")
+	}
+	slo, err := decodeSLO(payload[0], math.Float64frombits(binary.LittleEndian.Uint64(payload[1:9])))
+	if err != nil {
+		return nil, err
+	}
+	x, err := tensor.Decode(bytes.NewReader(payload[inferHeaderLen:]))
+	if err != nil {
+		return nil, err
+	}
+	out, err := g.Submit(x, slo)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	var u8 [8]byte
+	buf.WriteByte(byte(out.BatchSize))
+	if out.CacheHit {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	for _, d := range []time.Duration{out.QueueWait, out.ExecTime, out.DecideTime} {
+		binary.LittleEndian.PutUint64(u8[:], uint64(d.Microseconds()))
+		buf.Write(u8[:])
+	}
+	if err := tensor.Encode(&buf, out.Logits); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (g *Gateway) handleStats(payload []byte) ([]byte, error) {
+	return encodeStats(g.Stats()), nil
+}
+
+func sloKind(slo runtime.SLO) byte {
+	switch classOf(slo) {
+	case ClassLatency:
+		return 0
+	case ClassAccuracy:
+		return 1
+	}
+	return 2
+}
+
+func decodeSLO(kind byte, value float64) (runtime.SLO, error) {
+	switch kind {
+	case 0:
+		return runtime.SLO{Type: env.LatencySLO, Value: value}, nil
+	case 1:
+		return runtime.SLO{Type: env.AccuracySLO, Value: value}, nil
+	case 2:
+		return runtime.SLO{Type: env.LatencySLO, Value: 0}, nil // best-effort
+	}
+	return runtime.SLO{}, fmt.Errorf("serve: bad SLO kind %d", kind)
+}
+
+// statsFieldCount is the number of u64 fields in the stats wire encoding.
+const statsFieldCount = 16
+
+// statsFields lists the counter fields in wire order; queue depths and
+// cache stats follow them in encodeStats/decodeStats.
+func statsFields(s *Stats) []*uint64 {
+	return []*uint64{
+		&s.Admitted, &s.Served, &s.Shed, &s.Dropped, &s.DeadlineMissed,
+		&s.Failed, &s.Batches, &s.BatchedRequests,
+	}
+}
+
+func encodeStats(s Stats) []byte {
+	buf := make([]byte, 0, statsFieldCount*8)
+	var u8 [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u8[:], v)
+		buf = append(buf, u8[:]...)
+	}
+	for _, f := range statsFields(&s) {
+		put(*f)
+	}
+	for c := 0; c < int(numClasses); c++ {
+		put(uint64(s.QueueDepth[c]))
+	}
+	put(uint64(s.Cache.Len))
+	put(uint64(s.Cache.Cap))
+	put(s.Cache.Hits)
+	put(s.Cache.Misses)
+	put(s.Cache.Evictions)
+	return buf
+}
+
+func decodeStats(b []byte) (Stats, error) {
+	if len(b) < statsFieldCount*8 {
+		return Stats{}, fmt.Errorf("serve: short stats payload (%d bytes)", len(b))
+	}
+	var s Stats
+	i := 0
+	next := func() uint64 {
+		v := binary.LittleEndian.Uint64(b[i*8:])
+		i++
+		return v
+	}
+	for _, f := range statsFields(&s) {
+		*f = next()
+	}
+	for c := 0; c < int(numClasses); c++ {
+		s.QueueDepth[c] = int(next())
+	}
+	s.Cache.Len = int(next())
+	s.Cache.Cap = int(next())
+	s.Cache.Hits = next()
+	s.Cache.Misses = next()
+	s.Cache.Evictions = next()
+	return s, nil
+}
+
+// Client is the deployment-side client of a gateway.
+type Client struct {
+	c *rpcx.Client
+}
+
+// DialClient connects to a gateway address.
+func DialClient(addr string) (*Client, error) {
+	c, err := rpcx.Dial(addr, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// NewClient wraps an existing rpcx client.
+func NewClient(c *rpcx.Client) *Client { return &Client{c: c} }
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// InferResult is the client-side view of a served inference.
+type InferResult struct {
+	Logits     *tensor.Tensor
+	QueueWait  time.Duration
+	ExecTime   time.Duration
+	DecideTime time.Duration
+	BatchSize  int
+	CacheHit   bool
+}
+
+// Infer submits one image under an SLO and waits for the logits. A timeout
+// of 0 waits indefinitely; on expiry the underlying connection is poisoned
+// (see rpcx.Client.CallTimeout) and the client must be re-dialed.
+func (c *Client) Infer(x *tensor.Tensor, slo runtime.SLO, timeout time.Duration) (*InferResult, error) {
+	var buf bytes.Buffer
+	var u8 [8]byte
+	buf.WriteByte(sloKind(slo))
+	binary.LittleEndian.PutUint64(u8[:], math.Float64bits(slo.Value))
+	buf.Write(u8[:])
+	if err := tensor.Encode(&buf, x); err != nil {
+		return nil, err
+	}
+	resp, err := c.c.CallTimeout(InferMethod, buf.Bytes(), timeout)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 2+3*8 {
+		return nil, fmt.Errorf("serve: short infer response")
+	}
+	r := &InferResult{
+		BatchSize: int(resp[0]),
+		CacheHit:  resp[1] == 1,
+	}
+	us := func(off int) time.Duration {
+		return time.Duration(binary.LittleEndian.Uint64(resp[off:])) * time.Microsecond
+	}
+	r.QueueWait, r.ExecTime, r.DecideTime = us(2), us(10), us(18)
+	logits, err := tensor.Decode(bytes.NewReader(resp[2+3*8:]))
+	if err != nil {
+		return nil, err
+	}
+	r.Logits = logits
+	return r, nil
+}
+
+// Stats fetches the gateway's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.c.CallTimeout(StatsMethod, nil, 5*time.Second)
+	if err != nil {
+		return Stats{}, err
+	}
+	return decodeStats(resp)
+}
+
+// IsShed reports whether err (local or remote) represents admission-control
+// shedding: full queue, unattainable deadline, or gateway shutdown.
+func IsShed(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDeadlineUnattainable) ||
+		errors.Is(err, ErrShuttingDown) {
+		return true
+	}
+	return strings.Contains(err.Error(), "serve: shed")
+}
+
+// IsDeadlineMissed reports whether err (local or remote) is an admitted
+// request dropped because its deadline expired in the queue.
+func IsDeadlineMissed(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrDeadlineMissed) ||
+		strings.Contains(err.Error(), "serve: deadline missed")
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"time"
+
+	"murmuration/internal/tensor"
+)
+
+// worker is one executor loop: form a batch, run it, repeat until the
+// gateway is closed and drained.
+func (g *Gateway) worker() {
+	for {
+		batch := g.nextBatch()
+		if batch == nil {
+			return
+		}
+		g.execute(batch)
+	}
+}
+
+// nextBatch blocks until work is available and returns a batch of
+// compatible requests (same class and strategy key), or nil when the
+// gateway is closed and fully drained. After taking a head request it
+// lingers up to MaxLinger for the batch to fill, but never past the point
+// where a latency-SLO head could still make its deadline.
+func (g *Gateway) nextBatch() []*request {
+	g.mu.Lock()
+	var head *request
+	for {
+		head = g.popHead(time.Now())
+		if head != nil {
+			break
+		}
+		if g.closing {
+			g.mu.Unlock()
+			return nil
+		}
+		g.cond.Wait()
+	}
+	batch := append([]*request{head},
+		g.collectCompatible(head, g.opts.MaxBatch-1, time.Now())...)
+	if len(batch) < g.opts.MaxBatch {
+		lingerEnd := time.Now().Add(g.opts.MaxLinger)
+		if head.class == ClassLatency {
+			// Leave one estimated batch execution of slack before the
+			// head's deadline.
+			slackEnd := head.deadline.Add(-time.Duration(g.emaBatchSec * float64(time.Second)))
+			if slackEnd.Before(lingerEnd) {
+				lingerEnd = slackEnd
+			}
+		}
+		for len(batch) < g.opts.MaxBatch && !g.closing {
+			now := time.Now()
+			if !now.Before(lingerEnd) {
+				break
+			}
+			timer := time.AfterFunc(lingerEnd.Sub(now), g.cond.Broadcast)
+			g.cond.Wait()
+			timer.Stop()
+			batch = append(batch,
+				g.collectCompatible(head, g.opts.MaxBatch-len(batch), time.Now())...)
+		}
+	}
+	g.mu.Unlock()
+	return batch
+}
+
+// execute resolves the batch's strategy once, runs the batched inference,
+// and delivers per-request outcomes.
+func (g *Gateway) execute(batch []*request) {
+	start := time.Now()
+	res, err := g.rt.ResolveFor(batch[0].slo)
+	if err != nil {
+		g.finishError(batch, err)
+		return
+	}
+	xs := make([]*tensor.Tensor, len(batch))
+	for i, r := range batch {
+		xs[i] = r.x
+	}
+	outs, _, err := g.rt.ExecBatch(xs, res.Decision)
+	execTime := time.Since(start)
+	if err != nil {
+		g.finishError(batch, err)
+		return
+	}
+
+	now := time.Now()
+	g.mu.Lock()
+	sec := execTime.Seconds()
+	if g.emaBatchSec == 0 {
+		g.emaBatchSec = sec
+	} else {
+		g.emaBatchSec = 0.8*g.emaBatchSec + 0.2*sec
+	}
+	g.stats.Batches++
+	g.stats.BatchedRequests += uint64(len(batch))
+	for _, r := range batch {
+		g.stats.Served++
+		if r.class == ClassLatency && now.After(r.deadline) {
+			g.stats.DeadlineMissed++
+		}
+	}
+	g.mu.Unlock()
+
+	for i, r := range batch {
+		r.done <- Outcome{
+			Logits:     outs[i],
+			QueueWait:  start.Sub(r.enqueued),
+			ExecTime:   execTime,
+			DecideTime: res.DecideTime,
+			BatchSize:  len(batch),
+			CacheHit:   res.CacheHit,
+		}
+	}
+}
+
+// finishError fails every request of a batch whose execution errored.
+func (g *Gateway) finishError(batch []*request, err error) {
+	g.mu.Lock()
+	g.stats.Failed += uint64(len(batch))
+	g.mu.Unlock()
+	for _, r := range batch {
+		r.done <- Outcome{Err: err}
+	}
+}
