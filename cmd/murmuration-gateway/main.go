@@ -55,7 +55,7 @@ func main() {
 	linger := flag.Duration("linger", 2*time.Millisecond, "max wait for a batch to fill")
 	queueDepth := flag.Int("queue-depth", 64, "per-class queue bound; excess is shed")
 	grace := flag.Duration("grace", 10*time.Second, "drain window on shutdown")
-	remoteTimeout := flag.Duration("remote-timeout", 0, "per-call deadline on device RPCs (0 = none)")
+	remoteTimeout := flag.Duration("remote-timeout", 30*time.Second, "per-call deadline on device RPCs (0 = none; finite by default so a stalled device cannot wedge workers or shutdown)")
 	statsEvery := flag.Duration("stats-every", 0, "periodic stats log interval (0 = off)")
 	flag.Parse()
 

@@ -121,4 +121,3 @@ func main() {
 	}
 	fmt.Printf("strategy cache: %d hits, %d misses\n", rt.CacheHits, rt.CacheMisses)
 }
-

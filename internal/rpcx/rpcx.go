@@ -120,12 +120,16 @@ func (s *Server) Shutdown(grace time.Duration) error {
 
 	s.inflightMu.Lock()
 	s.draining = true
-	done := make(chan struct{})
-	if s.inflightN == 0 {
-		close(done)
-	} else {
-		s.inflightDone = done
+	// Concurrent/repeated Shutdowns share one drain channel: installing a
+	// fresh one each time would strand earlier callers on a channel endCall
+	// no longer holds, making them wait out the full grace needlessly.
+	if s.inflightDone == nil {
+		s.inflightDone = make(chan struct{})
+		if s.inflightN == 0 {
+			close(s.inflightDone)
+		}
 	}
+	done := s.inflightDone
 	s.inflightMu.Unlock()
 
 	var lnErr error

@@ -314,6 +314,47 @@ func TestShutdownRejectsNewRequests(t *testing.T) {
 	<-done
 }
 
+// TestShutdownRepeatedSharesDrain runs two concurrent Shutdowns over one
+// in-flight call: both must return as soon as the call drains. A second
+// Shutdown once overwrote the drain channel, stranding the first caller on a
+// channel nothing would close until the full grace elapsed.
+func TestShutdownRepeatedSharesDrain(t *testing.T) {
+	s := NewServer()
+	started := make(chan struct{})
+	s.Handle("slow", func(p []byte) ([]byte, error) {
+		close(started)
+		time.Sleep(150 * time.Millisecond)
+		return []byte("done"), nil
+	})
+	addr, _ := s.Listen("127.0.0.1:0")
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go c.Call("slow", nil)
+	<-started
+
+	const grace = 5 * time.Second
+	var wg sync.WaitGroup
+	elapsed := make([]time.Duration, 2)
+	for i := range elapsed {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			s.Shutdown(grace)
+			elapsed[i] = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range elapsed {
+		if e >= grace {
+			t.Fatalf("Shutdown %d waited out the full grace (%v): drain channel not shared", i, e)
+		}
+	}
+}
+
 func TestShutdownGraceBounded(t *testing.T) {
 	s := NewServer()
 	release := make(chan struct{})

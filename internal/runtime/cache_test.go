@@ -121,6 +121,45 @@ func TestResolveForUsesPerRequestSLO(t *testing.T) {
 	}
 }
 
+// TestExecBatchRejectsBadRank feeds non-rank-4 tensors to ExecBatch —
+// including as the first input, which once panicked on Shape[1] before the
+// validation loop ran — and expects clean errors.
+func TestExecBatchRejectsBadRank(t *testing.T) {
+	a := supernet.TinyArch(4)
+	net := supernet.New(a, 14)
+	sched, cleanup := testCluster(t, net, 1, 0, 0)
+	defer cleanup()
+	decider := DeciderFunc(func(c env.Constraint) (*env.Decision, error) {
+		cfg := a.MinConfig()
+		costs, _ := a.Costs(cfg)
+		return &env.Decision{Config: cfg, Placement: supernet.LocalPlacement(costs)}, nil
+	})
+	rt := New(sched, decider, NewStrategyCache(16, 25, 5, 10), nil)
+	rt.SetSLO(SLO{Type: env.LatencySLO, Value: 500})
+	res, err := rt.ResolveFor(rt.SLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(15))
+	good := randInput(rng, 1, 3, 32, 32)
+	cases := [][]*tensor.Tensor{
+		{tensor.New(5)},                  // rank 1 first
+		{tensor.New(3, 32, 32)},          // rank 3 first
+		{good, tensor.New(5)},            // bad rank later in the batch
+		{good, tensor.New(1, 4, 32, 32)}, // channel mismatch
+	}
+	for i, xs := range cases {
+		if _, _, err := rt.ExecBatch(xs, res.Decision); err == nil {
+			t.Fatalf("case %d: malformed batch accepted", i)
+		}
+	}
+	// A well-formed batch still executes.
+	if _, _, err := rt.ExecBatch([]*tensor.Tensor{good}, res.Decision); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+}
+
 func TestExecBatchMatchesSingles(t *testing.T) {
 	a := supernet.TinyArch(4)
 	net := supernet.New(a, 12)

@@ -226,13 +226,14 @@ func (r *Runtime) ExecBatch(xs []*tensor.Tensor, d *env.Decision) ([]*tensor.Ten
 		return nil, nil, fmt.Errorf("runtime: empty batch")
 	}
 	res := d.Config.Resolution
-	ch := xs[0].Shape[1]
-	n := 0
+	ch, n := 0, 0
 	for i, x := range xs {
 		if x.Rank() != 4 {
 			return nil, nil, fmt.Errorf("runtime: batch input %d has rank %d, want 4", i, x.Rank())
 		}
-		if x.Shape[1] != ch {
+		if i == 0 {
+			ch = x.Shape[1]
+		} else if x.Shape[1] != ch {
 			return nil, nil, fmt.Errorf("runtime: batch input %d has %d channels, want %d", i, x.Shape[1], ch)
 		}
 		n += x.Shape[0]

@@ -195,3 +195,44 @@ func TestGatewayOverRPCSingle(t *testing.T) {
 		t.Fatal("wire stats cache snapshot empty after a resolve")
 	}
 }
+
+// TestGatewayRejectsMalformedTensor sends a non-NCHW image over the wire and
+// checks the gateway answers with an error — rather than panicking in the
+// batching path — and keeps serving well-formed requests afterwards.
+func TestGatewayRejectsMalformedTensor(t *testing.T) {
+	g := New(newTestRuntime(102, nil), Options{Workers: 1})
+	defer g.Close(time.Second)
+	srv := rpcx.NewServer()
+	g.Register(srv)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for _, bad := range []*tensor.Tensor{
+		tensor.New(5),         // rank 1
+		tensor.New(3, 32, 32), // rank 3 (missing batch dim)
+	} {
+		if _, err := cl.Infer(bad, latSLO(5000), 30*time.Second); err == nil {
+			t.Fatalf("rank-%d image must be rejected", bad.Rank())
+		}
+	}
+	// The gateway survived and still serves valid traffic on the same conn.
+	res, err := cl.Infer(testInput(201), latSLO(5000), 30*time.Second)
+	if err != nil {
+		t.Fatalf("valid request after malformed ones failed: %v", err)
+	}
+	if res.Logits == nil || res.Logits.Shape[1] != 4 {
+		t.Fatalf("bad logits after recovery: %v", res.Logits)
+	}
+	if st := g.Stats(); st.Admitted != 1 || st.Served != 1 {
+		t.Fatalf("malformed requests must be rejected pre-admission: %+v", st)
+	}
+}

@@ -167,7 +167,10 @@ func (g *Gateway) Stats() Stats {
 
 // Close drains the gateway: admission stops immediately, queued requests
 // keep executing for up to grace, and whatever is still queued after that
-// is failed with ErrShuttingDown. Close returns once every worker exited.
+// is failed with ErrShuttingDown. Close returns once every worker exited,
+// except that a worker wedged inside a batch execution (e.g. a remote call
+// with no deadline) is abandoned after a second grace window rather than
+// hanging shutdown forever.
 func (g *Gateway) Close(grace time.Duration) {
 	g.mu.Lock()
 	g.closing = true
@@ -194,5 +197,11 @@ func (g *Gateway) Close(grace time.Duration) {
 	}
 	g.cond.Broadcast()
 	g.mu.Unlock()
-	<-done
+	// Workers with an empty queue exit on the broadcast; one stuck mid-
+	// execution can only be abandoned — its outcome sends are buffered, so
+	// it cannot block on delivery if it ever returns.
+	select {
+	case <-done:
+	case <-time.After(grace + 100*time.Millisecond):
+	}
 }

@@ -401,6 +401,61 @@ func TestCloseGraceExpiryFailsQueued(t *testing.T) {
 	}
 }
 
+// TestDecodeSLOPreservesType checks that the SLO type survives the wire
+// verbatim: a best-effort accuracy SLO (Value<=0) must not come back
+// latency-typed, since downstream constraint assembly keys off slo.Type.
+func TestDecodeSLOPreservesType(t *testing.T) {
+	cases := []runtime.SLO{
+		{Type: env.LatencySLO, Value: 100},
+		{Type: env.LatencySLO, Value: 0},
+		{Type: env.AccuracySLO, Value: 75},
+		{Type: env.AccuracySLO, Value: 0},
+		{Type: env.AccuracySLO, Value: -1},
+	}
+	for _, in := range cases {
+		out, err := decodeSLO(byte(in.Type), in.Value)
+		if err != nil {
+			t.Fatalf("decodeSLO(%+v): %v", in, err)
+		}
+		if out != in {
+			t.Fatalf("SLO round trip: sent %+v, got %+v", in, out)
+		}
+	}
+	if _, err := decodeSLO(9, 1); err == nil {
+		t.Fatal("unknown SLO type must be rejected")
+	}
+}
+
+// TestCloseBoundedWithWedgedWorker wedges the single worker inside its
+// decider forever and checks Close still returns within its grace bounds
+// instead of waiting on the worker indefinitely.
+func TestCloseBoundedWithWedgedWorker(t *testing.T) {
+	gate := make(chan struct{})
+	var decides int32
+	g := New(newTestRuntime(10, func() {
+		if atomic.AddInt32(&decides, 1) == 1 {
+			<-gate
+		}
+	}), Options{Workers: 1, MaxLinger: time.Millisecond})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Submit(testInput(100), latSLO(0))
+	}()
+	waitFor(t, func() bool { return atomic.LoadInt32(&decides) == 1 })
+
+	start := time.Now()
+	g.Close(50 * time.Millisecond)
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("Close with wedged worker took %v, want bounded by grace", e)
+	}
+	// Unwedge so the abandoned worker and its submitter can finish.
+	close(gate)
+	wg.Wait()
+}
+
 func TestStatsWireRoundTrip(t *testing.T) {
 	in := Stats{
 		Admitted: 10, Served: 7, Shed: 2, Dropped: 1, DeadlineMissed: 3,

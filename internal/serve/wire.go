@@ -26,7 +26,7 @@ const (
 
 // Wire layout (little endian).
 //
-//	infer request:  u8 sloKind (0 latency, 1 accuracy, 2 best-effort)
+//	infer request:  u8 sloType (0 latency, 1 accuracy — env.SLOType values)
 //	                f64 sloValue | tensor.Encode(image)
 //	infer response: u8 batchSize | u8 cacheHit | u64 queueWaitµs
 //	                u64 execµs | u64 decideµs | tensor.Encode(logits)
@@ -50,6 +50,11 @@ func (g *Gateway) handleInfer(payload []byte) ([]byte, error) {
 	x, err := tensor.Decode(bytes.NewReader(payload[inferHeaderLen:]))
 	if err != nil {
 		return nil, err
+	}
+	// Reject malformed images at the wire boundary: the batching path indexes
+	// Shape[0] and Shape[1], so a non-NCHW tensor must never reach the queue.
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("serve: infer image has rank %d, want 4 (NCHW)", x.Rank())
 	}
 	out, err := g.Submit(x, slo)
 	if err != nil {
@@ -77,26 +82,16 @@ func (g *Gateway) handleStats(payload []byte) ([]byte, error) {
 	return encodeStats(g.Stats()), nil
 }
 
-func sloKind(slo runtime.SLO) byte {
-	switch classOf(slo) {
-	case ClassLatency:
-		return 0
-	case ClassAccuracy:
-		return 1
+// decodeSLO rebuilds the submitted SLO from its wire form. The SLO type and
+// value travel verbatim (not a class-derived kind), so the gateway classifies
+// exactly the constraint the client stated: an accuracy SLO with Value<=0 is
+// still accuracy-typed downstream even though it queues as best-effort.
+func decodeSLO(typ byte, value float64) (runtime.SLO, error) {
+	switch env.SLOType(typ) {
+	case env.LatencySLO, env.AccuracySLO:
+		return runtime.SLO{Type: env.SLOType(typ), Value: value}, nil
 	}
-	return 2
-}
-
-func decodeSLO(kind byte, value float64) (runtime.SLO, error) {
-	switch kind {
-	case 0:
-		return runtime.SLO{Type: env.LatencySLO, Value: value}, nil
-	case 1:
-		return runtime.SLO{Type: env.AccuracySLO, Value: value}, nil
-	case 2:
-		return runtime.SLO{Type: env.LatencySLO, Value: 0}, nil // best-effort
-	}
-	return runtime.SLO{}, fmt.Errorf("serve: bad SLO kind %d", kind)
+	return runtime.SLO{}, fmt.Errorf("serve: bad SLO type %d", typ)
 }
 
 // statsFieldCount is the number of u64 fields in the stats wire encoding.
@@ -193,7 +188,7 @@ type InferResult struct {
 func (c *Client) Infer(x *tensor.Tensor, slo runtime.SLO, timeout time.Duration) (*InferResult, error) {
 	var buf bytes.Buffer
 	var u8 [8]byte
-	buf.WriteByte(sloKind(slo))
+	buf.WriteByte(byte(slo.Type))
 	binary.LittleEndian.PutUint64(u8[:], math.Float64bits(slo.Value))
 	buf.Write(u8[:])
 	if err := tensor.Encode(&buf, x); err != nil {
