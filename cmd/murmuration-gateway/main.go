@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"murmuration/internal/cluster"
 	"murmuration/internal/device"
 	"murmuration/internal/monitor"
 	"murmuration/internal/nas"
@@ -57,6 +58,10 @@ func main() {
 	grace := flag.Duration("grace", 10*time.Second, "drain window on shutdown")
 	remoteTimeout := flag.Duration("remote-timeout", 30*time.Second, "per-call deadline on device RPCs (0 = none; finite by default so a stalled device cannot wedge workers or shutdown)")
 	statsEvery := flag.Duration("stats-every", 0, "periodic stats log interval (0 = off)")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 500*time.Millisecond, "device heartbeat probe period (0 disables the failure detector)")
+	suspectAfter := flag.Duration("suspect-after", 0, "silence before a device turns Suspect (default 4x heartbeat interval)")
+	downAfter := flag.Duration("down-after", 0, "silence before a device turns Down and is failed over (default 10x heartbeat interval)")
+	retries := flag.Int("retries", 3, "max attempts per idempotent device RPC (1 disables retry; re-dial stays on)")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -83,16 +88,35 @@ func main() {
 	kinds := []device.Kind{device.RaspberryPi4}
 	var clients []*rpcx.Client
 	var monitors []*monitor.LinkMonitor
+	var probes []cluster.ProbeFunc
 	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
 		shaper := netem.NewShaper(*bw, time.Duration(*delay*float64(time.Millisecond)))
-		cl, err := rpcx.Dial(strings.TrimSpace(addr), shaper)
+		cl, err := rpcx.Dial(addr, shaper)
 		if err != nil {
 			log.Fatalf("dial %s: %v", addr, err)
 		}
 		defer cl.Close()
+		// Retry + re-dial: a device restart must not permanently poison the
+		// data path. Only idempotent methods are ever retried.
+		cl.SetRetryPolicy(rpcx.RetryPolicy{MaxAttempts: *retries})
+		cl.MarkIdempotent(runtime.ExecBlockMethod, monitor.PingMethod, monitor.BulkMethod)
 		clients = append(clients, cl)
 		monitors = append(monitors, monitor.NewLinkMonitor(cl))
 		kinds = append(kinds, device.RaspberryPi4)
+
+		if *heartbeatInterval > 0 {
+			// Heartbeats ride a dedicated connection: calls serialize per
+			// client, so probing through the data client would let a slow
+			// batch delay failure detection.
+			hb, err := rpcx.Dial(addr, nil)
+			if err != nil {
+				log.Fatalf("dial heartbeat %s: %v", addr, err)
+			}
+			defer hb.Close()
+			hb.SetRetryPolicy(rpcx.RetryPolicy{MaxAttempts: 1})
+			probes = append(probes, cluster.PingProbe(hb))
+		}
 	}
 
 	e := env.New(arch, nas.NewCalibratedPredictor(arch), kinds)
@@ -126,7 +150,27 @@ func main() {
 		MaxBatch:   *maxBatch,
 		MaxLinger:  *linger,
 		QueueDepth: *queueDepth,
+		OnDeviceError: func(dev int, err error) {
+			log.Printf("device %d failed a batch (failing over): %v", dev, err)
+		},
 	})
+
+	var mgr *cluster.Manager
+	if len(probes) > 0 {
+		mgr = cluster.NewManager(probes, cluster.Options{
+			HeartbeatInterval: *heartbeatInterval,
+			SuspectAfter:      *suspectAfter,
+			DownAfter:         *downAfter,
+		})
+		gw.AttachCluster(mgr)
+		go func() {
+			for ev := range mgr.Subscribe() {
+				log.Printf("cluster: device %d %v -> %v", ev.Member+1, ev.From, ev.To)
+			}
+		}()
+		mgr.Start()
+		log.Printf("failure detector on %d devices (heartbeat %v)", len(probes), *heartbeatInterval)
+	}
 
 	srv := rpcx.NewServer()
 	gw.Register(srv)
@@ -158,5 +202,9 @@ func main() {
 	// queues: requests admitted before the signal still get their outcome.
 	srv.Shutdown(*grace)
 	gw.Close(*grace)
+	if mgr != nil {
+		log.Printf("cluster at shutdown: %s (%+v)", mgr, mgr.CountersSnapshot())
+		mgr.Close()
+	}
 	log.Printf("drained; final stats: %+v", gw.Stats())
 }

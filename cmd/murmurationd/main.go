@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"murmuration/internal/cluster"
 	"murmuration/internal/monitor"
 	"murmuration/internal/nn"
 	"murmuration/internal/rpcx"
@@ -59,6 +60,10 @@ func main() {
 	srv := rpcx.NewServer()
 	runtime.NewExecutor(net).Register(srv)
 	monitor.RegisterHandlers(srv)
+	// After the monitor handlers: the node's counting ping replaces the echo,
+	// so gateway heartbeats are answered and tallied here.
+	node := cluster.NewNode()
+	node.Register(srv)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -75,5 +80,5 @@ func main() {
 		os.Exit(1)
 	}()
 	srv.Shutdown(*grace)
-	log.Println("drained")
+	log.Printf("drained (%d heartbeats answered)", node.Heartbeats())
 }

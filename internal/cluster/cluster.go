@@ -1,0 +1,441 @@
+// Package cluster is Murmuration's membership and health layer: it turns
+// device churn — the defining hazard of dynamic edge deployments — from a
+// request-killing error into a reconfiguration event the runtime can adapt
+// to, the same way it already adapts to bandwidth and delay drift.
+//
+// A Manager runs one heartbeat prober per remote device (reusing the
+// monitor's ping endpoint), smooths observed RTTs with an EMA to derive an
+// adaptive probe timeout, and drives a per-device state machine
+//
+//	Up ──(no heartbeat for SuspectAfter)──▶ Suspect
+//	Suspect ──(no heartbeat for DownAfter)──▶ Down
+//	Suspect/Down ──(heartbeat answered)──▶ Up
+//
+// State transitions are published to subscribers; the serving layer reacts
+// to Down by invalidating cached strategies that place work on the lost
+// device and re-resolving over the healthy subset, and to Up by
+// reintegrating the device and re-warming the cache.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"murmuration/internal/monitor"
+	"murmuration/internal/rpcx"
+	"murmuration/internal/stats"
+)
+
+// State is the health of one cluster member.
+type State int
+
+// Member states, in increasing order of distrust.
+const (
+	Up State = iota
+	Suspect
+	Down
+)
+
+// String names the state for logs and stats.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	}
+	return "unknown"
+}
+
+// Event is one state transition of one member.
+type Event struct {
+	// Member indexes the probed device (0-based remote index; the runtime's
+	// placement device number is Member+1 because device 0 is local).
+	Member int
+	From   State
+	To     State
+	At     time.Time
+}
+
+// ProbeFunc performs one heartbeat against a device, bounded by timeout, and
+// returns the observed round-trip time.
+type ProbeFunc func(timeout time.Duration) (time.Duration, error)
+
+// PingProbe adapts an rpcx client into a heartbeat probe against the
+// device's monitor ping endpoint. The client should be dedicated to
+// heartbeating (calls serialize per client, so sharing one with the data
+// path would let a long inference inflate — or block — the heartbeat) and
+// should have a retry policy installed so it re-dials a device that comes
+// back after an outage.
+func PingProbe(c *rpcx.Client) ProbeFunc {
+	return func(timeout time.Duration) (time.Duration, error) {
+		start := time.Now()
+		if _, err := c.CallTimeout(monitor.PingMethod, []byte{0xB}, timeout); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+}
+
+// Options configures a Manager. Zero values select the defaults.
+type Options struct {
+	// HeartbeatInterval is the mean probe period per member (default 500ms).
+	HeartbeatInterval time.Duration
+	// JitterFrac randomizes each probe period by ±frac (default 0.2) so the
+	// probers do not synchronize.
+	JitterFrac float64
+	// SuspectAfter demotes a member to Suspect when no heartbeat has been
+	// answered for this long (default 4× the heartbeat interval).
+	SuspectAfter time.Duration
+	// DownAfter demotes a member to Down when no heartbeat has been answered
+	// for this long (default 10× the heartbeat interval).
+	DownAfter time.Duration
+	// ProbeTimeout caps the per-probe deadline (default 2s). The effective
+	// deadline adapts below the cap: RTTMultiplier × the EMA of observed
+	// RTTs, floored at 20ms, so a fast LAN detects loss in tens of
+	// milliseconds while a slow WAN is not falsely suspected.
+	ProbeTimeout time.Duration
+	// RTTMultiplier scales the smoothed RTT into the adaptive probe timeout
+	// (default 6).
+	RTTMultiplier float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.JitterFrac <= 0 {
+		o.JitterFrac = 0.2
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 4 * o.HeartbeatInterval
+	}
+	if o.DownAfter <= o.SuspectAfter {
+		o.DownAfter = 10 * o.HeartbeatInterval
+		if o.DownAfter <= o.SuspectAfter {
+			o.DownAfter = 2 * o.SuspectAfter
+		}
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.RTTMultiplier <= 0 {
+		o.RTTMultiplier = 6
+	}
+	return o
+}
+
+// minAdaptiveTimeout floors the EMA-derived probe deadline.
+const minAdaptiveTimeout = 20 * time.Millisecond
+
+// member is the detector state for one device.
+type member struct {
+	probe       ProbeFunc
+	state       State
+	lastSuccess time.Time
+	emaRTT      *stats.EMA
+	rttSamples  int
+}
+
+// Counters is a snapshot of the manager's lifetime transition counts.
+type Counters struct {
+	Transitions uint64 // every state change
+	Downs       uint64 // transitions into Down
+	Recoveries  uint64 // transitions out of Down back to Up
+}
+
+// Manager probes a set of devices and publishes health transitions.
+type Manager struct {
+	opts Options
+
+	mu       sync.Mutex
+	members  []*member
+	subs     []chan Event
+	counters Counters
+	started  bool
+	stopped  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewManager creates a manager over one probe per device. Members start Up:
+// a deployment begins from a working cluster, and a device that is already
+// dead is demoted within DownAfter of Start.
+func NewManager(probes []ProbeFunc, opts Options) *Manager {
+	m := &Manager{opts: opts.withDefaults(), stop: make(chan struct{})}
+	for _, p := range probes {
+		m.members = append(m.members, &member{probe: p, state: Up, emaRTT: stats.NewEMA(0.3)})
+	}
+	return m
+}
+
+// N returns the number of tracked members.
+func (m *Manager) N() int { return len(m.members) }
+
+// Start launches one heartbeat loop per member. Idempotent.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.started || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	now := time.Now()
+	for _, mb := range m.members {
+		// The clock for "no heartbeat since" starts now, not at zero time:
+		// otherwise the first failed probe of a dead device would jump
+		// straight to Down without passing Suspect.
+		mb.lastSuccess = now
+	}
+	m.mu.Unlock()
+	for i := range m.members {
+		m.wg.Add(1)
+		go func(i int) {
+			defer m.wg.Done()
+			m.run(i)
+		}(i)
+	}
+}
+
+// Close stops the heartbeat loops, waits for them to exit, and closes every
+// subscriber channel.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+	close(m.stop)
+	m.wg.Wait()
+	m.mu.Lock()
+	for _, ch := range m.subs {
+		close(ch)
+	}
+	m.subs = nil
+	m.mu.Unlock()
+}
+
+// Subscribe returns a channel of state-transition events. The channel is
+// buffered (capacity 256); a subscriber that falls that far behind loses the
+// oldest unread events rather than blocking the detector. It is closed by
+// Close.
+func (m *Manager) Subscribe() <-chan Event {
+	ch := make(chan Event, 256)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, ch)
+	return ch
+}
+
+// StateOf returns the current state of member i (Down for out-of-range).
+func (m *Manager) StateOf(i int) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.members) {
+		return Down
+	}
+	return m.members[i].state
+}
+
+// Snapshot returns every member's current state.
+func (m *Manager) Snapshot() []State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]State, len(m.members))
+	for i, mb := range m.members {
+		out[i] = mb.state
+	}
+	return out
+}
+
+// Counts returns how many members are currently in each state.
+func (m *Manager) Counts() (up, suspect, down int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mb := range m.members {
+		switch mb.state {
+		case Up:
+			up++
+		case Suspect:
+			suspect++
+		case Down:
+			down++
+		}
+	}
+	return
+}
+
+// CountersSnapshot returns the lifetime transition counters.
+func (m *Manager) CountersSnapshot() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters
+}
+
+// run is the heartbeat loop for member i.
+func (m *Manager) run(i int) {
+	rng := rand.New(rand.NewSource(int64(i)*7919 + time.Now().UnixNano()))
+	for {
+		t := time.NewTimer(monitor.Jittered(m.opts.HeartbeatInterval, m.opts.JitterFrac, rng))
+		select {
+		case <-m.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		rtt, err := m.members[i].probe(m.adaptiveTimeout(i))
+		if err != nil {
+			m.ReportFailure(i)
+		} else {
+			m.ReportSuccess(i, rtt)
+		}
+	}
+}
+
+// adaptiveTimeout derives the probe deadline for member i from its smoothed
+// RTT (the EMA-timeout detector), capped at Options.ProbeTimeout.
+func (m *Manager) adaptiveTimeout(i int) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb := m.members[i]
+	if mb.rttSamples == 0 {
+		return m.opts.ProbeTimeout
+	}
+	// emaRTT holds nanoseconds (RTTs folded in as float64(rtt)).
+	d := time.Duration(m.opts.RTTMultiplier * mb.emaRTT.Value())
+	if d < minAdaptiveTimeout {
+		d = minAdaptiveTimeout
+	}
+	if d > m.opts.ProbeTimeout {
+		d = m.opts.ProbeTimeout
+	}
+	return d
+}
+
+// ReportSuccess folds in an answered heartbeat (or a passive success the
+// data path observed) for member i: the member returns to Up if it was
+// suspected or down.
+func (m *Manager) ReportSuccess(i int, rtt time.Duration) {
+	m.mu.Lock()
+	if i < 0 || i >= len(m.members) {
+		m.mu.Unlock()
+		return
+	}
+	mb := m.members[i]
+	mb.lastSuccess = time.Now()
+	mb.emaRTT.Add(float64(rtt))
+	mb.rttSamples++
+	ev, ok := m.transitionLocked(i, Up)
+	m.mu.Unlock()
+	if ok {
+		m.publish(ev)
+	}
+}
+
+// ReportFailure folds in a failed heartbeat — or a failure the data path
+// observed, such as a remote tile call erroring — for member i. The member
+// is demoted according to how long it has been silent; a data-path report
+// therefore accelerates detection between heartbeats.
+func (m *Manager) ReportFailure(i int) {
+	m.mu.Lock()
+	if i < 0 || i >= len(m.members) {
+		m.mu.Unlock()
+		return
+	}
+	mb := m.members[i]
+	if mb.lastSuccess.IsZero() {
+		mb.lastSuccess = time.Now()
+	}
+	silent := time.Since(mb.lastSuccess)
+	next := mb.state
+	switch {
+	case silent >= m.opts.DownAfter:
+		next = Down
+	case silent >= m.opts.SuspectAfter:
+		if next != Down {
+			next = Suspect
+		}
+	default:
+		// A failure with recent successes still raises suspicion once: the
+		// data path does not report spuriously, and Suspect only biases the
+		// detector to look harder — it does not evict the device.
+		if next == Up {
+			next = Suspect
+		}
+	}
+	ev, ok := m.transitionLocked(i, next)
+	m.mu.Unlock()
+	if ok {
+		m.publish(ev)
+	}
+}
+
+// MarkDown forces member i straight to Down (operator action or an
+// unambiguous external signal such as a connection-refused burst).
+func (m *Manager) MarkDown(i int) {
+	m.mu.Lock()
+	if i < 0 || i >= len(m.members) {
+		m.mu.Unlock()
+		return
+	}
+	ev, ok := m.transitionLocked(i, Down)
+	m.mu.Unlock()
+	if ok {
+		m.publish(ev)
+	}
+}
+
+// transitionLocked moves member i to state next, updating counters, and
+// returns the event to publish. Caller holds m.mu.
+func (m *Manager) transitionLocked(i int, next State) (Event, bool) {
+	mb := m.members[i]
+	if mb.state == next {
+		return Event{}, false
+	}
+	ev := Event{Member: i, From: mb.state, To: next, At: time.Now()}
+	m.counters.Transitions++
+	if next == Down {
+		m.counters.Downs++
+	}
+	if mb.state == Down && next == Up {
+		m.counters.Recoveries++
+	}
+	mb.state = next
+	return ev, true
+}
+
+// publish fans an event out to subscribers without blocking the detector: a
+// full channel sheds its oldest event to make room for the newest, so
+// subscribers always converge on the latest state.
+func (m *Manager) publish(ev Event) {
+	m.mu.Lock()
+	subs := append([]chan Event(nil), m.subs...)
+	m.mu.Unlock()
+	for _, ch := range subs {
+		sent := false
+		for tries := 0; !sent && tries < 4; tries++ {
+			select {
+			case ch <- ev:
+				sent = true
+			default:
+				select {
+				case <-ch: // drop oldest to make room
+				default:
+				}
+			}
+		}
+	}
+}
+
+// String renders a snapshot like "up:2 suspect:0 down:1" for logs.
+func (m *Manager) String() string {
+	up, suspect, down := m.Counts()
+	return fmt.Sprintf("up:%d suspect:%d down:%d", up, suspect, down)
+}

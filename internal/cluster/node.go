@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"murmuration/internal/monitor"
+	"murmuration/internal/rpcx"
+)
+
+// InfoMethod is the RPC a device daemon serves so operators and gateways can
+// read its liveness counters.
+const InfoMethod = "cluster.info"
+
+// Info is a device daemon's self-reported liveness snapshot.
+type Info struct {
+	Uptime     time.Duration
+	Heartbeats uint64 // ping probes answered since start
+}
+
+// Node is the device-daemon side of the cluster layer: it answers heartbeat
+// pings (taking over the monitor's ping endpoint with a counting handler)
+// and serves an info endpoint with uptime and heartbeat totals.
+type Node struct {
+	start      time.Time
+	heartbeats atomic.Uint64
+}
+
+// NewNode creates a node with its uptime clock starting now.
+func NewNode() *Node {
+	return &Node{start: time.Now()}
+}
+
+// Register installs the node's handlers. Call after monitor.RegisterHandlers
+// so the counting ping handler replaces the plain echo.
+func (n *Node) Register(s *rpcx.Server) {
+	s.Handle(monitor.PingMethod, func(p []byte) ([]byte, error) {
+		n.heartbeats.Add(1)
+		return p, nil
+	})
+	s.Handle(InfoMethod, func(p []byte) ([]byte, error) {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[0:], uint64(time.Since(n.start).Microseconds()))
+		binary.LittleEndian.PutUint64(buf[8:], n.heartbeats.Load())
+		return buf[:], nil
+	})
+}
+
+// Heartbeats returns how many pings the node has answered.
+func (n *Node) Heartbeats() uint64 { return n.heartbeats.Load() }
+
+// FetchInfo queries a device daemon's info endpoint.
+func FetchInfo(c *rpcx.Client, timeout time.Duration) (Info, error) {
+	resp, err := c.CallTimeout(InfoMethod, nil, timeout)
+	if err != nil {
+		return Info{}, err
+	}
+	if len(resp) < 16 {
+		return Info{}, fmt.Errorf("cluster: short info payload (%d bytes)", len(resp))
+	}
+	return Info{
+		Uptime:     time.Duration(binary.LittleEndian.Uint64(resp[0:])) * time.Microsecond,
+		Heartbeats: binary.LittleEndian.Uint64(resp[8:]),
+	}, nil
+}

@@ -6,6 +6,8 @@
 package monitor
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -18,6 +20,45 @@ const (
 	PingMethod = "monitor.ping"
 	BulkMethod = "monitor.bulk"
 )
+
+// DefaultProbeTimeout bounds each probe RPC so a dead or hung device fails
+// the probe quickly instead of stalling the monitor loop indefinitely.
+const DefaultProbeTimeout = 5 * time.Second
+
+// ProbeError is the typed failure a probe returns when a device is dead,
+// hung, or unreachable. Op names the probe stage ("ping" or "bulk"); the
+// underlying transport error unwraps (errors.Is(err, rpcx.ErrTimeout) holds
+// for deadline expiries).
+type ProbeError struct {
+	Op  string
+	Err error
+}
+
+// Error implements error.
+func (e *ProbeError) Error() string {
+	return fmt.Sprintf("monitor: %s probe failed: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the transport error to errors.Is/As.
+func (e *ProbeError) Unwrap() error { return e.Err }
+
+// Jittered returns the probe period randomized by ±frac, so a fleet of
+// monitors (or heartbeat probers) started together does not synchronize its
+// probe bursts against shared devices. frac <= 0 returns period unchanged.
+func Jittered(period time.Duration, frac float64, rng *rand.Rand) time.Duration {
+	if frac <= 0 || period <= 0 {
+		return period
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	j := 1 + frac*(2*rng.Float64()-1)
+	d := time.Duration(float64(period) * j)
+	if d <= 0 {
+		d = period
+	}
+	return d
+}
 
 // RegisterHandlers installs the monitoring endpoints on a device server.
 func RegisterHandlers(s *rpcx.Server) {
@@ -39,6 +80,10 @@ type LinkMonitor struct {
 	client *rpcx.Client
 	// BulkBytes is the probe size for bandwidth estimation.
 	BulkBytes int
+	// ProbeTimeout bounds each probe RPC (default DefaultProbeTimeout); a
+	// device that stops answering fails the probe with a *ProbeError instead
+	// of hanging the caller. It covers connection I/O, not emulated shaping.
+	ProbeTimeout time.Duration
 
 	emaBw    *stats.EMA
 	emaDelay *stats.EMA
@@ -52,23 +97,26 @@ type LinkMonitor struct {
 // NewLinkMonitor wraps an RPC client to a remote device.
 func NewLinkMonitor(client *rpcx.Client) *LinkMonitor {
 	return &LinkMonitor{
-		client:    client,
-		BulkBytes: 256 * 1024,
-		emaBw:     stats.NewEMA(0.4),
-		emaDelay:  stats.NewEMA(0.4),
-		regBw:     stats.NewLinReg(16),
-		regDelay:  stats.NewLinReg(16),
-		epoch:     time.Now(),
+		client:       client,
+		BulkBytes:    256 * 1024,
+		ProbeTimeout: DefaultProbeTimeout,
+		emaBw:        stats.NewEMA(0.4),
+		emaDelay:     stats.NewEMA(0.4),
+		regBw:        stats.NewLinReg(16),
+		regDelay:     stats.NewLinReg(16),
+		epoch:        time.Now(),
 	}
 }
 
 // Probe performs one active measurement round: a small ping for delay, then
-// a bulk transfer for bandwidth (with the measured delay subtracted).
+// a bulk transfer for bandwidth (with the measured delay subtracted). Both
+// RPCs are bounded by ProbeTimeout; a dead or hung device yields a typed
+// *ProbeError fast instead of stalling the monitor loop.
 func (m *LinkMonitor) Probe() (Sample, error) {
 	// Delay: RTT/2 of a tiny payload.
 	start := time.Now()
-	if _, err := m.client.Call(PingMethod, []byte{1}); err != nil {
-		return Sample{}, err
+	if _, err := m.client.CallTimeout(PingMethod, []byte{1}, m.probeTimeout()); err != nil {
+		return Sample{}, &ProbeError{Op: "ping", Err: err}
 	}
 	rtt := time.Since(start)
 	delayMs := rtt.Seconds() * 1000 / 2
@@ -76,8 +124,8 @@ func (m *LinkMonitor) Probe() (Sample, error) {
 	// Bandwidth: time a bulk payload, net of propagation.
 	payload := make([]byte, m.BulkBytes)
 	start = time.Now()
-	if _, err := m.client.Call(BulkMethod, payload); err != nil {
-		return Sample{}, err
+	if _, err := m.client.CallTimeout(BulkMethod, payload, m.probeTimeout()); err != nil {
+		return Sample{}, &ProbeError{Op: "bulk", Err: err}
 	}
 	bulk := time.Since(start)
 	serialize := bulk.Seconds() - rtt.Seconds()
@@ -99,6 +147,35 @@ func (m *LinkMonitor) Probe() (Sample, error) {
 	}
 	m.samples++
 	return Sample{At: now, BandwidthMbps: bwMbps, DelayMs: delayMs}, nil
+}
+
+// probeTimeout returns the effective per-RPC probe deadline.
+func (m *LinkMonitor) probeTimeout() time.Duration {
+	if m.ProbeTimeout > 0 {
+		return m.ProbeTimeout
+	}
+	return DefaultProbeTimeout
+}
+
+// Run probes the link every period (randomized by ±jitterFrac) until stop
+// closes. Probe failures are tolerated — the device may be down; the cluster
+// layer's failure detector owns that judgement — so the loop keeps going and
+// resumes feeding the estimator when the device answers again.
+func (m *LinkMonitor) Run(stop <-chan struct{}, period time.Duration, jitterFrac float64) {
+	if period <= 0 {
+		period = time.Second
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for {
+		t := time.NewTimer(Jittered(period, jitterFrac, rng))
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		m.Probe() // errors intentionally ignored; see doc comment
+	}
 }
 
 // Current returns the smoothed link estimate (zeros before any probe).

@@ -1,6 +1,9 @@
 package monitor
 
 import (
+	"errors"
+	"math/rand"
+	"net"
 	"testing"
 	"time"
 
@@ -102,5 +105,106 @@ func TestObserveIgnoresInvalidFields(t *testing.T) {
 	cur := m.Current()
 	if cur.BandwidthMbps != 0 || cur.DelayMs != 0 {
 		t.Fatalf("invalid observations should not move estimates: %+v", cur)
+	}
+}
+
+// TestProbeFailsFastOnHungDevice: a device that accepts the connection but
+// never answers (hung, not dead) must fail the probe within the configured
+// ProbeTimeout with a typed *ProbeError, not stall the monitor loop.
+func TestProbeFailsFastOnHungDevice(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept and go silent — a hung device
+		}
+	}()
+
+	cl, err := rpcx.Dial(ln.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m := NewLinkMonitor(cl)
+	m.ProbeTimeout = 100 * time.Millisecond
+
+	start := time.Now()
+	_, err = m.Probe()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("probe against a hung device should fail")
+	}
+	var pe *ProbeError
+	if !errors.As(err, &pe) || pe.Op != "ping" {
+		t.Fatalf("want *ProbeError{Op: ping}, got %#v", err)
+	}
+	if !errors.Is(err, rpcx.ErrTimeout) {
+		t.Fatalf("probe error should unwrap to rpcx.ErrTimeout: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("probe took %v, fail-fast bound violated", elapsed)
+	}
+}
+
+// TestJitteredBounds checks the jittered period stays within ±frac and
+// actually varies.
+func TestJitteredBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	period := 100 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := Jittered(period, 0.5, rng)
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("jittered period %v outside ±50%% of %v", d, period)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct periods", len(seen))
+	}
+	if d := Jittered(period, 0, rng); d != period {
+		t.Fatalf("frac 0 must not jitter: %v", d)
+	}
+}
+
+// TestRunLoopProbesAndStops: the background loop takes samples and exits
+// promptly when stopped.
+func TestRunLoopProbesAndStops(t *testing.T) {
+	addr, stopSrv := startServer(t)
+	defer stopSrv()
+	cl, err := rpcx.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	m := NewLinkMonitor(cl)
+	m.BulkBytes = 1024
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		m.Run(stop, 5*time.Millisecond, 0.3)
+		close(done)
+	}()
+	deadline := time.After(5 * time.Second)
+	for m.Samples() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("run loop took too long to accumulate samples")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("run loop did not stop")
 	}
 }

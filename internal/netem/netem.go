@@ -7,6 +7,7 @@ package netem
 
 import (
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -22,6 +23,13 @@ type Shaper struct {
 	tokens        float64
 	lastRefill    time.Time
 	maxBurstBytes float64
+
+	// Fault injection (see Blackhole / SetLoss): writes through a Conn are
+	// silently swallowed while an outage window is active or when the loss
+	// coin comes up, emulating a link that drops packets or goes dark.
+	outageUntil time.Time
+	lossRate    float64
+	lossRng     *rand.Rand
 }
 
 // NewShaper creates a shaper with the given bandwidth (megabits per second)
@@ -65,6 +73,56 @@ func (s *Shaper) Delay() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.delay
+}
+
+// Blackhole opens an outage window of duration d starting now: every write
+// through a Conn wrapping this shaper is silently discarded until the window
+// closes, emulating a link that has gone dark (the peer sees nothing, so
+// callers observe timeouts rather than connection errors — exactly how a
+// dead edge device presents). d <= 0 clears any active window. Tests use
+// this to script device churn deterministically.
+func (s *Shaper) Blackhole(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d <= 0 {
+		s.outageUntil = time.Time{}
+		return
+	}
+	s.outageUntil = time.Now().Add(d)
+}
+
+// OutageActive reports whether a Blackhole window is currently open.
+func (s *Shaper) OutageActive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Now().Before(s.outageUntil)
+}
+
+// SetLoss injects random packet loss: each write through a Conn wrapping
+// this shaper is independently discarded with probability rate (0 disables).
+// The seeded RNG keeps chaos tests reproducible. Note that on a framed
+// stream a lost write corrupts the message framing, so the practical effect
+// is a torn connection — which is the realistic failure mode.
+func (s *Shaper) SetLoss(rate float64, seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lossRate = rate
+	if rate > 0 {
+		s.lossRng = rand.New(rand.NewSource(seed))
+	} else {
+		s.lossRng = nil
+	}
+}
+
+// drop reports whether the current write should be discarded under the
+// active outage window or loss rate.
+func (s *Shaper) drop() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Now().Before(s.outageUntil) {
+		return true
+	}
+	return s.lossRate > 0 && s.lossRng.Float64() < s.lossRate
 }
 
 // Throttle blocks until n bytes may pass under the bandwidth cap. It returns
@@ -123,8 +181,13 @@ func NewConn(c net.Conn, s *Shaper) *Conn {
 }
 
 // Write throttles, then applies the propagation delay before the bytes hit
-// the underlying connection — matching "serialize then propagate".
+// the underlying connection — matching "serialize then propagate". During an
+// outage window (Blackhole) or a loss event (SetLoss) the bytes are silently
+// discarded: the write "succeeds" but the peer never sees it.
 func (c *Conn) Write(p []byte) (int, error) {
+	if c.writeShaper.drop() {
+		return len(p), nil
+	}
 	c.writeShaper.Throttle(len(p))
 	if d := c.writeShaper.Delay(); d > 0 && !c.readDelayed {
 		// Charge propagation once per logical message: the caller is

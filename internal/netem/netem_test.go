@@ -126,3 +126,86 @@ func TestCopyShapedPropagatesError(t *testing.T) {
 	}
 	a.Close()
 }
+
+// TestBlackholeSwallowsWrites scripts an outage window: during it, bytes
+// written through the shaped conn never reach the peer (reads time out);
+// after it closes, the link carries traffic again.
+func TestBlackholeSwallowsWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sh := NewShaper(0, 0)
+	ca := NewConn(a, sh)
+
+	sh.Blackhole(200 * time.Millisecond)
+	if !sh.OutageActive() {
+		t.Fatal("outage window should be active")
+	}
+	if n, err := ca.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("blackholed write should report success, got n=%d err=%v", n, err)
+	}
+	buf := make([]byte, 4)
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := b.Read(buf); err == nil {
+		t.Fatal("peer received bytes during a blackhole window")
+	}
+
+	// Window expires on its own; traffic flows again.
+	time.Sleep(200 * time.Millisecond)
+	if sh.OutageActive() {
+		t.Fatal("outage window should have expired")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ca.Write([]byte("back"))
+		done <- err
+	}()
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("post-outage read: %v", err)
+	}
+	if !bytes.Equal(buf, []byte("back")) {
+		t.Fatalf("post-outage payload %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlackholeClear verifies an explicit clear reopens the link before the
+// window would have expired.
+func TestBlackholeClear(t *testing.T) {
+	sh := NewShaper(0, 0)
+	sh.Blackhole(time.Hour)
+	if !sh.OutageActive() {
+		t.Fatal("window should be active")
+	}
+	sh.Blackhole(0)
+	if sh.OutageActive() {
+		t.Fatal("clear did not close the window")
+	}
+}
+
+// TestLossRateDropsWrites: with 100% loss every write vanishes; with 0% all
+// arrive; a middling seeded rate drops a plausible fraction, reproducibly.
+func TestLossRateDropsWrites(t *testing.T) {
+	sh := NewShaper(0, 0)
+	sh.SetLoss(1.0, 7)
+	if !sh.drop() {
+		t.Fatal("rate 1.0 must drop every write")
+	}
+	sh.SetLoss(0, 0)
+	if sh.drop() {
+		t.Fatal("rate 0 must drop nothing")
+	}
+	sh.SetLoss(0.5, 7)
+	dropped := 0
+	for i := 0; i < 1000; i++ {
+		if sh.drop() {
+			dropped++
+		}
+	}
+	if dropped < 400 || dropped > 600 {
+		t.Fatalf("rate 0.5 dropped %d/1000", dropped)
+	}
+}

@@ -1,0 +1,217 @@
+package rpcx
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRedialRecoversAfterTimeout is the regression for the connection-
+// poisoning dead end: a TimeoutError used to break the client permanently
+// (every later call returned ErrClientBroken). With a retry policy installed
+// the next call must transparently re-dial and succeed.
+func TestRedialRecoversAfterTimeout(t *testing.T) {
+	s := NewServer()
+	var stallFirst atomic.Bool
+	stallFirst.Store(true)
+	release := make(chan struct{})
+	s.Handle("sometimes-slow", func(p []byte) ([]byte, error) {
+		if stallFirst.Swap(false) {
+			<-release
+		}
+		return []byte("ok"), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer close(release)
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 1}) // re-dial only, no retries
+
+	if _, err := c.CallTimeout("sometimes-slow", nil, 100*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("first call should time out, got %v", err)
+	}
+	// The connection is poisoned, but the client must recover by re-dialing
+	// rather than returning ErrClientBroken forever.
+	resp, err := c.CallTimeout("sometimes-slow", nil, 2*time.Second)
+	if err != nil {
+		t.Fatalf("call after timeout did not recover via re-dial: %v", err)
+	}
+	if string(resp) != "ok" {
+		t.Fatalf("recovered call returned %q", resp)
+	}
+}
+
+// TestRetryIdempotentOnly: with MaxAttempts > 1, a transport failure on an
+// idempotent-marked method is retried in place; the same failure on an
+// unmarked method is returned after a single attempt.
+func TestRetryIdempotentOnly(t *testing.T) {
+	s := NewServer()
+	var calls atomic.Int64
+	s.Handle("flaky", func(p []byte) ([]byte, error) {
+		if calls.Add(1) == 1 {
+			time.Sleep(300 * time.Millisecond) // first attempt exceeds the deadline
+		}
+		return []byte("served"), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Idempotent-marked: the timed-out first attempt is retried and the
+	// second attempt (fast handler) succeeds.
+	ci, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ci.Close()
+	ci.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond})
+	ci.MarkIdempotent("flaky")
+	resp, err := ci.CallTimeout("flaky", nil, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("idempotent retry did not recover: %v", err)
+	}
+	if string(resp) != "served" {
+		t.Fatalf("retried call returned %q", resp)
+	}
+	if n := calls.Load(); n < 2 {
+		t.Fatalf("handler ran %d times, expected a retry", n)
+	}
+
+	// Unmarked: the timeout must surface immediately with no second attempt.
+	calls.Store(0)
+	cn, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	cn.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond})
+	if _, err := cn.CallTimeout("flaky", nil, 100*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("non-idempotent call should fail with the timeout, got %v", err)
+	}
+	// Give a hypothetical stray retry a moment to land before counting.
+	time.Sleep(200 * time.Millisecond)
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("non-idempotent method attempted %d times, want 1", n)
+	}
+}
+
+// TestRemoteErrorNeverRetried: application-level handler errors reach the
+// caller after exactly one attempt even on idempotent-marked methods — the
+// handler ran, so the failure is not a transport fault.
+func TestRemoteErrorNeverRetried(t *testing.T) {
+	s := NewServer()
+	var calls atomic.Int64
+	s.Handle("reject", func(p []byte) ([]byte, error) {
+		calls.Add(1)
+		return nil, errors.New("no")
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond})
+	c.MarkIdempotent("reject")
+
+	_, err = c.Call("reject", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RemoteError, got %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("remote error retried: %d attempts", n)
+	}
+	// The connection survives an application error; the next call reuses it.
+	if _, err := c.Call("reject", nil); !errors.As(err, &re) {
+		t.Fatalf("second call: %v", err)
+	}
+}
+
+// TestRetryRecoversAcrossServerRestart kills the server mid-conversation and
+// brings it back on the same address: an idempotent call issued while the
+// server is down must keep retrying (re-dialing each attempt) and succeed
+// once the listener returns.
+func TestRetryRecoversAcrossServerRestart(t *testing.T) {
+	s := NewServer()
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 20, BaseBackoff: 20 * time.Millisecond, MaxBackoff: 50 * time.Millisecond})
+	c.MarkIdempotent("echo")
+
+	if _, err := c.Call("echo", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Restart on the same port after a short outage, while a call retries.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		s2 := NewServer()
+		s2.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+		if _, err := s2.Listen(addr); err != nil {
+			t.Errorf("re-listen on %s: %v", addr, err)
+		}
+	}()
+	resp, err := c.CallTimeout("echo", []byte("b"), time.Second)
+	if err != nil {
+		t.Fatalf("call across server restart: %v", err)
+	}
+	if string(resp) != "b" {
+		t.Fatalf("got %q", resp)
+	}
+}
+
+// TestNewClientWithoutAddrStaysBroken: a client wrapping a raw conn has no
+// address to re-dial; after poisoning it must fail fast, not hang.
+func TestNewClientWithoutAddrStaysBroken(t *testing.T) {
+	s := NewServer()
+	release := make(chan struct{})
+	s.Handle("stall", func(p []byte) ([]byte, error) { <-release; return nil, nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer close(release)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn, nil)
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	c.MarkIdempotent("stall")
+
+	if _, err := c.CallTimeout("stall", nil, 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if _, err := c.Call("stall", nil); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("conn-wrapped client must stay broken, got %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -47,9 +48,65 @@ var (
 	ErrTimeout = errors.New("rpcx: call timeout")
 	// ErrClientBroken is returned for calls on a client whose connection was
 	// poisoned by an earlier timeout (the stream may hold a stale response,
-	// so the connection cannot be reused).
+	// so the connection cannot be reused). Clients with a retry policy
+	// installed re-dial instead of returning this.
 	ErrClientBroken = errors.New("rpcx: client connection broken by earlier timeout")
 )
+
+// RemoteError is an application-level failure reported by the server's
+// handler (response status != 0). It is never retried: the handler ran, so a
+// second attempt could duplicate its effect.
+type RemoteError struct {
+	Msg string
+}
+
+// Error keeps the historical "rpcx: remote error: ..." string.
+func (e *RemoteError) Error() string { return "rpcx: remote error: " + e.Msg }
+
+// RetryPolicy configures client-side fault handling. Installing a policy
+// (SetRetryPolicy) enables automatic re-dial for Dial-created clients: a
+// connection poisoned by a timeout or torn down by the peer is replaced on
+// the next call instead of failing with ErrClientBroken. MaxAttempts > 1
+// additionally retries transport failures with exponential backoff + jitter,
+// but only for methods the caller marked idempotent (MarkIdempotent) —
+// a non-idempotent call may have executed on the server before the failure.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (min 1).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 10ms); each
+	// further retry doubles it up to MaxBackoff (default 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac randomizes each backoff by ±frac (default 0.2) so a fleet
+	// of retrying clients does not synchronize against a recovering server.
+	JitterFrac float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.JitterFrac <= 0 {
+		p.JitterFrac = 0.2
+	}
+	return p
+}
+
+// backoff returns the jittered delay before retry number retry (1-based).
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
+	d := p.BaseBackoff << uint(retry-1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	j := 1 + p.JitterFrac*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * j)
+}
 
 // Server dispatches framed requests to registered handlers.
 type Server struct {
@@ -339,6 +396,14 @@ type Client struct {
 	w      *bufio.Writer
 	shaper *netem.Shaper
 	broken bool // a timed-out call desynced the stream; no further calls
+
+	// Fault handling (see RetryPolicy). addr is empty for NewClient-wrapped
+	// connections, which therefore can never re-dial.
+	addr       string
+	retry      RetryPolicy
+	retrySet   bool
+	idempotent map[string]bool
+	rng        *rand.Rand
 }
 
 // Dial connects to addr. If shaper is non-nil, outbound traffic is
@@ -348,7 +413,9 @@ func Dial(addr string, shaper *netem.Shaper) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn, shaper), nil
+	c := NewClient(conn, shaper)
+	c.addr = addr
+	return c, nil
 }
 
 // NewClient wraps an existing connection (e.g. a netem.Pipe end).
@@ -357,6 +424,29 @@ func NewClient(conn net.Conn, shaper *netem.Shaper) *Client {
 	c.r = bufio.NewReaderSize(conn, 64*1024)
 	c.w = bufio.NewWriterSize(conn, 64*1024)
 	return c
+}
+
+// SetRetryPolicy installs a retry policy and enables automatic re-dial for
+// Dial-created clients (see RetryPolicy). Not safe to call concurrently with
+// in-flight calls.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.retry = p.withDefaults()
+	c.retrySet = true
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+}
+
+// MarkIdempotent declares methods safe to retry after a transport failure:
+// re-executing them on the server has no side effects. Unmarked methods are
+// never retried (they still benefit from re-dial on the *next* call).
+func (c *Client) MarkIdempotent(methods ...string) {
+	if c.idempotent == nil {
+		c.idempotent = make(map[string]bool, len(methods))
+	}
+	for _, m := range methods {
+		c.idempotent[m] = true
+	}
 }
 
 // Call issues a request and waits for the response. Emulated link cost is
@@ -368,15 +458,78 @@ func (c *Client) Call(method string, payload []byte) ([]byte, error) {
 // CallTimeout issues a request and waits at most d for the full response
 // (d <= 0 means no deadline). On expiry it returns a *TimeoutError (matching
 // errors.Is(err, ErrTimeout)) and poisons the client: the connection may
-// still deliver the stale response, so it is closed and every later call
-// fails with ErrClientBroken. The deadline covers connection I/O, not the
-// emulated link's shaping sleeps.
+// still deliver the stale response, so it is closed and — without a retry
+// policy — every later call fails with ErrClientBroken. With a retry policy
+// installed the client instead re-dials a fresh connection on the next call
+// (or retries in place for idempotent-marked methods, with exponential
+// backoff + jitter). The deadline covers connection I/O, not the emulated
+// link's shaping sleeps.
 func (c *Client) CallTimeout(method string, payload []byte, d time.Duration) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.broken {
-		return nil, ErrClientBroken
+	attempts := 1
+	if c.retrySet && c.retry.MaxAttempts > 1 && c.idempotent[method] {
+		attempts = c.retry.MaxAttempts
 	}
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			// Backoff holds the client lock by design: the connection is
+			// single-stream, so concurrent callers could not proceed anyway.
+			time.Sleep(c.retry.backoff(attempt-1, c.rng))
+		}
+		if c.broken {
+			if !c.retrySet || c.addr == "" {
+				// Cannot re-dial: surface the failure that broke the stream
+				// when this call caused it, the sentinel otherwise.
+				if err != nil {
+					return nil, err
+				}
+				return nil, ErrClientBroken
+			}
+			if rerr := c.redialLocked(); rerr != nil {
+				err = rerr
+				continue
+			}
+		}
+		var resp []byte
+		resp, err = c.callOnceLocked(method, payload, d)
+		if err == nil {
+			return resp, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// retryable reports whether an error may be fixed by re-dialing and trying
+// again: transport-level failures qualify, application-level RemoteErrors
+// (the handler ran and answered) do not.
+func retryable(err error) bool {
+	var re *RemoteError
+	return !errors.As(err, &re)
+}
+
+// redialLocked replaces a broken connection with a fresh dial to the
+// original address. Caller holds c.mu.
+func (c *Client) redialLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("rpcx: re-dial %s: %w", c.addr, err)
+	}
+	c.conn.Close()
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64*1024)
+	c.w = bufio.NewWriterSize(conn, 64*1024)
+	c.broken = false
+	return nil
+}
+
+// callOnceLocked performs a single request/response exchange. Caller holds
+// c.mu and has ensured the connection is not broken.
+func (c *Client) callOnceLocked(method string, payload []byte, d time.Duration) ([]byte, error) {
 	if d > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(d)); err != nil {
 			return nil, err
@@ -407,20 +560,26 @@ func (c *Client) CallTimeout(method string, payload []byte, d time.Duration) ([]
 		}
 	}
 	if status != 0 {
-		return nil, fmt.Errorf("rpcx: remote error: %s", resp)
+		return nil, &RemoteError{Msg: string(resp)}
 	}
 	return resp, nil
 }
 
 // callErr converts a transport error into a *TimeoutError when it was caused
 // by the per-call deadline, poisoning the client so the desynced stream is
-// never reused.
+// never reused. With a retry policy installed, any transport error poisons
+// the connection (the peer likely tore it down) so the next attempt or call
+// re-dials instead of reusing a dead stream.
 func (c *Client) callErr(method string, d time.Duration, err error) error {
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		c.broken = true
 		c.conn.Close()
 		return &TimeoutError{Method: method, After: d}
+	}
+	if c.retrySet {
+		c.broken = true
+		c.conn.Close()
 	}
 	return err
 }

@@ -26,9 +26,10 @@ type StrategyCache struct {
 	order   *list.List // front = most recent
 
 	// Occupancy / effectiveness counters, see Stats.
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	hits          uint64
+	misses        uint64
+	evictions     uint64
+	invalidations uint64
 }
 
 // CacheStats is a point-in-time snapshot of cache occupancy and hit-rate,
@@ -39,6 +40,10 @@ type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// Invalidations counts entries removed because their decision placed
+	// work on a lost device (InvalidateDevice) — distinct from capacity
+	// evictions so failover churn is observable on its own.
+	Invalidations uint64
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -134,6 +139,44 @@ func (c *StrategyCache) Put(ct env.Constraint, d *env.Decision) {
 	}
 }
 
+// InvalidateDevice evicts every cached strategy whose decision places at
+// least one tile on placement device dev (>= 1; device 0 is local and never
+// invalidated). It returns how many entries were removed. The cluster layer
+// calls this on a Down event so stale placements cannot keep failing
+// requests on a dead device.
+func (c *StrategyCache) InvalidateDevice(dev int) int {
+	if dev <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for key, el := range c.entries {
+		if decisionPlacesOn(el.Value.(*cacheEntry).decision, dev) {
+			c.order.Remove(el)
+			delete(c.entries, key)
+			c.invalidations++
+			removed++
+		}
+	}
+	return removed
+}
+
+// decisionPlacesOn reports whether a decision assigns any tile to dev.
+func decisionPlacesOn(d *env.Decision, dev int) bool {
+	if d == nil || d.Placement == nil {
+		return false
+	}
+	for _, layer := range d.Placement.Devices {
+		for _, assigned := range layer {
+			if assigned == dev {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Len returns the number of cached strategies.
 func (c *StrategyCache) Len() int {
 	c.mu.Lock()
@@ -146,10 +189,11 @@ func (c *StrategyCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Len:       c.order.Len(),
-		Cap:       c.cap,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Len:           c.order.Len(),
+		Cap:           c.cap,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
 	}
 }

@@ -7,7 +7,18 @@ import (
 
 	"murmuration/internal/monitor"
 	"murmuration/internal/rl/env"
+	"murmuration/internal/supernet"
 	"murmuration/internal/tensor"
+)
+
+// Link parameters substituted for a device that is marked unhealthy. The
+// near-zero bandwidth and huge delay make any placement that uses the device
+// so expensive that the decider routes around it, and they land in a
+// different cache bucket than the device's healthy link state, so pre-failure
+// strategies are never served from cache while the device is out.
+const (
+	downBandwidthMbps = 0.01
+	downDelayMs       = 1e6
 )
 
 // Decider produces a decision for a constraint — in production this is the
@@ -48,21 +59,50 @@ type Runtime struct {
 	mu         sync.Mutex
 	slo        SLO
 	manualLink []monitor.Sample // fallback when Monitors are absent
+	// healthy[i] tracks remote device i+1; unhealthy devices get degraded
+	// constraints and are stripped from placements until they recover.
+	healthy []bool
 
 	// Counters.
 	CacheHits   int
 	CacheMisses int
 }
 
-// New creates a runtime.
+// New creates a runtime. All remote devices start healthy.
 func New(s *Scheduler, d Decider, cache *StrategyCache, monitors []*monitor.LinkMonitor) *Runtime {
+	healthy := make([]bool, len(s.Remotes))
+	for i := range healthy {
+		healthy[i] = true
+	}
 	return &Runtime{
 		Scheduler:  s,
 		Decider:    d,
 		Cache:      cache,
 		Monitors:   monitors,
 		manualLink: make([]monitor.Sample, len(s.Remotes)),
+		healthy:    healthy,
 	}
+}
+
+// SetDeviceHealth marks remote device i+1 (0-based remote index i) healthy or
+// unhealthy. While unhealthy, constraints report the device's link as
+// effectively dead and resolved placements never assign tiles to it.
+func (r *Runtime) SetDeviceHealth(i int, up bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.healthy) {
+		return fmt.Errorf("runtime: device index %d out of range", i)
+	}
+	r.healthy[i] = up
+	return nil
+}
+
+// HealthyDevices returns a copy of the remote health mask (index i is remote
+// device i+1).
+func (r *Runtime) HealthyDevices() []bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]bool(nil), r.healthy...)
 }
 
 // SetSLO sets the active objective.
@@ -103,6 +143,7 @@ func (r *Runtime) Constraint() env.Constraint {
 func (r *Runtime) ConstraintFor(slo SLO) env.Constraint {
 	r.mu.Lock()
 	manual := append([]monitor.Sample(nil), r.manualLink...)
+	healthy := append([]bool(nil), r.healthy...)
 	r.mu.Unlock()
 
 	c := env.Constraint{Type: slo.Type}
@@ -114,6 +155,10 @@ func (r *Runtime) ConstraintFor(slo SLO) env.Constraint {
 	for i := 0; i < len(r.Scheduler.Remotes); i++ {
 		var s monitor.Sample
 		switch {
+		case i < len(healthy) && !healthy[i]:
+			// Down device: present a dead link so the decider avoids it and
+			// the cache keys this regime separately.
+			s = monitor.Sample{BandwidthMbps: downBandwidthMbps, DelayMs: downDelayMs}
 		case i < len(r.Monitors) && r.Monitors[i] != nil && r.Monitors[i].Samples() > 0:
 			if r.PredictAhead > 0 {
 				s = r.Monitors[i].Predict(r.PredictAhead)
@@ -127,6 +172,47 @@ func (r *Runtime) ConstraintFor(slo SLO) env.Constraint {
 		c.DelayMs = append(c.DelayMs, s.DelayMs)
 	}
 	return c
+}
+
+// sanitizeDecision returns a decision whose placement assigns no tile to an
+// unhealthy device, remapping stray tiles to device 0 (local). It is the hard
+// guarantee behind constraint degradation: even if the decider or a cached
+// entry still points at a lost device, execution never will. The input is not
+// mutated — cached decisions are shared.
+func (r *Runtime) sanitizeDecision(d *env.Decision) *env.Decision {
+	r.mu.Lock()
+	healthy := append([]bool(nil), r.healthy...)
+	r.mu.Unlock()
+
+	bad := func(dev int) bool {
+		return dev > 0 && (dev-1 >= len(healthy) || !healthy[dev-1])
+	}
+	dirty := false
+	if d != nil && d.Placement != nil {
+		for _, layer := range d.Placement.Devices {
+			for _, dev := range layer {
+				if bad(dev) {
+					dirty = true
+				}
+			}
+		}
+	}
+	if !dirty {
+		return d
+	}
+	clone := &env.Decision{Config: d.Config, Placement: &supernet.Placement{
+		Devices: make([][]int, len(d.Placement.Devices)),
+	}}
+	for k, layer := range d.Placement.Devices {
+		row := append([]int(nil), layer...)
+		for t, dev := range row {
+			if bad(dev) {
+				row[t] = 0
+			}
+		}
+		clone.Placement.Devices[k] = row
+	}
+	return clone
 }
 
 // Result is the outcome of one SLO-aware inference.
@@ -192,7 +278,7 @@ func (r *Runtime) ResolveFor(slo SLO) (*Resolution, error) {
 		r.mu.Unlock()
 	}
 	return &Resolution{
-		Decision:   d,
+		Decision:   r.sanitizeDecision(d),
 		Constraint: c,
 		Key:        key,
 		CacheHit:   hit,
@@ -283,6 +369,6 @@ func (r *Runtime) Precompute(ahead time.Duration) error {
 	if err != nil {
 		return err
 	}
-	r.Cache.Put(c, d)
+	r.Cache.Put(c, r.sanitizeDecision(d))
 	return nil
 }

@@ -30,6 +30,29 @@ func NewScheduler(local *supernet.Supernet, remotes []*rpcx.Client) *Scheduler {
 	return &Scheduler{Local: local, Remotes: remotes}
 }
 
+// DeviceError is an inference failure attributable to one device: a remote
+// tile call that timed out, hit a torn connection, or was rejected. The
+// serving layer uses the device index to drive failover — invalidate cached
+// strategies placing work there, demote the device, and retry the request on
+// a re-resolved strategy.
+type DeviceError struct {
+	// Device is the placement device index (>= 1; device 0 is local and its
+	// failures are not DeviceErrors).
+	Device int
+	// Tile is the tile whose dispatch failed.
+	Tile int
+	Err  error
+}
+
+// Error keeps the historical "tile %d on device %d" shape so logs and tests
+// that grep for the failing device keep working.
+func (e *DeviceError) Error() string {
+	return fmt.Sprintf("runtime: tile %d on device %d: %v", e.Tile, e.Device, e.Err)
+}
+
+// Unwrap exposes the transport error to errors.Is/As.
+func (e *DeviceError) Unwrap() error { return e.Err }
+
 // NumDevices returns the cluster size (local + remotes).
 func (s *Scheduler) NumDevices() int { return 1 + len(s.Remotes) }
 
@@ -137,6 +160,9 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 	wg.Wait()
 	for t, err := range errs {
 		if err != nil {
+			if assign[t] > 0 {
+				return nil, &DeviceError{Device: assign[t], Tile: t, Err: err}
+			}
 			return nil, fmt.Errorf("runtime: tile %d on device %d: %w", t, assign[t], err)
 		}
 	}

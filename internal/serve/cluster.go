@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"murmuration/internal/cluster"
+	"murmuration/internal/runtime"
+)
+
+// Failover glue between the gateway and the cluster layer.
+//
+// Detection is two-pronged: the data path reacts synchronously the moment a
+// batch fails with a runtime.DeviceError (noteDeviceError), while the
+// heartbeat detector (AttachCluster) catches devices that die between
+// requests and — crucially — is the only path that reintegrates a device once
+// its heartbeats resume.
+
+// noteDeviceError reacts to a device-attributed batch failure: demote the
+// device in the runtime's health mask so the failover re-resolve avoids it,
+// drop every cached strategy placing work there, and feed the observation to
+// the failure detector so proactive probing converges faster.
+func (g *Gateway) noteDeviceError(de *runtime.DeviceError) {
+	// Placement device d >= 1 is remote index d-1 (cluster member d-1).
+	idx := de.Device - 1
+	g.rt.SetDeviceHealth(idx, false)
+	if g.rt.Cache != nil {
+		g.rt.Cache.InvalidateDevice(de.Device)
+	}
+	g.mu.Lock()
+	m := g.cluster
+	hook := g.opts.OnDeviceError
+	g.mu.Unlock()
+	if m != nil {
+		m.ReportFailure(idx)
+	}
+	if hook != nil {
+		hook(de.Device, de.Err)
+	}
+}
+
+// AttachCluster subscribes the gateway to a failure detector whose member i
+// is the scheduler's remote device i+1. On Down the device is demoted and its
+// cached strategies invalidated; on recovery it is reinstated. Either way the
+// strategy for the gateway's global SLO is re-resolved (re-warmed) so the
+// next batch doesn't pay the decide cost. The event loop exits when the
+// manager is closed; close the manager before or after the gateway, order
+// does not matter.
+func (g *Gateway) AttachCluster(m *cluster.Manager) {
+	g.mu.Lock()
+	g.cluster = m
+	g.mu.Unlock()
+	events := m.Subscribe()
+	go func() {
+		for ev := range events {
+			switch ev.To {
+			case cluster.Down:
+				g.rt.SetDeviceHealth(ev.Member, false)
+				if g.rt.Cache != nil {
+					g.rt.Cache.InvalidateDevice(ev.Member + 1)
+				}
+				g.rewarm()
+			case cluster.Up:
+				g.rt.SetDeviceHealth(ev.Member, true)
+				g.rewarm()
+			case cluster.Suspect:
+				// No action: the device may still be serving. The data path
+				// demotes it immediately if a request actually fails there.
+			}
+		}
+	}()
+}
+
+// rewarm re-resolves the strategy for the gateway's global SLO under the
+// current health mask, priming the cache after a topology change. Errors are
+// deliberately ignored — the next request resolves (and surfaces) them.
+func (g *Gateway) rewarm() {
+	if slo := g.rt.SLO(); slo.Value > 0 {
+		g.rt.ResolveFor(slo)
+	}
+}

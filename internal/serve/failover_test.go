@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"murmuration/internal/cluster"
+	"murmuration/internal/monitor"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rpcx"
+	"murmuration/internal/runtime"
+	"murmuration/internal/supernet"
+)
+
+// remoteDecider always places every tile on placement device 1 — the
+// runtime's sanitize pass, not the decider, must keep dead devices out.
+func remoteDecider(a *supernet.Arch) runtime.DeciderFunc {
+	return func(c env.Constraint) (*env.Decision, error) {
+		cfg := a.MinConfig()
+		costs, _ := a.Costs(cfg)
+		p := supernet.LocalPlacement(costs)
+		for k := range p.Devices {
+			for ti := range p.Devices[k] {
+				p.Devices[k][ti] = 1
+			}
+		}
+		return &env.Decision{Config: cfg, Placement: p}, nil
+	}
+}
+
+// TestFailoverRetriesOnDeviceError: a batch that dies on a remote device must
+// be retried once on a re-resolved (device-free) strategy and served, not
+// failed — and the failure must be visible in every failover counter.
+func TestFailoverRetriesOnDeviceError(t *testing.T) {
+	a := supernet.TinyArch(4)
+	net := supernet.New(a, 300)
+
+	// A server that accepts the dial and then goes away: the first remote
+	// tile call fails with a device-attributed transport error.
+	srv := rpcx.NewServer()
+	runtime.NewExecutor(net).Register(srv)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, dialErr := rpcx.Dial(addr, nil)
+	srv.Close()
+	if dialErr != nil {
+		t.Skip("dial failed fast; nothing to test")
+	}
+	defer cl.Close()
+
+	sched := runtime.NewScheduler(net, []*rpcx.Client{cl})
+	rt := runtime.New(sched, remoteDecider(a), runtime.NewStrategyCache(32, 25, 5, 10), nil)
+	rt.SetLinkState(0, 100, 5)
+
+	var hookDevice atomic.Int64
+	g := New(rt, Options{Workers: 1, OnDeviceError: func(dev int, err error) {
+		hookDevice.Store(int64(dev))
+	}})
+	defer g.Close(time.Second)
+
+	out, err := g.Submit(testInput(300), latSLO(30000))
+	if err != nil {
+		t.Fatalf("failover should have served the request locally: %v", err)
+	}
+	if out.Logits == nil || out.Logits.Shape[1] != 4 {
+		t.Fatalf("bad logits after failover: %v", out.Logits)
+	}
+
+	st := g.Stats()
+	if st.Served != 1 || st.Failed != 0 {
+		t.Fatalf("served=%d failed=%d, want 1/0: %+v", st.Served, st.Failed, st)
+	}
+	if st.FailoverAttempts != 1 || st.Failovers != 1 {
+		t.Fatalf("failover counters %d/%d, want 1/1", st.FailoverAttempts, st.Failovers)
+	}
+	if st.Cache.Invalidations == 0 {
+		t.Fatal("the poisoned cached strategy was not invalidated")
+	}
+	// No detector attached: cluster counts derive from the health mask.
+	if st.ClusterDown != 1 || st.ClusterUp != 0 {
+		t.Fatalf("derived cluster counts up=%d down=%d, want 0/1", st.ClusterUp, st.ClusterDown)
+	}
+	if hookDevice.Load() != 1 {
+		t.Fatalf("OnDeviceError saw device %d, want 1", hookDevice.Load())
+	}
+	if h := rt.HealthyDevices(); h[0] {
+		t.Fatal("failing device still marked healthy")
+	}
+}
+
+// TestAttachClusterFailoverEvents drives Down/Up through the failure detector
+// and checks the gateway mirrors them into the runtime: demote + invalidate
+// on Down, reinstate on recovery, counts exposed via Stats.
+func TestAttachClusterFailoverEvents(t *testing.T) {
+	a := supernet.TinyArch(4)
+	net := supernet.New(a, 301)
+	// The remote is never called; a closed client is fine as a placeholder.
+	srv := rpcx.NewServer()
+	addr, _ := srv.Listen("127.0.0.1:0")
+	cl, err := rpcx.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	defer cl.Close()
+
+	sched := runtime.NewScheduler(net, []*rpcx.Client{cl})
+	rt := runtime.New(sched, remoteDecider(a), runtime.NewStrategyCache(32, 25, 5, 10), nil)
+	rt.SetLinkState(0, 100, 5)
+	rt.SetSLO(latSLO(5000))
+
+	g := New(rt, Options{Workers: 1})
+	defer g.Close(time.Second)
+
+	// Seed the cache with a strategy that places work on device 1.
+	if _, err := rt.ResolveFor(rt.SLO()); err != nil {
+		t.Fatal(err)
+	}
+
+	ok := atomic.Bool{}
+	ok.Store(true)
+	probe := func(timeout time.Duration) (time.Duration, error) {
+		if !ok.Load() {
+			return 0, rpcx.ErrTimeout
+		}
+		return time.Millisecond, nil
+	}
+	m := cluster.NewManager([]cluster.ProbeFunc{probe}, cluster.Options{
+		HeartbeatInterval: 5 * time.Millisecond,
+		SuspectAfter:      25 * time.Millisecond,
+		DownAfter:         60 * time.Millisecond,
+	})
+	g.AttachCluster(m)
+	m.Start()
+	defer m.Close()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", desc)
+	}
+
+	ok.Store(false)
+	waitFor("device demoted on Down", func() bool { return !rt.HealthyDevices()[0] })
+	waitFor("cached strategy invalidated", func() bool { return g.Stats().Cache.Invalidations >= 1 })
+	waitFor("cluster counts show the down member", func() bool { return g.Stats().ClusterDown == 1 })
+
+	ok.Store(true)
+	waitFor("device reinstated on recovery", func() bool { return rt.HealthyDevices()[0] })
+	waitFor("cluster counts show recovery", func() bool {
+		st := g.Stats()
+		return st.ClusterUp == 1 && st.ClusterDown == 0
+	})
+}
+
+// TestChaosDeviceKill is the fault-injection load test: concurrent clients
+// drive a gateway over real sockets while one of its two device daemons is
+// killed mid-run and later restarted on the same address. The serving
+// invariant must hold throughout (no request vanishes), the outage must not
+// fail requests (failover serves them on the surviving devices), and once the
+// daemon returns the detector must reintegrate it so strategies place work
+// there again.
+func TestChaosDeviceKill(t *testing.T) {
+	const (
+		numClients    = 8
+		reqsPerClient = 6
+		sloMs         = 30000 // generous: -race plus outage retries are slow
+	)
+	a := supernet.TinyArch(4)
+	net := supernet.New(a, 302)
+
+	// Two device daemons: executor + monitor endpoints + cluster node.
+	startDaemon := func(addr string) (*rpcx.Server, string) {
+		srv := rpcx.NewServer()
+		runtime.NewExecutor(net).Register(srv)
+		monitor.RegisterHandlers(srv)
+		cluster.NewNode().Register(srv)
+		got, err := srv.Listen(addr)
+		if err != nil {
+			t.Fatalf("listen %q: %v", addr, err)
+		}
+		return srv, got
+	}
+	srv1, addr1 := startDaemon("127.0.0.1:0")
+	srv2, addr2 := startDaemon("127.0.0.1:0")
+	defer srv2.Close()
+
+	// Data clients: retry policy + idempotent marking so calls ride out the
+	// restart via automatic re-dial.
+	dialData := func(addr string) *rpcx.Client {
+		c, err := rpcx.Dial(addr, nil)
+		if err != nil {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		c.SetRetryPolicy(rpcx.RetryPolicy{MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond})
+		c.MarkIdempotent(runtime.ExecBlockMethod, monitor.PingMethod)
+		return c
+	}
+	data1, data2 := dialData(addr1), dialData(addr2)
+	defer data1.Close()
+	defer data2.Close()
+
+	sched := runtime.NewScheduler(net, []*rpcx.Client{data1, data2})
+	sched.RemoteTimeout = 10 * time.Second
+
+	// Deterministic decider: spread tiles round-robin over every device whose
+	// link looks alive (the runtime degrades a down device's link to ~zero).
+	decider := runtime.DeciderFunc(func(c env.Constraint) (*env.Decision, error) {
+		cfg := a.MinConfig()
+		costs, _ := a.Costs(cfg)
+		p := supernet.LocalPlacement(costs)
+		var live []int
+		for i, bw := range c.BandwidthMbps {
+			if bw > 1 {
+				live = append(live, i+1)
+			}
+		}
+		if len(live) > 0 {
+			n := 0
+			for k := range p.Devices {
+				for ti := range p.Devices[k] {
+					p.Devices[k][ti] = live[n%len(live)]
+					n++
+				}
+			}
+		}
+		return &env.Decision{Config: cfg, Placement: p}, nil
+	})
+	rt := runtime.New(sched, decider, runtime.NewStrategyCache(32, 25, 5, 10), nil)
+	rt.SetLinkState(0, 100, 5)
+	rt.SetLinkState(1, 100, 5)
+	rt.SetSLO(latSLO(sloMs))
+
+	// Heartbeats ride dedicated connections (data calls serialize per client,
+	// so sharing would let a slow batch delay failure detection).
+	hb1, hb2 := dialData(addr1), dialData(addr2)
+	defer hb1.Close()
+	defer hb2.Close()
+	m := cluster.NewManager(
+		[]cluster.ProbeFunc{cluster.PingProbe(hb1), cluster.PingProbe(hb2)},
+		cluster.Options{
+			HeartbeatInterval: 10 * time.Millisecond,
+			SuspectAfter:      50 * time.Millisecond,
+			DownAfter:         120 * time.Millisecond,
+		})
+	defer m.Close()
+
+	g := New(rt, Options{Workers: 2, MaxBatch: 4, MaxLinger: time.Millisecond, QueueDepth: 32})
+	g.AttachCluster(m)
+	m.Start()
+
+	gwSrv := rpcx.NewServer()
+	g.Register(gwSrv)
+	gwAddr, err := gwSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwSrv.Close()
+
+	var success, shed, missed, otherErr atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < numClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := DialClient(gwAddr)
+			if err != nil {
+				t.Errorf("client %d dial: %v", c, err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < reqsPerClient; i++ {
+				res, err := cl.Infer(testInput(int64(100*c+i)), latSLO(sloMs), 60*time.Second)
+				switch {
+				case err == nil:
+					success.Add(1)
+					if res.Logits == nil || res.Logits.Shape[1] != 4 {
+						t.Errorf("client %d: bad logits %v", c, res.Logits)
+					}
+				case IsShed(err):
+					shed.Add(1)
+				case IsDeadlineMissed(err):
+					missed.Add(1)
+				default:
+					otherErr.Add(1)
+					t.Errorf("client %d req %d: unexpected error %v", c, i, err)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(c)
+	}
+
+	// Kill device 1 while traffic flows, wait for the detector, restart it on
+	// the same address, and wait for reintegration — all mid-load.
+	time.Sleep(50 * time.Millisecond)
+	srv1.Close()
+	waitState := func(want cluster.State) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			if m.StateOf(0) == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("member 0 never reached %v (now %v)", want, m.StateOf(0))
+	}
+	waitState(cluster.Down)
+	srv1b, _ := startDaemon(addr1)
+	defer srv1b.Close()
+	waitState(cluster.Up)
+
+	wg.Wait()
+	g.Close(30 * time.Second)
+
+	st := g.Stats()
+	const total = uint64(numClients * reqsPerClient)
+	t.Logf("chaos: %d requests → success=%d shed=%d missed=%d; detector=%+v; stats=%+v",
+		total, success.Load(), shed.Load(), missed.Load(), m.CountersSnapshot(), st)
+
+	// Every request got exactly one definitive outcome, and the admission
+	// ledger balances: nothing vanished during the outage.
+	if got := success.Load() + shed.Load() + missed.Load() + otherErr.Load(); got != total {
+		t.Fatalf("outcomes %d != requests %d", got, total)
+	}
+	if otherErr.Load() != 0 {
+		t.Fatalf("%d requests failed with unexpected errors", otherErr.Load())
+	}
+	if st.Admitted+st.Shed != total {
+		t.Fatalf("admitted %d + shed %d != %d attempts", st.Admitted, st.Shed, total)
+	}
+	if st.Admitted != st.Served+st.Dropped+st.Failed {
+		t.Fatalf("admitted %d != served %d + dropped %d + failed %d",
+			st.Admitted, st.Served, st.Dropped, st.Failed)
+	}
+	// Failover, not failure: requests caught on the dying device were retried
+	// onto the survivors.
+	if st.Failed != 0 {
+		t.Fatalf("%d requests failed despite failover", st.Failed)
+	}
+	if success.Load() == 0 {
+		t.Fatal("no request succeeded — chaos test vacuous")
+	}
+	// The detector saw the churn.
+	if c := m.CountersSnapshot(); c.Downs < 1 || c.Recoveries < 1 {
+		t.Fatalf("detector counters after kill+restart: %+v", c)
+	}
+	// Reintegration: with the daemon back and Up, resolution places work on
+	// device 1 again (the degraded-constraint bucket is no longer used).
+	res, err := rt.ResolveFor(rt.SLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := false
+	for _, layer := range res.Decision.Placement.Devices {
+		for _, dev := range layer {
+			if dev == 1 {
+				placed = true
+			}
+		}
+	}
+	if !placed {
+		t.Fatalf("recovered device 1 not back in the placement: %v", res.Decision.Placement.Devices)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"murmuration/internal/cluster"
 	"murmuration/internal/runtime"
 	"murmuration/internal/tensor"
 )
@@ -39,6 +40,10 @@ type Gateway struct {
 	// emaBatchSec is an exponential moving average of batched-inference
 	// duration, feeding the admission-time queue-wait estimate.
 	emaBatchSec float64
+
+	// cluster is the attached failure detector, nil until AttachCluster.
+	// Guarded by mu; the Manager itself is internally synchronized.
+	cluster *cluster.Manager
 
 	stats Stats
 
@@ -161,6 +166,20 @@ func (g *Gateway) Stats() Stats {
 	}
 	if g.rt.Cache != nil {
 		s.Cache = g.rt.Cache.Stats()
+	}
+	if g.cluster != nil {
+		up, suspect, down := g.cluster.Counts()
+		s.ClusterUp, s.ClusterSuspect, s.ClusterDown = uint64(up), uint64(suspect), uint64(down)
+	} else {
+		// No detector attached: derive a coarse view from the runtime's
+		// device-health mask (data-path failures still demote devices).
+		for _, h := range g.rt.HealthyDevices() {
+			if h {
+				s.ClusterUp++
+			} else {
+				s.ClusterDown++
+			}
+		}
 	}
 	return s
 }

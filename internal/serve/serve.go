@@ -89,6 +89,11 @@ type Options struct {
 	MaxLinger time.Duration
 	// QueueDepth bounds each class queue (default 64).
 	QueueDepth int
+	// OnDeviceError, when set, is called (off the worker's hot path but
+	// synchronously, so keep it cheap) whenever a batch fails with a
+	// device-attributed error, before the failover retry. Daemons use it to
+	// log which device is dying.
+	OnDeviceError func(device int, err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -135,6 +140,18 @@ type Stats struct {
 	// BatchedRequests/Batches is the mean batch size.
 	Batches         uint64
 	BatchedRequests uint64
+	// FailoverAttempts counts batches whose execution hit a device-attributed
+	// error and were retried once on a re-resolved strategy; Failovers counts
+	// the retries that then succeeded. A batch only lands in Failed after its
+	// failover retry also failed (or the error was not device-attributable).
+	FailoverAttempts uint64
+	Failovers        uint64
+	// ClusterUp / ClusterSuspect / ClusterDown are the failure detector's
+	// member counts at snapshot time (from the attached cluster.Manager, or
+	// derived from the runtime's device-health mask when none is attached).
+	ClusterUp      uint64
+	ClusterSuspect uint64
+	ClusterDown    uint64
 	// QueueDepth is the current per-class queue occupancy.
 	QueueDepth [numClasses]int
 	// Cache is the runtime strategy-cache snapshot (occupancy, hit-rate).

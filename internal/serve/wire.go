@@ -30,7 +30,7 @@ const (
 //	                f64 sloValue | tensor.Encode(image)
 //	infer response: u8 batchSize | u8 cacheHit | u64 queueWaitµs
 //	                u64 execµs | u64 decideµs | tensor.Encode(logits)
-//	stats response: 16 × u64 (see encodeStats)
+//	stats response: 22 × u64 (see encodeStats)
 const inferHeaderLen = 1 + 8
 
 // Register installs the gateway's handlers on an rpcx server.
@@ -94,8 +94,9 @@ func decodeSLO(typ byte, value float64) (runtime.SLO, error) {
 	return runtime.SLO{}, fmt.Errorf("serve: bad SLO type %d", typ)
 }
 
-// statsFieldCount is the number of u64 fields in the stats wire encoding.
-const statsFieldCount = 16
+// statsFieldCount is the number of u64 fields in the stats wire encoding:
+// 13 counters + 3 queue depths + 6 cache fields.
+const statsFieldCount = 22
 
 // statsFields lists the counter fields in wire order; queue depths and
 // cache stats follow them in encodeStats/decodeStats.
@@ -103,6 +104,8 @@ func statsFields(s *Stats) []*uint64 {
 	return []*uint64{
 		&s.Admitted, &s.Served, &s.Shed, &s.Dropped, &s.DeadlineMissed,
 		&s.Failed, &s.Batches, &s.BatchedRequests,
+		&s.FailoverAttempts, &s.Failovers,
+		&s.ClusterUp, &s.ClusterSuspect, &s.ClusterDown,
 	}
 }
 
@@ -124,6 +127,7 @@ func encodeStats(s Stats) []byte {
 	put(s.Cache.Hits)
 	put(s.Cache.Misses)
 	put(s.Cache.Evictions)
+	put(s.Cache.Invalidations)
 	return buf
 }
 
@@ -149,6 +153,7 @@ func decodeStats(b []byte) (Stats, error) {
 	s.Cache.Hits = next()
 	s.Cache.Misses = next()
 	s.Cache.Evictions = next()
+	s.Cache.Invalidations = next()
 	return s, nil
 }
 

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"errors"
 	"time"
 
+	"murmuration/internal/runtime"
 	"murmuration/internal/tensor"
 )
 
@@ -66,7 +68,10 @@ func (g *Gateway) nextBatch() []*request {
 }
 
 // execute resolves the batch's strategy once, runs the batched inference,
-// and delivers per-request outcomes.
+// and delivers per-request outcomes. A batch that fails with a
+// device-attributed error triggers failover — mark the device unhealthy,
+// invalidate its cached strategies, tell the failure detector — and is
+// retried once on a re-resolved strategy before it counts as Failed.
 func (g *Gateway) execute(batch []*request) {
 	start := time.Now()
 	res, err := g.rt.ResolveFor(batch[0].slo)
@@ -79,6 +84,22 @@ func (g *Gateway) execute(batch []*request) {
 		xs[i] = r.x
 	}
 	outs, _, err := g.rt.ExecBatch(xs, res.Decision)
+	var de *runtime.DeviceError
+	if err != nil && errors.As(err, &de) {
+		g.noteDeviceError(de)
+		g.mu.Lock()
+		g.stats.FailoverAttempts++
+		g.mu.Unlock()
+		if res2, rerr := g.rt.ResolveFor(batch[0].slo); rerr == nil {
+			res = res2
+			outs, _, err = g.rt.ExecBatch(xs, res.Decision)
+			if err == nil {
+				g.mu.Lock()
+				g.stats.Failovers++
+				g.mu.Unlock()
+			}
+		}
+	}
 	execTime := time.Since(start)
 	if err != nil {
 		g.finishError(batch, err)
