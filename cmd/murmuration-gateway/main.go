@@ -62,6 +62,10 @@ func main() {
 	suspectAfter := flag.Duration("suspect-after", 0, "silence before a device turns Suspect (default 4x heartbeat interval)")
 	downAfter := flag.Duration("down-after", 0, "silence before a device turns Down and is failed over (default 10x heartbeat interval)")
 	retries := flag.Int("retries", 3, "max attempts per idempotent device RPC (1 disables retry; re-dial stays on)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fixed delay before hedging an idempotent tile RPC on an alternate device (0 = adaptive, P95 of observed call latencies)")
+	hedgeBudget := flag.Float64("hedge-budget", 0.05, "max hedged attempts as a fraction of primary tile RPCs (0 disables hedging)")
+	minRung := flag.Int("min-rung", runtime.DefaultMaxRung, "deepest degradation rung allowed under deadline pressure (0 pins full quality; see DESIGN.md for the rung table)")
+	ladderHysteresis := flag.Int("ladder-hysteresis", runtime.DefaultLadderHysteresis, "consecutive comfortable completions required to climb one rung back toward full quality")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -137,6 +141,9 @@ func main() {
 
 	sched := runtime.NewScheduler(net, clients)
 	sched.RemoteTimeout = *remoteTimeout
+	if *hedgeBudget > 0 {
+		sched.Hedge = &runtime.HedgePolicy{After: *hedgeAfter, BudgetFrac: *hedgeBudget}
+	}
 	rt := runtime.New(sched, decider, runtime.NewStrategyCache(64, 25, 5, 10), monitors)
 	for i := range addrs {
 		rt.SetLinkState(i, *bw, *delay)
@@ -145,11 +152,19 @@ func main() {
 		}
 	}
 
+	// Flag 0 means "never degrade"; Options.MaxRung uses negative for that
+	// (its zero value selects the default ladder depth).
+	maxRung := *minRung
+	if maxRung <= 0 {
+		maxRung = -1
+	}
 	gw := serve.New(rt, serve.Options{
-		Workers:    *workers,
-		MaxBatch:   *maxBatch,
-		MaxLinger:  *linger,
-		QueueDepth: *queueDepth,
+		Workers:          *workers,
+		MaxBatch:         *maxBatch,
+		MaxLinger:        *linger,
+		QueueDepth:       *queueDepth,
+		MaxRung:          maxRung,
+		LadderHysteresis: *ladderHysteresis,
 		OnDeviceError: func(dev int, err error) {
 			log.Printf("device %d failed a batch (failing over): %v", dev, err)
 		},

@@ -215,3 +215,49 @@ func TestNewClientWithoutAddrStaysBroken(t *testing.T) {
 		t.Fatalf("conn-wrapped client must stay broken, got %v", err)
 	}
 }
+
+// TestTimeoutThenReuseNeverReadsStaleResponse: the sharper regression for
+// connection poisoning. Unlike TestRedialRecoversAfterTimeout (which holds
+// the slow response hostage until the test ends), here the timed-out call's
+// response DOES arrive on the old connection before the client is used
+// again. A client that kept reading the desynced stream would return the
+// stale payload "A" as the answer to the new request "B"; the correct
+// client abandons the poisoned connection and re-dials.
+func TestTimeoutThenReuseNeverReadsStaleResponse(t *testing.T) {
+	s := NewServer()
+	var slowFirst atomic.Bool
+	slowFirst.Store(true)
+	s.Handle("echo-slow-once", func(p []byte) ([]byte, error) {
+		if slowFirst.Swap(false) {
+			time.Sleep(300 * time.Millisecond)
+		}
+		return p, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 1}) // re-dial only, no retries
+
+	if _, err := c.CallTimeout("echo-slow-once", []byte("A"), 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("first call should time out, got %v", err)
+	}
+	// Let the stale "A" response actually reach the old connection before the
+	// client is reused — the trap a desynced reader would fall into.
+	time.Sleep(400 * time.Millisecond)
+
+	resp, err := c.CallTimeout("echo-slow-once", []byte("B"), 2*time.Second)
+	if err != nil {
+		t.Fatalf("call after timeout did not recover via re-dial: %v", err)
+	}
+	if string(resp) != "B" {
+		t.Fatalf("reused client answered %q — read the stale response of the timed-out call", resp)
+	}
+}

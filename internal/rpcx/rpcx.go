@@ -51,7 +51,34 @@ var (
 	// so the connection cannot be reused). Clients with a retry policy
 	// installed re-dial instead of returning this.
 	ErrClientBroken = errors.New("rpcx: client connection broken by earlier timeout")
+	// ErrBudgetExhausted is the target for errors.Is when a call's deadline
+	// budget cannot be met: either the server refused the request because its
+	// cost estimate exceeds the remaining budget (*BudgetError), or a caller
+	// observed the budget expire locally. It is the typed alternative to a
+	// silent late reply.
+	ErrBudgetExhausted = errors.New("rpcx: budget exhausted")
 )
+
+// BudgetError is the server's typed refusal of a budget-carrying call: its
+// estimate of the handler's cost exceeds the remaining deadline budget the
+// request arrived with, so executing it could only produce a late reply.
+// It unwraps to ErrBudgetExhausted. Never retried on the same link — the
+// refusal is deterministic until the server's cost estimate changes.
+type BudgetError struct {
+	Method string
+	// Budget is the remaining budget the request carried.
+	Budget time.Duration
+	// Msg is the server's refusal message (it names the cost estimate).
+	Msg string
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("rpcx: call %q refused, budget %v exhausted: %s", e.Method, e.Budget, e.Msg)
+}
+
+// Unwrap lets errors.Is(err, ErrBudgetExhausted) match.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExhausted }
 
 // RemoteError is an application-level failure reported by the server's
 // handler (response status != 0). It is never retried: the handler ran, so a
@@ -122,11 +149,42 @@ type Server struct {
 	draining     bool
 	inflightN    int
 	inflightDone chan struct{} // closed when inflightN drops to 0 while draining
+
+	// Per-method handler-cost estimates (EMA of successful handler runtimes,
+	// seconds) backing the budget guard: a request carrying a deadline budget
+	// below the method's estimated cost is refused with a typed *BudgetError
+	// instead of being executed into a guaranteed-late reply.
+	costMu  sync.Mutex
+	costSec map[string]float64
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+		costSec:  make(map[string]float64),
+	}
+}
+
+// estimatedCost returns the server's smoothed runtime estimate for a method
+// (0 before any successful run has been observed).
+func (s *Server) estimatedCost(method string) time.Duration {
+	s.costMu.Lock()
+	defer s.costMu.Unlock()
+	return time.Duration(s.costSec[method] * float64(time.Second))
+}
+
+// observeCost folds one successful handler runtime into the method's EMA.
+func (s *Server) observeCost(method string, d time.Duration) {
+	s.costMu.Lock()
+	defer s.costMu.Unlock()
+	sec := d.Seconds()
+	if prev, ok := s.costSec[method]; ok {
+		s.costSec[method] = 0.7*prev + 0.3*sec
+	} else {
+		s.costSec[method] = sec
+	}
 }
 
 // Handle registers a handler for a method name (max 255 bytes).
@@ -257,7 +315,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 64*1024)
 	w := bufio.NewWriterSize(conn, 64*1024)
 	for {
-		method, payload, err := readRequest(r)
+		method, budget, payload, err := readRequest(r)
 		if err != nil {
 			return
 		}
@@ -268,15 +326,28 @@ func (s *Server) serveConn(conn net.Conn) {
 		var resp []byte
 		switch {
 		case h == nil:
-			status = 1
+			status = statusError
 			resp = []byte(fmt.Sprintf("rpcx: unknown method %q", method))
 		case !s.beginCall():
-			status = 1
+			status = statusError
 			resp = []byte("rpcx: server shutting down")
+		case budget > 0 && s.estimatedCost(method) > budget:
+			// Budget guard: the request cannot finish in time, so refuse it
+			// with a typed error instead of executing into a silent late
+			// reply. The cost estimate is only ever built from observed runs,
+			// so the first call of a method is never refused. beginCall above
+			// registered the request, so it must be retired here.
+			status = statusBudget
+			resp = []byte(fmt.Sprintf("estimated cost %v exceeds remaining budget %v",
+				s.estimatedCost(method).Round(time.Microsecond), budget))
+			s.endCall()
 		default:
+			start := time.Now()
 			if resp, err = h(payload); err != nil {
-				status = 1
+				status = statusError
 				resp = []byte(err.Error())
+			} else {
+				s.observeCost(method, time.Since(start))
 			}
 			s.endCall()
 		}
@@ -314,44 +385,81 @@ func (s *Server) endCall() {
 }
 
 // Frame layout (little endian):
-//   request:  u32 totalLen | u8 methodLen | method | payload
-//   response: u32 totalLen | u8 status    | payload
+//   request:  u32 totalLen | u8 flags|methodLen | method | [u64 budgetµs] | payload
+//   response: u32 totalLen | u8 status          | payload
+//
+// The top bit of the method-length byte is the budget flag: when set, an
+// 8-byte remaining-deadline budget in microseconds follows the method name.
+// Method names are therefore limited to 127 bytes. A budget-less request is
+// bit-identical to the historical frame, so budget-unaware peers and
+// budget-aware peers interoperate as long as no budget is sent.
+const (
+	budgetFlag   = 0x80
+	maxMethodLen = 0x7F
 
-func readRequest(r io.Reader) (string, []byte, error) {
+	statusOK     = 0
+	statusError  = 1
+	statusBudget = 2 // typed budget refusal; payload is the server's message
+)
+
+func readRequest(r io.Reader) (string, time.Duration, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return "", nil, err
+		return "", 0, nil, err
 	}
 	total := binary.LittleEndian.Uint32(lenBuf[:])
 	if total < 1 || total > 1<<30 {
-		return "", nil, errors.New("rpcx: bad frame length")
+		return "", 0, nil, errors.New("rpcx: bad frame length")
 	}
 	body := make([]byte, total)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return "", nil, err
+		return "", 0, nil, err
 	}
-	ml := int(body[0])
+	ml := int(body[0] & maxMethodLen)
 	if 1+ml > len(body) {
-		return "", nil, errors.New("rpcx: bad method length")
+		return "", 0, nil, errors.New("rpcx: bad method length")
 	}
-	return string(body[1 : 1+ml]), body[1+ml:], nil
+	method := string(body[1 : 1+ml])
+	rest := body[1+ml:]
+	var budget time.Duration
+	if body[0]&budgetFlag != 0 {
+		if len(rest) < 8 {
+			return "", 0, nil, errors.New("rpcx: short budget header")
+		}
+		budget = time.Duration(binary.LittleEndian.Uint64(rest)) * time.Microsecond
+		rest = rest[8:]
+	}
+	return method, budget, rest, nil
 }
 
-func writeRequest(w io.Writer, method string, payload []byte) error {
-	if len(method) > 255 {
+func writeRequest(w io.Writer, method string, payload []byte, budget time.Duration) error {
+	if len(method) > maxMethodLen {
 		return errors.New("rpcx: method name too long")
 	}
-	total := uint32(1 + len(method) + len(payload))
+	head := byte(len(method))
+	extra := 0
+	if budget > 0 {
+		head |= budgetFlag
+		extra = 8
+	}
+	total := uint32(1 + len(method) + extra + len(payload))
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], total)
 	if _, err := w.Write(lenBuf[:]); err != nil {
 		return err
 	}
-	if _, err := w.Write([]byte{byte(len(method))}); err != nil {
+	if _, err := w.Write([]byte{head}); err != nil {
 		return err
 	}
 	if _, err := io.WriteString(w, method); err != nil {
 		return err
+	}
+	if budget > 0 {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(budget.Microseconds()))
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
 	}
 	_, err := w.Write(payload)
 	return err
@@ -465,11 +573,30 @@ func (c *Client) Call(method string, payload []byte) ([]byte, error) {
 // backoff + jitter). The deadline covers connection I/O, not the emulated
 // link's shaping sleeps.
 func (c *Client) CallTimeout(method string, payload []byte, d time.Duration) ([]byte, error) {
+	return c.CallBudget(method, payload, d, 0)
+}
+
+// CallBudget is CallTimeout with an explicit remaining-deadline budget
+// carried to the server (budget <= 0 sends none). A server whose cost
+// estimate for the method exceeds the budget refuses the call with a typed
+// *BudgetError (errors.Is(err, ErrBudgetExhausted)) instead of executing it
+// into a late reply. Budget refusals are never retried: the refusal is
+// deterministic until the server's estimate moves. A positive budget also
+// caps the call as a whole — retry attempts share it rather than each
+// getting a fresh timeout, and dispatch with nothing left fails typed.
+func (c *Client) CallBudget(method string, payload []byte, d, budget time.Duration) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	attempts := 1
 	if c.retrySet && c.retry.MaxAttempts > 1 && c.idempotent[method] {
 		attempts = c.retry.MaxAttempts
+	}
+	// A budget is an overall deadline across every attempt, not a per-attempt
+	// timeout: retrying a call whose first attempt consumed the budget would
+	// only stretch the failure to attempts x budget and still be late.
+	var overall time.Time
+	if budget > 0 {
+		overall = time.Now().Add(budget)
 	}
 	var err error
 	for attempt := 1; attempt <= attempts; attempt++ {
@@ -477,6 +604,21 @@ func (c *Client) CallTimeout(method string, payload []byte, d time.Duration) ([]
 			// Backoff holds the client lock by design: the connection is
 			// single-stream, so concurrent callers could not proceed anyway.
 			time.Sleep(c.retry.backoff(attempt-1, c.rng))
+		}
+		dAtt, bAtt := d, budget
+		if !overall.IsZero() {
+			remaining := time.Until(overall)
+			if remaining <= 0 {
+				if err == nil {
+					err = &BudgetError{Method: method, Budget: budget,
+						Msg: "budget exhausted before dispatch"}
+				}
+				return nil, err
+			}
+			bAtt = remaining
+			if dAtt <= 0 || remaining < dAtt {
+				dAtt = remaining
+			}
 		}
 		if c.broken {
 			if !c.retrySet || c.addr == "" {
@@ -493,7 +635,7 @@ func (c *Client) CallTimeout(method string, payload []byte, d time.Duration) ([]
 			}
 		}
 		var resp []byte
-		resp, err = c.callOnceLocked(method, payload, d)
+		resp, err = c.callOnceLocked(method, payload, dAtt, bAtt)
 		if err == nil {
 			return resp, nil
 		}
@@ -505,11 +647,13 @@ func (c *Client) CallTimeout(method string, payload []byte, d time.Duration) ([]
 }
 
 // retryable reports whether an error may be fixed by re-dialing and trying
-// again: transport-level failures qualify, application-level RemoteErrors
-// (the handler ran and answered) do not.
+// again: transport-level failures qualify; application-level RemoteErrors
+// (the handler ran and answered) and BudgetErrors (the server answered with
+// a deterministic refusal) do not.
 func retryable(err error) bool {
 	var re *RemoteError
-	return !errors.As(err, &re)
+	var be *BudgetError
+	return !errors.As(err, &re) && !errors.As(err, &be)
 }
 
 // redialLocked replaces a broken connection with a fresh dial to the
@@ -529,7 +673,7 @@ func (c *Client) redialLocked() error {
 
 // callOnceLocked performs a single request/response exchange. Caller holds
 // c.mu and has ensured the connection is not broken.
-func (c *Client) callOnceLocked(method string, payload []byte, d time.Duration) ([]byte, error) {
+func (c *Client) callOnceLocked(method string, payload []byte, d, budget time.Duration) ([]byte, error) {
 	if d > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(d)); err != nil {
 			return nil, err
@@ -542,7 +686,7 @@ func (c *Client) callOnceLocked(method string, payload []byte, d time.Duration) 
 			time.Sleep(sd)
 		}
 	}
-	if err := writeRequest(c.w, method, payload); err != nil {
+	if err := writeRequest(c.w, method, payload, budget); err != nil {
 		return nil, c.callErr(method, d, err)
 	}
 	if err := c.w.Flush(); err != nil {
@@ -559,10 +703,14 @@ func (c *Client) callOnceLocked(method string, payload []byte, d time.Duration) 
 			time.Sleep(sd)
 		}
 	}
-	if status != 0 {
+	switch status {
+	case statusOK:
+		return resp, nil
+	case statusBudget:
+		return nil, &BudgetError{Method: method, Budget: budget, Msg: string(resp)}
+	default:
 		return nil, &RemoteError{Msg: string(resp)}
 	}
-	return resp, nil
 }
 
 // callErr converts a transport error into a *TimeoutError when it was caused

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -74,7 +75,7 @@ func New(s *Scheduler, d Decider, cache *StrategyCache, monitors []*monitor.Link
 	for i := range healthy {
 		healthy[i] = true
 	}
-	return &Runtime{
+	r := &Runtime{
 		Scheduler:  s,
 		Decider:    d,
 		Cache:      cache,
@@ -82,6 +83,41 @@ func New(s *Scheduler, d Decider, cache *StrategyCache, monitors []*monitor.Link
 		manualLink: make([]monitor.Sample, len(s.Remotes)),
 		healthy:    healthy,
 	}
+	// Wire the scheduler's hedged-RPC alternate-device choice to the
+	// runtime's health mask and link estimates, unless the caller already
+	// installed its own policy.
+	if s.PickAlternate == nil {
+		s.PickAlternate = r.AlternateFor
+	}
+	return r
+}
+
+// AlternateFor picks the healthy remote device a hedged tile RPC should be
+// retried on: the lowest-delay healthy device other than the primary, or 0
+// when no such device exists (hedging is then skipped).
+func (r *Runtime) AlternateFor(primary int) int {
+	r.mu.Lock()
+	healthy := append([]bool(nil), r.healthy...)
+	manual := append([]monitor.Sample(nil), r.manualLink...)
+	r.mu.Unlock()
+
+	best, bestDelay := 0, math.Inf(1)
+	for i := range r.Scheduler.Remotes {
+		dev := i + 1
+		if dev == primary || (i < len(healthy) && !healthy[i]) {
+			continue
+		}
+		var s monitor.Sample
+		if i < len(r.Monitors) && r.Monitors[i] != nil && r.Monitors[i].Samples() > 0 {
+			s = r.Monitors[i].Current()
+		} else if i < len(manual) {
+			s = manual[i]
+		}
+		if best == 0 || s.DelayMs < bestDelay {
+			best, bestDelay = dev, s.DelayMs
+		}
+	}
+	return best
 }
 
 // SetDeviceHealth marks remote device i+1 (0-based remote index i) healthy or
@@ -308,6 +344,14 @@ func (r *Runtime) Infer(x *tensor.Tensor) (*Result, error) {
 // layer's dynamic-batching entry point: requests that resolved to the same
 // strategy amortize tiling, dispatch, and per-layer overhead.
 func (r *Runtime) ExecBatch(xs []*tensor.Tensor, d *env.Decision) ([]*tensor.Tensor, *InferenceReport, error) {
+	return r.ExecBatchBudget(xs, d, 0)
+}
+
+// ExecBatchBudget is ExecBatch under a deadline budget: the remaining budget
+// bounds (and travels with) every remote tile call, so the batch fails fast
+// with an error matching rpcx.ErrBudgetExhausted instead of completing late.
+// budget <= 0 means no deadline.
+func (r *Runtime) ExecBatchBudget(xs []*tensor.Tensor, d *env.Decision, budget time.Duration) ([]*tensor.Tensor, *InferenceReport, error) {
 	if len(xs) == 0 {
 		return nil, nil, fmt.Errorf("runtime: empty batch")
 	}
@@ -333,7 +377,7 @@ func (r *Runtime) ExecBatch(xs []*tensor.Tensor, d *env.Decision) ([]*tensor.Ten
 		row += x.Shape[0]
 	}
 
-	rep, err := r.Scheduler.Infer(batch, d)
+	rep, err := r.Scheduler.InferBudget(batch, d, budget)
 	if err != nil {
 		return nil, nil, err
 	}

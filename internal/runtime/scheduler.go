@@ -2,11 +2,14 @@ package runtime
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"murmuration/internal/rpcx"
+	"murmuration/internal/stats"
 	"murmuration/internal/supernet"
 	"murmuration/internal/tensor"
 )
@@ -16,6 +19,19 @@ import (
 // decision's FDSP grid, dispatches tiles to the assigned devices (local
 // inline, remote via rpcx), and reassembles outputs. This is the paper's
 // Scheduler + Remote Execution path (Fig. 10).
+//
+// Two tail-tolerance mechanisms ride the remote dispatch path:
+//
+//   - Deadline budgets (InferBudget): the remaining per-request budget bounds
+//     every remote tile call and travels on the rpcx wire, so a daemon that
+//     cannot finish in time refuses with a typed error instead of replying
+//     late. A budget that expires mid-inference surfaces as
+//     rpcx.ErrBudgetExhausted — never as a device fault.
+//   - Hedged requests (Hedge): after a P95-derived delay, an idempotent tile
+//     RPC still in flight is raced against a second attempt on an alternate
+//     healthy device; the first response wins and the loser is abandoned
+//     (bounded by its own deadline). A hedge budget caps hedges to a fraction
+//     of primary calls so retries cannot amplify overload.
 type Scheduler struct {
 	Local *supernet.Supernet
 	// Remotes[i] is the client for device i+1 (device 0 is local).
@@ -23,11 +39,70 @@ type Scheduler struct {
 	// RemoteTimeout, when > 0, bounds each remote tile call so a hung or
 	// stalled daemon fails the inference instead of blocking it forever.
 	RemoteTimeout time.Duration
+
+	// Hedge enables hedged tile RPCs when non-nil.
+	Hedge *HedgePolicy
+	// PickAlternate returns the placement device (>= 1) a hedged attempt
+	// should go to, or 0 when no healthy alternate exists. The runtime wires
+	// this to its device-health mask and the monitors' delay estimates.
+	PickAlternate func(primary int) int
+
+	// P95 source for hedge-delay derivation: the last N successful remote
+	// tile-call latencies.
+	latMu  sync.Mutex
+	latWin *stats.Window
+
+	remoteCalls atomic.Uint64
+	hedges      atomic.Uint64
+	hedgeWins   atomic.Uint64
+}
+
+// HedgePolicy configures hedged tile RPCs (Dean & Barroso, "The Tail at
+// Scale"). Zero values select the defaults.
+type HedgePolicy struct {
+	// After is the delay before a hedge is issued. 0 derives it from the P95
+	// of observed tile-RPC latencies (no hedging until MinSamples exist).
+	After time.Duration
+	// BudgetFrac caps hedges at this fraction of primary tile RPCs (default
+	// 0.05), so hedging cannot amplify an overload.
+	BudgetFrac float64
+	// MinSamples is how many latency observations P95 derivation needs before
+	// hedging activates (default 20). Ignored when After > 0.
+	MinSamples int
+}
+
+func (p HedgePolicy) withDefaults() HedgePolicy {
+	if p.BudgetFrac <= 0 {
+		p.BudgetFrac = 0.05
+	}
+	if p.MinSamples <= 0 {
+		p.MinSamples = 20
+	}
+	return p
+}
+
+// SchedStats is a snapshot of the scheduler's remote-dispatch counters.
+type SchedStats struct {
+	// RemoteCalls counts primary remote tile dispatches (hedges excluded).
+	RemoteCalls uint64
+	// Hedges counts issued hedge attempts; HedgeWins counts hedges whose
+	// response arrived first and was used.
+	Hedges    uint64
+	HedgeWins uint64
 }
 
 // NewScheduler creates a scheduler for a local supernet and remote clients.
 func NewScheduler(local *supernet.Supernet, remotes []*rpcx.Client) *Scheduler {
-	return &Scheduler{Local: local, Remotes: remotes}
+	return &Scheduler{Local: local, Remotes: remotes, latWin: stats.NewWindow(128)}
+}
+
+// Stats returns a snapshot of the remote-dispatch counters.
+func (s *Scheduler) Stats() SchedStats {
+	return SchedStats{
+		RemoteCalls: s.remoteCalls.Load(),
+		Hedges:      s.hedges.Load(),
+		HedgeWins:   s.hedgeWins.Load(),
+	}
 }
 
 // DeviceError is an inference failure attributable to one device: a remote
@@ -64,9 +139,24 @@ type InferenceReport struct {
 	LocalTiles  int
 }
 
-// Infer runs input x (N,C,H,W) through the decision end to end.
+// Infer runs input x (N,C,H,W) through the decision end to end with no
+// deadline budget.
 func (s *Scheduler) Infer(x *tensor.Tensor, d *supernet.Decision) (*InferenceReport, error) {
+	return s.InferBudget(x, d, 0)
+}
+
+// InferBudget runs the decision end to end under a deadline budget: every
+// remote tile call is bounded by (and carries on the wire) the budget still
+// remaining when it dispatches, so downstream daemons refuse work that
+// cannot finish in time. budget <= 0 means no deadline. A budget that runs
+// out surfaces as an error matching rpcx.ErrBudgetExhausted, distinct from
+// device faults.
+func (s *Scheduler) InferBudget(x *tensor.Tensor, d *supernet.Decision, budget time.Duration) (*InferenceReport, error) {
 	start := time.Now()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = start.Add(budget)
+	}
 	arch := s.Local.Arch
 	cfg := d.Config
 	if err := arch.Validate(cfg); err != nil {
@@ -90,7 +180,7 @@ func (s *Scheduler) Infer(x *tensor.Tensor, d *supernet.Decision) (*InferenceRep
 		if err != nil {
 			return nil, err
 		}
-		y, err = s.execLayer(y, stage, index, stride, ls, d.Placement.Devices[layer], report)
+		y, err = s.execLayer(y, stage, index, stride, ls, d.Placement.Devices[layer], deadline, report)
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +193,7 @@ func (s *Scheduler) Infer(x *tensor.Tensor, d *supernet.Decision) (*InferenceRep
 // execLayer tiles the input, dispatches tiles concurrently, and pastes the
 // outputs into the layer result.
 func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
-	ls supernet.LayerSetting, assign []int, report *InferenceReport) (*tensor.Tensor, error) {
+	ls supernet.LayerSetting, assign []int, deadline time.Time, report *InferenceReport) (*tensor.Tensor, error) {
 
 	h, w := x.Shape[2], x.Shape[3]
 	y0s, x0s, ths, tws, err := supernet.TileSplit(h, w, ls.Partition, stride)
@@ -135,7 +225,6 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 				tiles[t], errs[t] = s.Local.ExecBlock(stage, index, tile, ls)
 				return
 			}
-			client := s.Remotes[assign[t]-1]
 			// The request tile is quantized at the layer's bitwidth (the
 			// paper's input quantization); the response returns lossless so
 			// the result matches single-device execution bit for bit.
@@ -144,7 +233,7 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 				errs[t] = err
 				return
 			}
-			resp, err := client.CallTimeout(ExecBlockMethod, payload, s.RemoteTimeout)
+			resp, err := s.callTile(assign[t], payload, deadline)
 			if err != nil {
 				errs[t] = err
 				return
@@ -160,6 +249,13 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 	wg.Wait()
 	for t, err := range errs {
 		if err != nil {
+			// Budget exhaustion is not a device fault: the device did nothing
+			// wrong, the request just ran out of time. Surfacing it typed
+			// (instead of as a DeviceError) keeps the serving layer from
+			// demoting a healthy device over deadline pressure.
+			if errors.Is(err, rpcx.ErrBudgetExhausted) {
+				return nil, fmt.Errorf("runtime: tile %d: %w", t, err)
+			}
 			if assign[t] > 0 {
 				return nil, &DeviceError{Device: assign[t], Tile: t, Err: err}
 			}
@@ -175,4 +271,157 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 		}
 	}
 	return out, nil
+}
+
+// tileBudget derives the per-call timeout and wire budget from the remaining
+// deadline. With no deadline, the configured RemoteTimeout (possibly none)
+// applies and no budget travels on the wire.
+func (s *Scheduler) tileBudget(deadline time.Time) (timeout, budget time.Duration, err error) {
+	timeout = s.RemoteTimeout
+	if deadline.IsZero() {
+		return timeout, 0, nil
+	}
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return 0, 0, fmt.Errorf("runtime: deadline budget exhausted before dispatch: %w", rpcx.ErrBudgetExhausted)
+	}
+	if timeout <= 0 || remaining < timeout {
+		timeout = remaining
+	}
+	return timeout, remaining, nil
+}
+
+// classifyTileErr rewrites a transport timeout caused by the deadline budget
+// (rather than the device-health RemoteTimeout) into a typed budget error.
+func classifyTileErr(err error, deadline time.Time) error {
+	if err == nil || deadline.IsZero() {
+		return err
+	}
+	if errors.Is(err, rpcx.ErrTimeout) && !time.Now().Before(deadline) {
+		return fmt.Errorf("runtime: tile rpc exceeded deadline budget (%v): %w", err, rpcx.ErrBudgetExhausted)
+	}
+	return err
+}
+
+// observeTileLatency feeds the hedge-delay estimator.
+func (s *Scheduler) observeTileLatency(d time.Duration) {
+	s.latMu.Lock()
+	s.latWin.Add(d.Seconds())
+	s.latMu.Unlock()
+}
+
+// hedgeDelay returns when a hedge should fire, or 0 when hedging is not yet
+// possible (deriving P95 without enough samples).
+func (s *Scheduler) hedgeDelay(p HedgePolicy) time.Duration {
+	if p.After > 0 {
+		return p.After
+	}
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	if s.latWin == nil || s.latWin.Len() < p.MinSamples {
+		return 0
+	}
+	return time.Duration(s.latWin.Quantile(95) * float64(time.Second))
+}
+
+// tryHedgeToken enforces the hedge budget: a hedge may only be issued while
+// issued hedges stay under BudgetFrac of primary remote calls.
+func (s *Scheduler) tryHedgeToken(frac float64) bool {
+	for {
+		hedges := s.hedges.Load()
+		if float64(hedges+1) > frac*float64(s.remoteCalls.Load()) {
+			return false
+		}
+		if s.hedges.CompareAndSwap(hedges, hedges+1) {
+			return true
+		}
+	}
+}
+
+// callTile performs one remote tile RPC against placement device dev,
+// hedging to an alternate healthy device after the hedge delay when a policy
+// is installed. The first successful response wins; the loser is abandoned
+// and runs out against its own deadline (the transport is synchronous, so
+// in-flight work cannot be actively revoked — abandonment plus the wire
+// budget is the cancellation this design supports).
+func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byte, error) {
+	timeout, budget, err := s.tileBudget(deadline)
+	if err != nil {
+		return nil, err
+	}
+	primary := s.Remotes[dev-1]
+	s.remoteCalls.Add(1)
+
+	var policy HedgePolicy
+	alt := 0
+	if s.Hedge != nil {
+		policy = s.Hedge.withDefaults()
+		if s.PickAlternate != nil {
+			alt = s.PickAlternate(dev)
+		}
+	}
+	if alt <= 0 || alt == dev || alt > len(s.Remotes) {
+		start := time.Now()
+		resp, err := primary.CallBudget(ExecBlockMethod, payload, timeout, budget)
+		if err == nil {
+			s.observeTileLatency(time.Since(start))
+		}
+		return resp, classifyTileErr(err, deadline)
+	}
+
+	type tileResult struct {
+		resp   []byte
+		err    error
+		hedged bool
+	}
+	results := make(chan tileResult, 2)
+	start := time.Now()
+	go func() {
+		resp, err := primary.CallBudget(ExecBlockMethod, payload, timeout, budget)
+		results <- tileResult{resp, err, false}
+	}()
+
+	var hedgeC <-chan time.Time
+	if d := s.hedgeDelay(policy); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	outstanding := 1
+	var primaryErr error
+	for outstanding > 0 {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				if r.hedged {
+					s.hedgeWins.Add(1)
+				}
+				s.observeTileLatency(time.Since(start))
+				return r.resp, nil
+			}
+			if !r.hedged {
+				primaryErr = r.err
+			} else if primaryErr == nil {
+				primaryErr = r.err
+			}
+			outstanding--
+		case <-hedgeC:
+			hedgeC = nil
+			if !s.tryHedgeToken(policy.BudgetFrac) {
+				continue
+			}
+			outstanding++
+			go func() {
+				t2, b2, err := s.tileBudget(deadline)
+				if err != nil {
+					results <- tileResult{nil, err, true}
+					return
+				}
+				resp, err := s.Remotes[alt-1].CallBudget(ExecBlockMethod, payload, t2, b2)
+				results <- tileResult{resp, err, true}
+			}()
+		}
+	}
+	return nil, classifyTileErr(primaryErr, deadline)
 }

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"murmuration/internal/cluster"
+	"murmuration/internal/monitor"
+	"murmuration/internal/netem"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rpcx"
+	"murmuration/internal/runtime"
+	"murmuration/internal/supernet"
+)
+
+// TestChaosLatencySpike drives the gateway through a scripted network
+// latency spike (netem SetDelay raised mid-run, then cleared) and asserts
+// the paper's "degrade, don't drop" contract end to end:
+//
+//   - during the spike, at least 90% of latency-SLO requests that rung 0
+//     could no longer serve complete as Served-with-Degraded (the first
+//     request or two are the learning cost — typed budget drops, never
+//     Failed);
+//   - hedged second attempts fire but never exceed the configured hedge
+//     budget fraction of primary calls;
+//   - deadline pressure is not device death: the failure detector keeps
+//     both devices Up and no failover is attempted;
+//   - once the spike clears, the hysteresis ladder climbs back to rung 0.
+func TestChaosLatencySpike(t *testing.T) {
+	const (
+		sloMs        = 1500
+		spikeDelay   = 600 * time.Millisecond
+		calmDelay    = 2 * time.Millisecond
+		baselineReqs = 5
+		spikeReqs    = 30
+	)
+	a := supernet.TinyArch(4)
+	net := supernet.New(a, 303)
+
+	startDaemon := func() (*rpcx.Server, string) {
+		srv := rpcx.NewServer()
+		runtime.NewExecutor(net).Register(srv)
+		monitor.RegisterHandlers(srv)
+		cluster.NewNode().Register(srv)
+		got, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		return srv, got
+	}
+	srv1, addr1 := startDaemon()
+	defer srv1.Close()
+	srv2, addr2 := startDaemon()
+	defer srv2.Close()
+
+	// Data clients ride mutable shapers — SetDelay mid-run is the spike
+	// lever. Retry + idempotent marking so budget-poisoned connections
+	// re-dial instead of failing the next call.
+	sh1 := netem.NewShaper(0, calmDelay)
+	sh2 := netem.NewShaper(0, calmDelay)
+	dialData := func(addr string, sh *netem.Shaper) *rpcx.Client {
+		c, err := rpcx.Dial(addr, sh)
+		if err != nil {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		c.SetRetryPolicy(rpcx.RetryPolicy{MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond})
+		c.MarkIdempotent(runtime.ExecBlockMethod, monitor.PingMethod)
+		return c
+	}
+	data1, data2 := dialData(addr1, sh1), dialData(addr2, sh2)
+	defer data1.Close()
+	defer data2.Close()
+
+	sched := runtime.NewScheduler(net, []*rpcx.Client{data1, data2})
+	sched.RemoteTimeout = 10 * time.Second
+	sched.Hedge = &runtime.HedgePolicy{After: 40 * time.Millisecond, BudgetFrac: 0.2}
+
+	// Deterministic decider: spread tiles round-robin over every device whose
+	// link looks alive (same shape as the device-kill chaos test).
+	decider := runtime.DeciderFunc(func(c env.Constraint) (*env.Decision, error) {
+		cfg := a.MinConfig()
+		costs, _ := a.Costs(cfg)
+		p := supernet.LocalPlacement(costs)
+		var live []int
+		for i, bw := range c.BandwidthMbps {
+			if bw > 1 {
+				live = append(live, i+1)
+			}
+		}
+		if len(live) > 0 {
+			n := 0
+			for k := range p.Devices {
+				for ti := range p.Devices[k] {
+					p.Devices[k][ti] = live[n%len(live)]
+					n++
+				}
+			}
+		}
+		return &env.Decision{Config: cfg, Placement: p}, nil
+	})
+	rt := runtime.New(sched, decider, runtime.NewStrategyCache(32, 25, 5, 10), nil)
+	rt.SetLinkState(0, 100, 5)
+	rt.SetLinkState(1, 100, 5)
+	rt.SetSLO(latSLO(sloMs))
+
+	// Heartbeats ride dedicated UNSHAPED connections: a latency spike on the
+	// data path must read as deadline pressure, never as device death.
+	hbDial := func(addr string) *rpcx.Client {
+		c, err := rpcx.Dial(addr, nil)
+		if err != nil {
+			t.Fatalf("dial hb %s: %v", addr, err)
+		}
+		c.SetRetryPolicy(rpcx.RetryPolicy{MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond})
+		c.MarkIdempotent(monitor.PingMethod)
+		return c
+	}
+	hb1, hb2 := hbDial(addr1), hbDial(addr2)
+	defer hb1.Close()
+	defer hb2.Close()
+	m := cluster.NewManager(
+		[]cluster.ProbeFunc{cluster.PingProbe(hb1), cluster.PingProbe(hb2)},
+		cluster.Options{
+			HeartbeatInterval: 10 * time.Millisecond,
+			SuspectAfter:      50 * time.Millisecond,
+			DownAfter:         120 * time.Millisecond,
+		})
+	defer m.Close()
+
+	g := New(rt, Options{
+		Workers: 1, MaxBatch: 4, MaxLinger: time.Millisecond, QueueDepth: 32,
+		MaxRung: 3, LadderHysteresis: 4,
+	})
+	defer g.Close(5 * time.Second)
+	g.AttachCluster(m)
+	m.Start()
+
+	// Phase 1 — calm baseline: everything serves at full quality, seeding the
+	// rung-0 cost estimate and the batch EMA the spike will invalidate.
+	for i := 0; i < baselineReqs; i++ {
+		out, err := g.Submit(testInput(int64(i)), latSLO(sloMs))
+		if err != nil {
+			t.Fatalf("baseline request %d: %v", i, err)
+		}
+		if out.Rung != 0 {
+			t.Fatalf("baseline request %d served at rung %d, want 0", i, out.Rung)
+		}
+	}
+
+	// Phase 2 — spike: both data links jump to a delay that makes any remote
+	// hop blow the SLO. The system must learn this (a drop or two) and then
+	// keep serving degraded instead of dropping.
+	sh1.SetDelay(spikeDelay)
+	sh2.SetDelay(spikeDelay)
+	served, servedDegraded := 0, 0
+	for i := 0; i < spikeReqs; i++ {
+		out, err := g.Submit(testInput(int64(100+i)), latSLO(sloMs))
+		if err != nil {
+			if !IsBudgetExhausted(err) && !IsDeadlineMissed(err) && !IsShed(err) {
+				t.Fatalf("spike request %d: unexpected error class: %v", i, err)
+			}
+			continue
+		}
+		served++
+		if out.Rung > 0 {
+			servedDegraded++
+		}
+	}
+	if served < spikeReqs*9/10 {
+		t.Fatalf("spike window served %d/%d, want >= 90%%", served, spikeReqs)
+	}
+	if servedDegraded == 0 {
+		t.Fatal("no spike-window request was served degraded")
+	}
+	if r := g.Ladder().Rung(); r == 0 {
+		t.Fatal("ladder still at rung 0 at the end of the spike window")
+	}
+
+	// Phase 3 — recovery: the spike clears and the hysteresis ladder must
+	// climb all the way back to full quality.
+	sh1.SetDelay(calmDelay)
+	sh2.SetDelay(calmDelay)
+	recovered := false
+	for i := 0; i < 60; i++ {
+		if _, err := g.Submit(testInput(int64(200+i)), latSLO(sloMs)); err != nil &&
+			!IsBudgetExhausted(err) && !IsDeadlineMissed(err) && !IsShed(err) {
+			t.Fatalf("recovery request %d: unexpected error class: %v", i, err)
+		}
+		if g.Ladder().Rung() == 0 {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("ladder never climbed back to rung 0: %+v", g.Ladder().Counters())
+	}
+	out, err := g.Submit(testInput(999), latSLO(sloMs))
+	if err != nil || out.Rung != 0 {
+		t.Fatalf("post-recovery request: err=%v rung=%d, want full quality", err, out.Rung)
+	}
+
+	st := g.Stats()
+	ss := sched.Stats()
+	if st.Failed != 0 {
+		t.Fatalf("latency spike produced Failed=%d, want 0 (typed drops only): %+v", st.Failed, st)
+	}
+	if st.Degraded == 0 || st.DegradedRungs < st.Degraded {
+		t.Fatalf("degradation counters %d/%d: %+v", st.Degraded, st.DegradedRungs, st)
+	}
+	if st.BudgetExhausted == 0 {
+		t.Fatalf("expected typed budget drops while learning the spike: %+v", st)
+	}
+	if c := g.Ladder().Counters(); c.Degradations == 0 || c.Promotions == 0 {
+		t.Fatalf("ladder counters %+v, want both descents and promotions", c)
+	}
+	// Hedging: second attempts fired during the spike, and never beyond the
+	// configured fraction of primary calls.
+	if ss.Hedges == 0 {
+		t.Fatalf("no hedged attempts during a %v spike: %+v", spikeDelay, ss)
+	}
+	if max := uint64(sched.Hedge.BudgetFrac*float64(ss.RemoteCalls)) + 1; ss.Hedges > max {
+		t.Fatalf("hedges %d exceed budget (frac %.2f of %d calls): %+v",
+			ss.Hedges, sched.Hedge.BudgetFrac, ss.RemoteCalls, ss)
+	}
+	if st.Hedges != ss.Hedges || st.HedgeWins != ss.HedgeWins {
+		t.Fatalf("gateway stats do not mirror scheduler hedging: %+v vs %+v", st, ss)
+	}
+	// Deadline pressure must never look like device death.
+	if st.FailoverAttempts != 0 {
+		t.Fatalf("latency spike triggered failover: %+v", st)
+	}
+	for dev := 0; dev < 2; dev++ {
+		if m.StateOf(dev) != cluster.Up {
+			t.Fatalf("device %d is %v after a latency-only spike, want Up", dev, m.StateOf(dev))
+		}
+	}
+	if h := rt.HealthyDevices(); !h[0] || !h[1] {
+		t.Fatalf("healthy map %v after a latency-only spike", h)
+	}
+	if st.Admitted != st.Served+st.Dropped+st.Failed {
+		t.Fatalf("ledger broken: %+v", st)
+	}
+}

@@ -31,6 +31,9 @@ func (g *Gateway) noteDeviceError(de *runtime.DeviceError) {
 	if m != nil {
 		m.ReportFailure(idx)
 	}
+	// Batch cost just changed regime (the placement lost a device); a wait
+	// estimate learned before the demotion would mis-admit until it decayed.
+	g.ResetWaitEstimates()
 	if hook != nil {
 		hook(de.Device, de.Err)
 	}
@@ -56,9 +59,11 @@ func (g *Gateway) AttachCluster(m *cluster.Manager) {
 				if g.rt.Cache != nil {
 					g.rt.Cache.InvalidateDevice(ev.Member + 1)
 				}
+				g.ResetWaitEstimates()
 				g.rewarm()
 			case cluster.Up:
 				g.rt.SetDeviceHealth(ev.Member, true)
+				g.ResetWaitEstimates()
 				g.rewarm()
 			case cluster.Suspect:
 				// No action: the device may still be serving. The data path

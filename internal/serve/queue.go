@@ -37,9 +37,16 @@ type Gateway struct {
 	queues  [numClasses][]*request
 	closing bool
 
-	// emaBatchSec is an exponential moving average of batched-inference
-	// duration, feeding the admission-time queue-wait estimate.
-	emaBatchSec float64
+	// emaBatchSec is a per-class exponential moving average of
+	// batched-inference duration, feeding the admission-time queue-wait
+	// estimate. Per-class because strategy cost differs sharply between
+	// classes (a latency batch is typically much cheaper than an accuracy
+	// one) and a shared estimate lets one class poison another's admission.
+	emaBatchSec [numClasses]float64
+
+	// ladder is the degradation ladder workers consult when a batch's
+	// remaining deadline budget is below the strategy's observed cost.
+	ladder *runtime.Ladder
 
 	// cluster is the attached failure detector, nil until AttachCluster.
 	// Guarded by mu; the Manager itself is internally synchronized.
@@ -53,6 +60,7 @@ type Gateway struct {
 // New creates a gateway over a runtime and starts its worker pool.
 func New(rt *runtime.Runtime, opts Options) *Gateway {
 	g := &Gateway{rt: rt, opts: opts.withDefaults()}
+	g.ladder = runtime.NewLadder(g.opts.MaxRung, g.opts.LadderHysteresis)
 	g.cond = sync.NewCond(&g.mu)
 	for i := 0; i < g.opts.Workers; i++ {
 		g.workers.Add(1)
@@ -79,13 +87,21 @@ func (g *Gateway) admit(req *request) error {
 		g.stats.Shed++
 		return ErrQueueFull
 	}
-	if q == ClassLatency && g.emaBatchSec > 0 {
+	if q == ClassLatency && g.emaBatchSec[q] > 0 {
 		// Queue-wait estimate: batches ahead of us in our class, divided
-		// over the worker pool, plus our own batch's execution.
+		// over the worker pool, plus our own batch's execution. The
+		// execution component is the cheaper of the class EMA and the
+		// ladder's deepest-rung estimate — under deadline pressure workers
+		// degrade rather than drop, so admission must not shed a request
+		// that a degraded rung could still serve in time.
 		batchesAhead := (len(g.queues[q]) + g.opts.MaxBatch - 1) / g.opts.MaxBatch
-		est := time.Duration((float64(batchesAhead)/float64(g.opts.Workers) + 1) *
-			g.emaBatchSec * float64(time.Second))
-		if time.Now().Add(est).After(req.deadline) {
+		wait := time.Duration(float64(batchesAhead) / float64(g.opts.Workers) *
+			g.emaBatchSec[q] * float64(time.Second))
+		exec := time.Duration(g.emaBatchSec[q] * float64(time.Second))
+		if e := g.ladder.MinEstimate(); e > 0 && e < exec {
+			exec = e
+		}
+		if time.Now().Add(wait + exec).After(req.deadline) {
 			g.stats.Shed++
 			return ErrDeadlineUnattainable
 		}
@@ -156,11 +172,30 @@ func (g *Gateway) failLocked(req *request, err error) {
 	req.done <- Outcome{Err: err}
 }
 
+// Ladder exposes the gateway's degradation ladder for observation (current
+// rung, degradation/promotion counters).
+func (g *Gateway) Ladder() *runtime.Ladder { return g.ladder }
+
+// ResetWaitEstimates clears the per-class queue-wait EMAs. The cluster glue
+// calls it when a device is demoted or reinstated: batch cost just changed
+// regime (a placement lost or regained a device), so an estimate learned in
+// the old regime would mis-admit until it lazily decayed. The next batch of
+// each class re-seeds its estimate from a fresh measurement.
+func (g *Gateway) ResetWaitEstimates() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for c := range g.emaBatchSec {
+		g.emaBatchSec[c] = 0
+	}
+}
+
 // Stats returns a snapshot of the gateway's counters.
 func (g *Gateway) Stats() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	s := g.stats
+	ss := g.rt.Scheduler.Stats()
+	s.Hedges, s.HedgeWins = ss.Hedges, ss.HedgeWins
 	for c := Class(0); c < numClasses; c++ {
 		s.QueueDepth[c] = len(g.queues[c])
 	}

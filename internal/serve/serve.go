@@ -94,6 +94,15 @@ type Options struct {
 	// device-attributed error, before the failover retry. Daemons use it to
 	// log which device is dying.
 	OnDeviceError func(device int, err error)
+	// MaxRung is the deepest degradation-ladder rung workers may descend to
+	// when the remaining deadline budget is below the strategy's observed
+	// cost: 0 selects runtime.DefaultMaxRung, a negative value disables
+	// degradation entirely (requests then drop under pressure, as before).
+	MaxRung int
+	// LadderHysteresis is how many consecutive comfortable completions are
+	// needed before the ladder climbs one rung back toward full quality
+	// (default runtime.DefaultLadderHysteresis).
+	LadderHysteresis int
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +155,20 @@ type Stats struct {
 	// failover retry also failed (or the error was not device-attributable).
 	FailoverAttempts uint64
 	Failovers        uint64
+	// Degraded counts requests served below rung 0 on the degradation
+	// ladder; DegradedRungs sums their rungs (DegradedRungs/Degraded is the
+	// mean degradation depth).
+	Degraded      uint64
+	DegradedRungs uint64
+	// BudgetExhausted counts admitted requests dropped because their
+	// deadline budget ran out during execution — even the deepest permitted
+	// rung could not finish in time.
+	BudgetExhausted uint64
+	// Hedges / HedgeWins are the scheduler's hedged tile-RPC counters:
+	// second attempts issued after the hedge delay, and how many of those
+	// second responses arrived first and were used.
+	Hedges    uint64
+	HedgeWins uint64
 	// ClusterUp / ClusterSuspect / ClusterDown are the failure detector's
 	// member counts at snapshot time (from the attached cluster.Manager, or
 	// derived from the runtime's device-health mask when none is attached).
@@ -166,7 +189,10 @@ type Outcome struct {
 	DecideTime time.Duration // strategy resolution time for the batch
 	BatchSize  int
 	CacheHit   bool
-	Err        error
+	// Rung is the degradation-ladder rung the batch executed at (0 = the
+	// resolved strategy unchanged).
+	Rung int
+	Err  error
 }
 
 // Submit enqueues one inference under slo and blocks until its outcome is

@@ -176,7 +176,7 @@ func TestAdmissionShedsUnattainableDeadline(t *testing.T) {
 	defer g.Close(time.Second)
 	// Teach the admission estimator that a batch takes ~50ms.
 	g.mu.Lock()
-	g.emaBatchSec = 0.05
+	g.emaBatchSec[ClassLatency] = 0.05
 	g.mu.Unlock()
 
 	if _, err := g.Submit(testInput(4), latSLO(10)); !errors.Is(err, ErrDeadlineUnattainable) {

@@ -30,8 +30,26 @@ const (
 //	                f64 sloValue | tensor.Encode(image)
 //	infer response: u8 batchSize | u8 cacheHit | u64 queueWaitµs
 //	                u64 execµs | u64 decideµs | tensor.Encode(logits)
-//	stats response: 22 × u64 (see encodeStats)
+//	stats response: u8 version | 27 × u64 (see encodeStats)
 const inferHeaderLen = 1 + 8
+
+// statsWireVersion is the leading byte of the stats frame, bumped whenever
+// the field set changes. PR 2 grew the frame 16→22 u64s silently, which a
+// mixed-version gateway/daemon pair would misparse into garbage counters;
+// the version byte turns that into a typed, actionable error instead.
+//	v3: +Degraded, +DegradedRungs, +BudgetExhausted, +Hedges, +HedgeWins
+const statsWireVersion = 3
+
+// WireVersionError is the typed mismatch a client gets when the gateway
+// speaks a different stats frame version.
+type WireVersionError struct {
+	Got, Want byte
+}
+
+// Error implements error.
+func (e *WireVersionError) Error() string {
+	return fmt.Sprintf("serve: stats wire version %d, want %d (mixed gateway/client build?)", e.Got, e.Want)
+}
 
 // Register installs the gateway's handlers on an rpcx server.
 func (g *Gateway) Register(s *rpcx.Server) {
@@ -39,22 +57,32 @@ func (g *Gateway) Register(s *rpcx.Server) {
 	s.Handle(StatsMethod, g.handleStats)
 }
 
-func (g *Gateway) handleInfer(payload []byte) ([]byte, error) {
+// decodeInferRequest parses an infer frame into its SLO and image. Split
+// from handleInfer so the codec can be fuzzed without a gateway.
+func decodeInferRequest(payload []byte) (runtime.SLO, *tensor.Tensor, error) {
 	if len(payload) < inferHeaderLen {
-		return nil, fmt.Errorf("serve: short infer payload")
+		return runtime.SLO{}, nil, fmt.Errorf("serve: short infer payload")
 	}
 	slo, err := decodeSLO(payload[0], math.Float64frombits(binary.LittleEndian.Uint64(payload[1:9])))
 	if err != nil {
-		return nil, err
+		return runtime.SLO{}, nil, err
 	}
 	x, err := tensor.Decode(bytes.NewReader(payload[inferHeaderLen:]))
 	if err != nil {
-		return nil, err
+		return runtime.SLO{}, nil, err
 	}
 	// Reject malformed images at the wire boundary: the batching path indexes
 	// Shape[0] and Shape[1], so a non-NCHW tensor must never reach the queue.
 	if x.Rank() != 4 {
-		return nil, fmt.Errorf("serve: infer image has rank %d, want 4 (NCHW)", x.Rank())
+		return runtime.SLO{}, nil, fmt.Errorf("serve: infer image has rank %d, want 4 (NCHW)", x.Rank())
+	}
+	return slo, x, nil
+}
+
+func (g *Gateway) handleInfer(payload []byte) ([]byte, error) {
+	slo, x, err := decodeInferRequest(payload)
+	if err != nil {
+		return nil, err
 	}
 	out, err := g.Submit(x, slo)
 	if err != nil {
@@ -95,8 +123,8 @@ func decodeSLO(typ byte, value float64) (runtime.SLO, error) {
 }
 
 // statsFieldCount is the number of u64 fields in the stats wire encoding:
-// 13 counters + 3 queue depths + 6 cache fields.
-const statsFieldCount = 22
+// 18 counters + 3 queue depths + 6 cache fields.
+const statsFieldCount = 27
 
 // statsFields lists the counter fields in wire order; queue depths and
 // cache stats follow them in encodeStats/decodeStats.
@@ -105,12 +133,15 @@ func statsFields(s *Stats) []*uint64 {
 		&s.Admitted, &s.Served, &s.Shed, &s.Dropped, &s.DeadlineMissed,
 		&s.Failed, &s.Batches, &s.BatchedRequests,
 		&s.FailoverAttempts, &s.Failovers,
+		&s.Degraded, &s.DegradedRungs, &s.BudgetExhausted,
+		&s.Hedges, &s.HedgeWins,
 		&s.ClusterUp, &s.ClusterSuspect, &s.ClusterDown,
 	}
 }
 
 func encodeStats(s Stats) []byte {
-	buf := make([]byte, 0, statsFieldCount*8)
+	buf := make([]byte, 0, 1+statsFieldCount*8)
+	buf = append(buf, statsWireVersion)
 	var u8 [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(u8[:], v)
@@ -132,6 +163,13 @@ func encodeStats(s Stats) []byte {
 }
 
 func decodeStats(b []byte) (Stats, error) {
+	if len(b) < 1 {
+		return Stats{}, fmt.Errorf("serve: empty stats payload")
+	}
+	if b[0] != statsWireVersion {
+		return Stats{}, &WireVersionError{Got: b[0], Want: statsWireVersion}
+	}
+	b = b[1:]
 	if len(b) < statsFieldCount*8 {
 		return Stats{}, fmt.Errorf("serve: short stats payload (%d bytes)", len(b))
 	}
@@ -252,4 +290,15 @@ func IsDeadlineMissed(err error) bool {
 	}
 	return errors.Is(err, ErrDeadlineMissed) ||
 		strings.Contains(err.Error(), "serve: deadline missed")
+}
+
+// IsBudgetExhausted reports whether err (local or remote) is a request
+// abandoned because its deadline budget ran out during execution — the
+// typed refusal that replaces a silent late reply.
+func IsBudgetExhausted(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, rpcx.ErrBudgetExhausted) ||
+		strings.Contains(err.Error(), "budget exhausted")
 }

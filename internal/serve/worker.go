@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"murmuration/internal/rpcx"
 	"murmuration/internal/runtime"
 	"murmuration/internal/tensor"
 )
@@ -46,7 +47,7 @@ func (g *Gateway) nextBatch() []*request {
 		if head.class == ClassLatency {
 			// Leave one estimated batch execution of slack before the
 			// head's deadline.
-			slackEnd := head.deadline.Add(-time.Duration(g.emaBatchSec * float64(time.Second)))
+			slackEnd := head.deadline.Add(-time.Duration(g.emaBatchSec[head.class] * float64(time.Second)))
 			if slackEnd.Before(lingerEnd) {
 				lingerEnd = slackEnd
 			}
@@ -67,55 +68,114 @@ func (g *Gateway) nextBatch() []*request {
 	return batch
 }
 
-// execute resolves the batch's strategy once, runs the batched inference,
-// and delivers per-request outcomes. A batch that fails with a
-// device-attributed error triggers failover — mark the device unhealthy,
-// invalidate its cached strategies, tell the failure detector — and is
-// retried once on a re-resolved strategy before it counts as Failed.
+// batchDeadline returns the tightest deadline across the batch (zero when
+// no request carries one — non-latency classes).
+func batchDeadline(batch []*request) time.Time {
+	var d time.Time
+	for _, r := range batch {
+		if r.deadline.IsZero() {
+			continue
+		}
+		if d.IsZero() || r.deadline.Before(d) {
+			d = r.deadline
+		}
+	}
+	return d
+}
+
+// execute resolves the batch's strategy once, consults the degradation
+// ladder against the batch's remaining deadline budget, runs the batched
+// inference under that budget, and delivers per-request outcomes.
+//
+// Two recovery paths run before a batch counts as lost:
+//   - A device-attributed error triggers failover — mark the device
+//     unhealthy, invalidate its cached strategies, tell the failure
+//     detector — and the batch is retried once on a re-resolved strategy
+//     (re-degraded at the same rung) before it counts as Failed.
+//   - A budget exhaustion (the typed refusal, never a silent late reply)
+//     feeds the ladder so the next batch plans a cheaper rung, and the
+//     batch's requests are dropped as deadline-missed, not Failed.
 func (g *Gateway) execute(batch []*request) {
 	start := time.Now()
+	deadline := batchDeadline(batch)
+
+	// Queue wait and batch formation already happened on the clock: the
+	// budget we plan against is what is left now, not the original SLO.
+	var remaining time.Duration
+	if !deadline.IsZero() {
+		remaining = time.Until(deadline)
+		if remaining <= 0 {
+			g.dropBatch(batch, ErrDeadlineMissed)
+			return
+		}
+	}
+
 	res, err := g.rt.ResolveFor(batch[0].slo)
 	if err != nil {
 		g.finishError(batch, err)
 		return
 	}
+	rung := g.ladder.Plan(remaining)
+
 	xs := make([]*tensor.Tensor, len(batch))
 	for i, r := range batch {
 		xs[i] = r.x
 	}
-	outs, _, err := g.rt.ExecBatch(xs, res.Decision)
-	var de *runtime.DeviceError
-	if err != nil && errors.As(err, &de) {
-		g.noteDeviceError(de)
-		g.mu.Lock()
-		g.stats.FailoverAttempts++
-		g.mu.Unlock()
-		if res2, rerr := g.rt.ResolveFor(batch[0].slo); rerr == nil {
-			res = res2
-			outs, _, err = g.rt.ExecBatch(xs, res.Decision)
-			if err == nil {
-				g.mu.Lock()
-				g.stats.Failovers++
-				g.mu.Unlock()
+	attemptStart := time.Now()
+	var outs []*tensor.Tensor
+	outs, res, err = g.runBatch(xs, res, batch[0].slo, rung, deadline)
+	if err != nil && errors.Is(err, rpcx.ErrBudgetExhausted) {
+		// The budget ran out mid-attempt: teach the ladder this rung is over
+		// budget, then spend whatever budget is left on one deeper attempt —
+		// runBatch capped the failed attempt below the full budget precisely
+		// to keep this fallback affordable. A promotion probe that hits a
+		// still-degraded network therefore costs latency, not the request.
+		g.ladder.ObserveMiss(rung, time.Since(attemptStart))
+		if left := time.Until(deadline); !deadline.IsZero() && left > 5*time.Millisecond {
+			if deeper := g.ladder.Plan(left); deeper > rung {
+				rung = deeper
+				attemptStart = time.Now()
+				outs, res, err = g.runBatch(xs, res, batch[0].slo, rung, deadline)
+				if err != nil && errors.Is(err, rpcx.ErrBudgetExhausted) {
+					g.ladder.ObserveMiss(rung, time.Since(attemptStart))
+				}
 			}
 		}
 	}
 	execTime := time.Since(start)
 	if err != nil {
+		if errors.Is(err, rpcx.ErrBudgetExhausted) {
+			// Even the fallback ran out of time: drop the batch as missed,
+			// not failed — the system refused to be late rather than
+			// malfunctioning.
+			g.mu.Lock()
+			g.stats.BudgetExhausted += uint64(len(batch))
+			g.mu.Unlock()
+			g.dropBatch(batch, err)
+			return
+		}
 		g.finishError(batch, err)
 		return
 	}
+	// The estimate is the cost of the rung that served, so a fallback serve
+	// folds only its own attempt, not the failed probe before it.
+	g.ladder.Observe(rung, time.Since(attemptStart), remaining)
 
 	now := time.Now()
 	g.mu.Lock()
+	class := batch[0].class
 	sec := execTime.Seconds()
-	if g.emaBatchSec == 0 {
-		g.emaBatchSec = sec
+	if g.emaBatchSec[class] == 0 {
+		g.emaBatchSec[class] = sec
 	} else {
-		g.emaBatchSec = 0.8*g.emaBatchSec + 0.2*sec
+		g.emaBatchSec[class] = 0.8*g.emaBatchSec[class] + 0.2*sec
 	}
 	g.stats.Batches++
 	g.stats.BatchedRequests += uint64(len(batch))
+	if rung > 0 {
+		g.stats.Degraded += uint64(len(batch))
+		g.stats.DegradedRungs += uint64(rung) * uint64(len(batch))
+	}
 	for _, r := range batch {
 		g.stats.Served++
 		if r.class == ClassLatency && now.After(r.deadline) {
@@ -132,8 +192,73 @@ func (g *Gateway) execute(batch []*request) {
 			DecideTime: res.DecideTime,
 			BatchSize:  len(batch),
 			CacheHit:   res.CacheHit,
+			Rung:       rung,
 		}
 	}
+}
+
+// runBatch executes one attempt of the batch at the given rung, retrying
+// once on a device-attributed failure (failover: mark the device, re-resolve,
+// re-degrade at the same rung). It returns the resolution actually used so
+// the caller reports accurate decide/cache metadata after a failover.
+//
+// When the ladder still has deeper rungs below the planned one, a
+// deadline-bounded attempt is deliberately capped at ~3/5 of the remaining
+// budget: if this attempt misses, execute's budget-exhaustion fallback can
+// still afford one deeper attempt inside the same deadline. Rung 0 always
+// gets the full budget — healthy traffic must not be degraded preemptively.
+func (g *Gateway) runBatch(xs []*tensor.Tensor, res *runtime.Resolution, slo runtime.SLO, rung int, deadline time.Time) ([]*tensor.Tensor, *runtime.Resolution, error) {
+	budget := budgetLeft(deadline)
+	if budget > 0 && rung > 0 && rung < g.ladder.MaxRung() {
+		if capped := budget * 3 / 5; capped > 0 {
+			budget = capped
+		}
+	}
+	decision := g.rt.DegradeDecision(res.Decision, rung)
+	outs, _, err := g.rt.ExecBatchBudget(xs, decision, budget)
+	var de *runtime.DeviceError
+	if err != nil && errors.As(err, &de) {
+		g.noteDeviceError(de)
+		g.mu.Lock()
+		g.stats.FailoverAttempts++
+		g.mu.Unlock()
+		if res2, rerr := g.rt.ResolveFor(slo); rerr == nil {
+			res = res2
+			decision = g.rt.DegradeDecision(res.Decision, rung)
+			outs, _, err = g.rt.ExecBatchBudget(xs, decision, budgetLeft(deadline))
+			if err == nil {
+				g.mu.Lock()
+				g.stats.Failovers++
+				g.mu.Unlock()
+			}
+		}
+	}
+	return outs, res, err
+}
+
+// budgetLeft converts a deadline into the budget remaining right now (0 =
+// no deadline).
+func budgetLeft(deadline time.Time) time.Duration {
+	if deadline.IsZero() {
+		return 0
+	}
+	if left := time.Until(deadline); left > 0 {
+		return left
+	}
+	// Expired between planning and dispatch: pass the smallest positive
+	// budget so execution fails fast with the typed budget error instead of
+	// running unbounded.
+	return time.Nanosecond
+}
+
+// dropBatch abandons every request of an admitted batch that will not (or
+// did not) execute in time, with drop/deadline accounting.
+func (g *Gateway) dropBatch(batch []*request, err error) {
+	g.mu.Lock()
+	for _, r := range batch {
+		g.failLocked(r, err)
+	}
+	g.mu.Unlock()
 }
 
 // finishError fails every request of a batch whose execution errored.

@@ -230,3 +230,45 @@ func (r *Reservoir[T]) Items() []T { return r.items }
 
 // Seen returns how many items have been offered in total.
 func (r *Reservoir[T]) Seen() int { return r.n }
+
+// Window is a fixed-capacity sliding window of observations supporting
+// quantile queries — the primitive behind P95-derived hedge delays (Dean &
+// Barroso's tail-tolerance playbook: hedge after the 95th-percentile
+// expected latency). Not safe for concurrent use; callers guard it.
+type Window struct {
+	cap  int
+	vals []float64
+	next int
+	full bool
+}
+
+// NewWindow returns a window keeping the last cap observations (min 1).
+func NewWindow(cap int) *Window {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Window{cap: cap, vals: make([]float64, 0, cap)}
+}
+
+// Add records one observation, evicting the oldest at capacity.
+func (w *Window) Add(v float64) {
+	if len(w.vals) < w.cap {
+		w.vals = append(w.vals, v)
+		return
+	}
+	w.full = true
+	w.vals[w.next] = v
+	w.next = (w.next + 1) % w.cap
+}
+
+// Len returns the number of retained observations.
+func (w *Window) Len() int { return len(w.vals) }
+
+// Quantile returns the p-th percentile (0 ≤ p ≤ 100) of the retained
+// observations, or 0 when the window is empty.
+func (w *Window) Quantile(p float64) float64 {
+	if len(w.vals) == 0 {
+		return 0
+	}
+	return Percentile(w.vals, p)
+}
