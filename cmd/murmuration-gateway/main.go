@@ -66,6 +66,8 @@ func main() {
 	hedgeBudget := flag.Float64("hedge-budget", 0.05, "max hedged attempts as a fraction of primary tile RPCs (0 disables hedging)")
 	minRung := flag.Int("min-rung", runtime.DefaultMaxRung, "deepest degradation rung allowed under deadline pressure (0 pins full quality; see DESIGN.md for the rung table)")
 	ladderHysteresis := flag.Int("ladder-hysteresis", runtime.DefaultLadderHysteresis, "consecutive comfortable completions required to climb one rung back toward full quality")
+	frameChecksum := flag.Bool("frame-checksum", true, "emit CRC32C checksums on rpcx frames (incoming checksums are always verified)")
+	maxFrameMB := flag.Int("max-frame-mb", rpcx.DefaultMaxFrameSize>>20, "largest rpcx frame accepted before allocation, MiB")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -105,6 +107,8 @@ func main() {
 		// data path. Only idempotent methods are ever retried.
 		cl.SetRetryPolicy(rpcx.RetryPolicy{MaxAttempts: *retries})
 		cl.MarkIdempotent(runtime.ExecBlockMethod, monitor.PingMethod, monitor.BulkMethod)
+		cl.SetChecksum(*frameChecksum)
+		cl.SetMaxFrameSize(*maxFrameMB << 20)
 		clients = append(clients, cl)
 		monitors = append(monitors, monitor.NewLinkMonitor(cl))
 		kinds = append(kinds, device.RaspberryPi4)
@@ -119,6 +123,8 @@ func main() {
 			}
 			defer hb.Close()
 			hb.SetRetryPolicy(rpcx.RetryPolicy{MaxAttempts: 1})
+			hb.SetChecksum(*frameChecksum)
+			hb.SetMaxFrameSize(*maxFrameMB << 20)
 			probes = append(probes, cluster.PingProbe(hb))
 		}
 	}
@@ -188,6 +194,8 @@ func main() {
 	}
 
 	srv := rpcx.NewServer()
+	srv.MaxFrameSize = *maxFrameMB << 20
+	srv.SetChecksum(*frameChecksum)
 	gw.Register(srv)
 	addr, err := srv.Listen(*listen)
 	if err != nil {

@@ -36,6 +36,8 @@ func main() {
 	classes := flag.Int("classes", 4, "classifier classes for the tiny arch")
 	checkpoint := flag.String("checkpoint", "", "optional supernet checkpoint to load")
 	grace := flag.Duration("grace", 10*time.Second, "drain window for in-flight requests on shutdown")
+	frameChecksum := flag.Bool("frame-checksum", true, "emit CRC32C checksums on rpcx responses (incoming checksums are always verified)")
+	maxFrameMB := flag.Int("max-frame-mb", rpcx.DefaultMaxFrameSize>>20, "largest rpcx frame accepted before allocation, MiB")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -58,6 +60,8 @@ func main() {
 	log.Printf("supernet %s resident in memory: %d parameters", arch.Name, net.NumParams())
 
 	srv := rpcx.NewServer()
+	srv.MaxFrameSize = *maxFrameMB << 20
+	srv.SetChecksum(*frameChecksum)
 	runtime.NewExecutor(net).Register(srv)
 	monitor.RegisterHandlers(srv)
 	// After the monitor handlers: the node's counting ping replaces the echo,

@@ -96,9 +96,11 @@ func main() {
 		if err := os.MkdirAll(filepath.Dir(*ckpt), 0o755); err != nil && filepath.Dir(*ckpt) != "." {
 			log.Fatalf("mkdir: %v", err)
 		}
+		// SaveParams is atomic (temp + fsync + rename) and appends a CRC32C
+		// trailer, so a crash here can't strand a truncated policy.
 		if err := nn.SaveParams(*ckpt, p.Params()); err != nil {
 			log.Fatalf("save checkpoint: %v", err)
 		}
-		fmt.Printf("policy checkpoint written to %s\n", *ckpt)
+		fmt.Printf("policy checkpoint written to %s (crc32c trailer, atomic rename)\n", *ckpt)
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"murmuration/internal/dataset"
 	"murmuration/internal/nas"
@@ -86,9 +88,16 @@ func main() {
 	fmt.Printf("MLP predictor fit: MAE %.2f%% on %d samples\n", mae/float64(len(pairs)), len(pairs))
 
 	if *ckpt != "" {
+		if dir := filepath.Dir(*ckpt); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatalf("mkdir: %v", err)
+			}
+		}
+		// SaveParams is atomic (temp + fsync + rename) and appends a CRC32C
+		// trailer, so a crash here can't strand a truncated supernet.
 		if err := nn.SaveParams(*ckpt, net.Params()); err != nil {
 			log.Fatalf("save checkpoint: %v", err)
 		}
-		fmt.Printf("supernet checkpoint written to %s\n", *ckpt)
+		fmt.Printf("supernet checkpoint written to %s (crc32c trailer, atomic rename)\n", *ckpt)
 	}
 }

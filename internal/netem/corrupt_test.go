@@ -1,0 +1,68 @@
+package netem
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+func TestSetCorruptFlipsOneBit(t *testing.T) {
+	p1, p2 := net.Pipe()
+	defer p1.Close()
+	defer p2.Close()
+	s := NewShaper(0, 0)
+	s.SetCorrupt(1, 7) // every write corrupted, deterministic
+	c := NewConn(p1, s)
+
+	msg := bytes.Repeat([]byte{0x55}, 64)
+	go func() {
+		if _, err := c.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := p2.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for i := range msg {
+		if d := msg[i] ^ got[i]; d != 0 {
+			for ; d != 0; d &= d - 1 {
+				flipped++
+			}
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("want exactly one flipped bit, got %d (len preserved: %v)", flipped, len(got) == len(msg))
+	}
+	if s.Corruptions() != 1 {
+		t.Fatalf("Corruptions = %d, want 1", s.Corruptions())
+	}
+	// The caller's buffer must never be mutated — the flip happens on a copy.
+	if !bytes.Equal(msg, bytes.Repeat([]byte{0x55}, 64)) {
+		t.Fatal("Write corrupted the caller's buffer in place")
+	}
+}
+
+func TestSetCorruptZeroRateIsClean(t *testing.T) {
+	p1, p2 := net.Pipe()
+	defer p1.Close()
+	defer p2.Close()
+	s := NewShaper(0, 0)
+	s.SetCorrupt(1, 1)
+	s.SetCorrupt(0, 0) // disable again
+	c := NewConn(p1, s)
+
+	msg := []byte("clean passage")
+	go c.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := p2.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("rate 0 corrupted bytes: %q", got)
+	}
+	if s.Corruptions() != 0 {
+		t.Fatalf("Corruptions = %d, want 0", s.Corruptions())
+	}
+}

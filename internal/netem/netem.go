@@ -24,12 +24,17 @@ type Shaper struct {
 	lastRefill    time.Time
 	maxBurstBytes float64
 
-	// Fault injection (see Blackhole / SetLoss): writes through a Conn are
-	// silently swallowed while an outage window is active or when the loss
-	// coin comes up, emulating a link that drops packets or goes dark.
+	// Fault injection (see Blackhole / SetLoss / SetCorrupt): writes through
+	// a Conn are silently swallowed while an outage window is active or when
+	// the loss coin comes up, emulating a link that drops packets or goes
+	// dark; the corrupt coin instead flips one random bit in the write,
+	// emulating in-flight data corruption.
 	outageUntil time.Time
 	lossRate    float64
 	lossRng     *rand.Rand
+	corruptRate float64
+	corruptRng  *rand.Rand
+	corruptions uint64
 }
 
 // NewShaper creates a shaper with the given bandwidth (megabits per second)
@@ -114,6 +119,43 @@ func (s *Shaper) SetLoss(rate float64, seed int64) {
 	}
 }
 
+// SetCorrupt injects random data corruption, mirroring SetLoss: each write
+// through a Conn wrapping this shaper independently has one random bit
+// flipped with probability rate (0 disables). The seeded RNG keeps chaos
+// tests reproducible. Unlike a lost write, a corrupted write preserves the
+// stream's length, so a checksum-less protocol delivers the flipped bytes
+// to the application silently — exactly the failure the rpcx frame
+// checksums exist to catch.
+func (s *Shaper) SetCorrupt(rate float64, seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.corruptRate = rate
+	if rate > 0 {
+		s.corruptRng = rand.New(rand.NewSource(seed))
+	} else {
+		s.corruptRng = nil
+	}
+}
+
+// Corruptions returns how many writes have had a bit flipped so far.
+func (s *Shaper) Corruptions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corruptions
+}
+
+// corruptBit returns the bit index to flip in an n-byte write, or -1 when
+// the write passes clean.
+func (s *Shaper) corruptBit(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n == 0 || s.corruptRate <= 0 || s.corruptRng.Float64() >= s.corruptRate {
+		return -1
+	}
+	s.corruptions++
+	return s.corruptRng.Intn(n * 8)
+}
+
 // drop reports whether the current write should be discarded under the
 // active outage window or loss rate.
 func (s *Shaper) drop() bool {
@@ -183,10 +225,17 @@ func NewConn(c net.Conn, s *Shaper) *Conn {
 // Write throttles, then applies the propagation delay before the bytes hit
 // the underlying connection — matching "serialize then propagate". During an
 // outage window (Blackhole) or a loss event (SetLoss) the bytes are silently
-// discarded: the write "succeeds" but the peer never sees it.
+// discarded: the write "succeeds" but the peer never sees it. A corruption
+// event (SetCorrupt) instead flips one random bit in a copy of the buffer —
+// the peer receives the right number of wrong bytes.
 func (c *Conn) Write(p []byte) (int, error) {
 	if c.writeShaper.drop() {
 		return len(p), nil
+	}
+	if bit := c.writeShaper.corruptBit(len(p)); bit >= 0 {
+		q := append([]byte(nil), p...)
+		q[bit/8] ^= 1 << (bit % 8)
+		p = q
 	}
 	c.writeShaper.Throttle(len(p))
 	if d := c.writeShaper.Delay(); d > 0 && !c.readDelayed {

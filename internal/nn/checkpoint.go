@@ -3,23 +3,64 @@ package nn
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"murmuration/internal/tensor"
 )
 
 // Checkpoint format: magic, count, then per parameter a length-prefixed name
-// followed by the tensor in the standard wire encoding. Loading matches
-// parameters by name and shape, so checkpoints survive reordering but not
-// architectural changes.
+// followed by the tensor in the standard wire encoding, then an integrity
+// trailer: "MURC" + u32 CRC32C (Castagnoli, little endian) over every byte
+// before the trailer. Loading matches parameters by name and shape, so
+// checkpoints survive reordering but not architectural changes. Legacy
+// trailer-less checkpoints (written before the trailer existed) still load —
+// the stream simply ends after the last parameter.
 
-var ckptMagic = []byte("MURM1")
+var (
+	ckptMagic   = []byte("MURM1")
+	ckptTrailer = []byte("MURC")
 
-// WriteParams serializes parameters to w.
+	ckptTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// ErrCheckpointCorrupt is the typed failure for a checkpoint whose CRC32C
+// trailer does not match its contents: the file was truncated or bit-rotted
+// after it was written. Wrapped errors unwrap to it via errors.Is.
+var ErrCheckpointCorrupt = errors.New("nn: checkpoint failed integrity check")
+
+// crcWriter folds every byte written through it into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, ckptTable, p[:n])
+	return n, err
+}
+
+// crcReader folds every byte read through it into a running CRC32C.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, ckptTable, p[:n])
+	return n, err
+}
+
+// WriteParams serializes parameters to w, ending with the CRC32C trailer.
 func WriteParams(w io.Writer, params []*Param) error {
-	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	if _, err := bw.Write(ckptMagic); err != nil {
 		return err
 	}
@@ -45,23 +86,34 @@ func WriteParams(w io.Writer, params []*Param) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Trailer goes straight to w: it carries the CRC, it isn't covered by it.
+	var t8 [8]byte
+	copy(t8[:4], ckptTrailer)
+	binary.LittleEndian.PutUint32(t8[4:], cw.crc)
+	_, err := w.Write(t8[:])
+	return err
 }
 
 // ReadParams deserializes a checkpoint into params, matching by name. Every
 // stored parameter must exist with an identical shape; params not present in
-// the checkpoint are left untouched.
+// the checkpoint are left untouched. When the integrity trailer is present it
+// is verified (mismatch yields ErrCheckpointCorrupt); trailer-less legacy
+// checkpoints are accepted as-is.
 func ReadParams(r io.Reader, params []*Param) error {
 	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
 	magic := make([]byte, len(ckptMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(cr, magic); err != nil {
 		return err
 	}
 	if string(magic) != string(ckptMagic) {
 		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
 	}
 	var n4 [4]byte
-	if _, err := io.ReadFull(br, n4[:]); err != nil {
+	if _, err := io.ReadFull(cr, n4[:]); err != nil {
 		return err
 	}
 	count := int(binary.LittleEndian.Uint32(n4[:]))
@@ -71,14 +123,14 @@ func ReadParams(r io.Reader, params []*Param) error {
 	}
 	for i := 0; i < count; i++ {
 		var l2 [2]byte
-		if _, err := io.ReadFull(br, l2[:]); err != nil {
+		if _, err := io.ReadFull(cr, l2[:]); err != nil {
 			return err
 		}
 		name := make([]byte, binary.LittleEndian.Uint16(l2[:]))
-		if _, err := io.ReadFull(br, name); err != nil {
+		if _, err := io.ReadFull(cr, name); err != nil {
 			return err
 		}
-		t, err := tensor.Decode(br)
+		t, err := tensor.Decode(cr)
 		if err != nil {
 			return err
 		}
@@ -91,17 +143,53 @@ func ReadParams(r io.Reader, params []*Param) error {
 		}
 		copy(p.W.Data, t.Data)
 	}
+	// Snapshot the CRC before touching the trailer bytes: the trailer must
+	// not fold into the sum it is being checked against.
+	sum := cr.crc
+	var t8 [8]byte
+	if _, err := io.ReadFull(br, t8[:]); err != nil {
+		if err == io.EOF {
+			return nil // legacy checkpoint, no trailer
+		}
+		return fmt.Errorf("%w: truncated trailer: %v", ErrCheckpointCorrupt, err)
+	}
+	if string(t8[:4]) != string(ckptTrailer) {
+		return fmt.Errorf("%w: bad trailer magic %q", ErrCheckpointCorrupt, t8[:4])
+	}
+	if got := binary.LittleEndian.Uint32(t8[4:]); got != sum {
+		return fmt.Errorf("%w: crc32c %08x != stored %08x", ErrCheckpointCorrupt, sum, got)
+	}
 	return nil
 }
 
-// SaveParams writes a checkpoint file.
-func SaveParams(path string, params []*Param) error {
-	f, err := os.Create(path)
+// SaveParams writes a checkpoint file atomically: the bytes land in a temp
+// file in the same directory, are fsynced, and only then renamed over path.
+// A crash at any point leaves either the old checkpoint or the new one —
+// never a truncated hybrid that would strand the only copy of a trained
+// model.
+func SaveParams(path string, params []*Param) (err error) {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return WriteParams(f, params)
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = WriteParams(f, params); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // LoadParams reads a checkpoint file.

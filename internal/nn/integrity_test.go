@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"murmuration/internal/tensor"
+)
+
+func testParams() []*Param {
+	return []*Param{
+		NewParam("conv.w", tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)),
+		NewParam("fc.b", tensor.FromSlice([]float32{-1, 0.5}, 2)),
+	}
+}
+
+func freshParams() []*Param {
+	return []*Param{
+		NewParam("conv.w", tensor.New(2, 2)),
+		NewParam("fc.b", tensor.New(2)),
+	}
+}
+
+func TestCheckpointTrailerDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, testParams()); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// A flipped tensor byte (just before the 8-byte trailer) must fail the
+	// CRC check with the typed sentinel.
+	raw := append([]byte(nil), clean...)
+	raw[len(raw)-9] ^= 0x01
+	if err := ReadParams(bytes.NewReader(raw), freshParams()); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("flipped payload byte: want ErrCheckpointCorrupt, got %v", err)
+	}
+
+	// A flipped CRC byte likewise.
+	raw = append([]byte(nil), clean...)
+	raw[len(raw)-1] ^= 0x80
+	if err := ReadParams(bytes.NewReader(raw), freshParams()); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("flipped crc byte: want ErrCheckpointCorrupt, got %v", err)
+	}
+
+	// A damaged trailer magic.
+	raw = append([]byte(nil), clean...)
+	raw[len(raw)-8] = 'X'
+	if err := ReadParams(bytes.NewReader(raw), freshParams()); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("bad trailer magic: want ErrCheckpointCorrupt, got %v", err)
+	}
+
+	// A partially-written trailer (crash mid-append).
+	raw = clean[:len(clean)-3]
+	if err := ReadParams(bytes.NewReader(raw), freshParams()); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("truncated trailer: want ErrCheckpointCorrupt, got %v", err)
+	}
+}
+
+func TestCheckpointLegacyTrailerless(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, testParams()); err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint written before the trailer existed is today's format minus
+	// the final 8 bytes: it must still load, values intact.
+	legacy := buf.Bytes()[:buf.Len()-8]
+	got := freshParams()
+	if err := ReadParams(bytes.NewReader(legacy), got); err != nil {
+		t.Fatalf("legacy trailer-less checkpoint rejected: %v", err)
+	}
+	want := testParams()
+	for i := range want {
+		for j := range want[i].W.Data {
+			if got[i].W.Data[j] != want[i].W.Data[j] {
+				t.Fatalf("param %s drifted on legacy load", want[i].Name)
+			}
+		}
+	}
+}
+
+func TestSaveParamsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := SaveParams(path, testParams()); err != nil {
+		t.Fatal(err)
+	}
+	// Saving again over the same path must go through a temp file + rename,
+	// never a truncate-in-place — and must not leave temp litter behind.
+	if err := SaveParams(path, testParams()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want just the checkpoint", len(entries))
+	}
+	got := freshParams()
+	if err := LoadParams(path, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].W.Data[3] != 4 {
+		t.Fatal("checkpoint content wrong after atomic save")
+	}
+}
+
+func TestSaveParamsSurvivesSimulatedTornWrite(t *testing.T) {
+	// A crash mid-save leaves a partial temp file; the checkpoint at path is
+	// untouched and still verifies. Simulate by writing garbage where the
+	// temp file would be and confirming the real file loads regardless.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := SaveParams(path, testParams()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".tmp-crashed", []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(path, freshParams()); err != nil {
+		t.Fatalf("checkpoint damaged by a neighboring torn temp file: %v", err)
+	}
+	// And a truncated checkpoint itself (rename never happened over a
+	// half-written file in the pre-atomic world) is now caught typed.
+	rawb, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, rawb[:len(rawb)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(path, freshParams()); err == nil {
+		t.Fatal("half a checkpoint loaded cleanly")
+	}
+}
+
+// FuzzReadParams feeds the checkpoint reader arbitrary bytes: it must reject
+// or accept without ever panicking or allocating beyond the decode caps.
+func FuzzReadParams(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, testParams()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())                              // valid, with trailer
+	f.Add(buf.Bytes()[: buf.Len()-8 : buf.Len()-8]) // legacy, trailer-less
+	f.Add(buf.Bytes()[:buf.Len()-3])                // truncated trailer
+	f.Add([]byte("MURM1\xff\xff\xff\xff"))          // huge param count
+	f.Add([]byte("NOPE!"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Fresh params each run: ReadParams mutates its targets in place.
+		_ = ReadParams(bytes.NewReader(data), freshParams())
+	})
+}

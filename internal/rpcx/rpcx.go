@@ -11,10 +11,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"murmuration/internal/netem"
@@ -137,12 +139,23 @@ func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
 
 // Server dispatches framed requests to registered handlers.
 type Server struct {
+	// MaxFrameSize caps the body length of incoming request frames, enforced
+	// before the body buffer is allocated (0 selects DefaultMaxFrameSize).
+	// Set before Listen.
+	MaxFrameSize int
+
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	ln       net.Listener
 	wg       sync.WaitGroup
 	conns    map[net.Conn]struct{}
 	closed   bool
+
+	// noChecksum suppresses response checksums (see SetChecksum); incoming
+	// checksummed frames are always verified.
+	noChecksum atomic.Bool
+	// corruptFrames counts request frames rejected for integrity violations.
+	corruptFrames atomic.Uint64
 
 	// In-flight handler tracking for graceful shutdown.
 	inflightMu   sync.Mutex
@@ -187,12 +200,22 @@ func (s *Server) observeCost(method string, d time.Duration) {
 	}
 }
 
-// Handle registers a handler for a method name (max 255 bytes).
+// Handle registers a handler for a method name (max 63 bytes).
 func (s *Server) Handle(method string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
 }
+
+// SetChecksum controls whether responses to checksummed requests carry a
+// CRC32C trailer of their own (the echo behavior; on by default). Incoming
+// checksummed requests are verified regardless — disabling only changes
+// what this server emits, so a bare peer never sees an integrity frame.
+func (s *Server) SetChecksum(enabled bool) { s.noChecksum.Store(!enabled) }
+
+// CorruptFrames returns how many request frames this server rejected for
+// integrity violations (checksum mismatch or over-cap length).
+func (s *Server) CorruptFrames() uint64 { return s.corruptFrames.Load() }
 
 // Listen starts accepting connections on addr ("host:port"; use ":0" for an
 // ephemeral port) and returns the bound address.
@@ -314,11 +337,24 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReaderSize(conn, 64*1024)
 	w := bufio.NewWriterSize(conn, 64*1024)
+	max := frameCap(s.MaxFrameSize)
 	for {
-		method, budget, payload, err := readRequest(r)
+		method, budget, payload, checksummed, err := readRequest(r, max)
 		if err != nil {
+			// Integrity violations earn a best-effort typed refusal before the
+			// connection dies: the stream can no longer be trusted to be
+			// framed, but the length-prefixed reply usually still lands and
+			// turns a silent hang into a client-visible corruption signal.
+			var fe *FrameError
+			if errors.As(err, &fe) {
+				s.corruptFrames.Add(1)
+				if werr := writeResponse(w, statusCorrupt, []byte(fe.Reason), false); werr == nil {
+					w.Flush()
+				}
+			}
 			return
 		}
+		respChecksum := checksummed && !s.noChecksum.Load()
 		s.mu.RLock()
 		h := s.handlers[method]
 		s.mu.RUnlock()
@@ -351,7 +387,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			s.endCall()
 		}
-		if err := writeResponse(w, status, resp); err != nil {
+		if err := writeResponse(w, status, resp, respChecksum); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -385,54 +421,143 @@ func (s *Server) endCall() {
 }
 
 // Frame layout (little endian):
-//   request:  u32 totalLen | u8 flags|methodLen | method | [u64 budgetµs] | payload
-//   response: u32 totalLen | u8 status          | payload
 //
-// The top bit of the method-length byte is the budget flag: when set, an
+//	request:  u32 totalLen | u8 flags|methodLen | method | [u64 budgetµs] | payload | [u32 crc32c]
+//	response: u32 totalLen | u8 flags|status    | payload | [u32 crc32c]
+//
+// The top bit of the request head byte is the budget flag: when set, an
 // 8-byte remaining-deadline budget in microseconds follows the method name.
-// Method names are therefore limited to 127 bytes. A budget-less request is
-// bit-identical to the historical frame, so budget-unaware peers and
-// budget-aware peers interoperate as long as no budget is sent.
+// The next bit is the checksum flag: when set, the body ends with a CRC32C
+// (Castagnoli) of everything between the length prefix and the checksum
+// itself. Method names are therefore limited to 63 bytes. A budget-less,
+// checksum-less request is bit-identical to the historical frame, so
+// integrity-unaware and integrity-aware peers interoperate as long as no
+// optional field is sent. Responses carry the checksum flag in the top bit
+// of the status byte; servers echo it — a checksummed request earns a
+// checksummed response, a bare request a bare (historical) one.
 const (
-	budgetFlag   = 0x80
-	maxMethodLen = 0x7F
+	budgetFlag       = 0x80
+	checksumFlag     = 0x40
+	maxMethodLen     = 0x3F
+	respChecksumFlag = 0x80
+	statusMask       = 0x7F
 
 	statusOK     = 0
 	statusError  = 1
 	statusBudget = 2 // typed budget refusal; payload is the server's message
+	// statusCorrupt reports that the server could not trust the request
+	// frame: checksum mismatch or a length beyond its cap. The payload is
+	// the server's description; the server closes the connection right after
+	// sending it because the stream can no longer be trusted to be framed.
+	statusCorrupt = 3
 )
 
-func readRequest(r io.Reader) (string, time.Duration, []byte, error) {
+// DefaultMaxFrameSize caps a frame's body length when the peer did not
+// configure an explicit limit. The cap is enforced before the body buffer is
+// allocated, so a corrupted length prefix costs a typed error, not a
+// multi-GiB allocation.
+const DefaultMaxFrameSize = 64 << 20
+
+// castagnoli is the CRC32C table shared by every frame checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptFrame is the target for errors.Is on any frame-integrity
+// violation: checksum mismatch, a length prefix beyond the frame cap, or a
+// structurally impossible header. Like a timeout it poisons the connection
+// (the stream may be desynced) and is retried only for idempotent methods;
+// it is never a device fault — the bytes went bad, not the peer.
+var ErrCorruptFrame = errors.New("rpcx: corrupt frame")
+
+// FrameError is the typed form of a frame-integrity violation. It unwraps
+// to ErrCorruptFrame.
+type FrameError struct {
+	// Op names the decode that failed: "read-request" or "read-response".
+	Op string
+	// Reason describes the violation (mismatched checksum, oversize length
+	// prefix, truncated header, ...).
+	Reason string
+}
+
+// Error implements error.
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("rpcx: corrupt frame (%s): %s", e.Op, e.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrCorruptFrame) match.
+func (e *FrameError) Unwrap() error { return ErrCorruptFrame }
+
+// frameCap normalizes a configured frame-size limit.
+func frameCap(max int) uint32 {
+	if max <= 0 {
+		return DefaultMaxFrameSize
+	}
+	return uint32(max)
+}
+
+// readBody reads one length-prefixed frame body, enforcing the cap before
+// allocating. io errors pass through untyped (a closed peer is not
+// corruption); impossible lengths come back as *FrameError.
+func readBody(r io.Reader, op string, max uint32) ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return "", 0, nil, err
+		return nil, err
 	}
 	total := binary.LittleEndian.Uint32(lenBuf[:])
-	if total < 1 || total > 1<<30 {
-		return "", 0, nil, errors.New("rpcx: bad frame length")
+	if total < 1 {
+		return nil, &FrameError{Op: op, Reason: "zero-length frame"}
+	}
+	if total > max {
+		return nil, &FrameError{Op: op, Reason: fmt.Sprintf("frame length %d exceeds cap %d", total, max)}
 	}
 	body := make([]byte, total)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return "", 0, nil, err
+		return nil, err
+	}
+	return body, nil
+}
+
+// verifyChecksum checks and strips a CRC32C trailer from body.
+func verifyChecksum(body []byte, op string) ([]byte, error) {
+	if len(body) < 5 {
+		return nil, &FrameError{Op: op, Reason: "checksummed frame too short"}
+	}
+	want := binary.LittleEndian.Uint32(body[len(body)-4:])
+	if got := crc32.Checksum(body[:len(body)-4], castagnoli); got != want {
+		return nil, &FrameError{Op: op, Reason: fmt.Sprintf("checksum mismatch (got %08x, want %08x)", got, want)}
+	}
+	return body[:len(body)-4], nil
+}
+
+// readRequest decodes one request frame. checksummed reports whether the
+// frame carried (and passed) a CRC32C trailer, so the response can echo it.
+func readRequest(r io.Reader, max uint32) (method string, budget time.Duration, payload []byte, checksummed bool, err error) {
+	body, err := readBody(r, "read-request", max)
+	if err != nil {
+		return "", 0, nil, false, err
+	}
+	if body[0]&checksumFlag != 0 {
+		checksummed = true
+		if body, err = verifyChecksum(body, "read-request"); err != nil {
+			return "", 0, nil, true, err
+		}
 	}
 	ml := int(body[0] & maxMethodLen)
 	if 1+ml > len(body) {
-		return "", 0, nil, errors.New("rpcx: bad method length")
+		return "", 0, nil, checksummed, &FrameError{Op: "read-request", Reason: "method length beyond frame"}
 	}
-	method := string(body[1 : 1+ml])
+	method = string(body[1 : 1+ml])
 	rest := body[1+ml:]
-	var budget time.Duration
 	if body[0]&budgetFlag != 0 {
 		if len(rest) < 8 {
-			return "", 0, nil, errors.New("rpcx: short budget header")
+			return "", 0, nil, checksummed, &FrameError{Op: "read-request", Reason: "short budget header"}
 		}
 		budget = time.Duration(binary.LittleEndian.Uint64(rest)) * time.Microsecond
 		rest = rest[8:]
 	}
-	return method, budget, rest, nil
+	return method, budget, rest, checksummed, nil
 }
 
-func writeRequest(w io.Writer, method string, payload []byte, budget time.Duration) error {
+func writeRequest(w io.Writer, method string, payload []byte, budget time.Duration, checksum bool) error {
 	if len(method) > maxMethodLen {
 		return errors.New("rpcx: method name too long")
 	}
@@ -442,7 +567,14 @@ func writeRequest(w io.Writer, method string, payload []byte, budget time.Durati
 		head |= budgetFlag
 		extra = 8
 	}
-	total := uint32(1 + len(method) + extra + len(payload))
+	tail := 0
+	if checksum {
+		head |= checksumFlag
+		tail = 4
+	}
+	var budgetBuf [8]byte
+	binary.LittleEndian.PutUint64(budgetBuf[:], uint64(budget.Microseconds()))
+	total := uint32(1 + len(method) + extra + len(payload) + tail)
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], total)
 	if _, err := w.Write(lenBuf[:]); err != nil {
@@ -455,44 +587,71 @@ func writeRequest(w io.Writer, method string, payload []byte, budget time.Durati
 		return err
 	}
 	if budget > 0 {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], uint64(budget.Microseconds()))
-		if _, err := w.Write(b[:]); err != nil {
+		if _, err := w.Write(budgetBuf[:]); err != nil {
 			return err
 		}
 	}
-	_, err := w.Write(payload)
-	return err
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	if checksum {
+		crc := crc32.Update(0, castagnoli, []byte{head})
+		crc = crc32.Update(crc, castagnoli, []byte(method))
+		if budget > 0 {
+			crc = crc32.Update(crc, castagnoli, budgetBuf[:])
+		}
+		crc = crc32.Update(crc, castagnoli, payload)
+		var crcBuf [4]byte
+		binary.LittleEndian.PutUint32(crcBuf[:], crc)
+		if _, err := w.Write(crcBuf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func writeResponse(w io.Writer, status byte, payload []byte) error {
-	total := uint32(1 + len(payload))
+func writeResponse(w io.Writer, status byte, payload []byte, checksum bool) error {
+	head := status
+	tail := 0
+	if checksum {
+		head |= respChecksumFlag
+		tail = 4
+	}
+	total := uint32(1 + len(payload) + tail)
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], total)
 	if _, err := w.Write(lenBuf[:]); err != nil {
 		return err
 	}
-	if _, err := w.Write([]byte{status}); err != nil {
+	if _, err := w.Write([]byte{head}); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
-	return err
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	if checksum {
+		crc := crc32.Update(0, castagnoli, []byte{head})
+		crc = crc32.Update(crc, castagnoli, payload)
+		var crcBuf [4]byte
+		binary.LittleEndian.PutUint32(crcBuf[:], crc)
+		if _, err := w.Write(crcBuf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func readResponse(r io.Reader) (byte, []byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+func readResponse(r io.Reader, max uint32) (byte, []byte, error) {
+	body, err := readBody(r, "read-response", max)
+	if err != nil {
 		return 0, nil, err
 	}
-	total := binary.LittleEndian.Uint32(lenBuf[:])
-	if total < 1 || total > 1<<30 {
-		return 0, nil, errors.New("rpcx: bad frame length")
+	if body[0]&respChecksumFlag != 0 {
+		if body, err = verifyChecksum(body, "read-response"); err != nil {
+			return 0, nil, err
+		}
 	}
-	body := make([]byte, total)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, err
-	}
-	return body[0], body[1:], nil
+	return body[0] & statusMask, body[1:], nil
 }
 
 // Client is a synchronous RPC client over one TCP connection. Safe for
@@ -506,12 +665,25 @@ type Client struct {
 	broken bool // a timed-out call desynced the stream; no further calls
 
 	// Fault handling (see RetryPolicy). addr is empty for NewClient-wrapped
-	// connections, which therefore can never re-dial.
+	// connections, which therefore can never re-dial unless a custom dialer
+	// is installed (SetDialer).
 	addr       string
+	dialer     func() (net.Conn, error)
 	retry      RetryPolicy
 	retrySet   bool
 	idempotent map[string]bool
 	rng        *rand.Rand
+
+	// Integrity (see SetChecksum / SetMaxFrameSize).
+	checksum bool
+	maxFrame int
+
+	// corruptFrames counts integrity violations observed on this client's
+	// calls: response frames that failed their checksum or cap locally, plus
+	// typed statusCorrupt refusals from the server. redials counts successful
+	// connection replacements after poisoning.
+	corruptFrames atomic.Uint64
+	redials       atomic.Uint64
 }
 
 // Dial connects to addr. If shaper is non-nil, outbound traffic is
@@ -544,6 +716,33 @@ func (c *Client) SetRetryPolicy(p RetryPolicy) {
 		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 }
+
+// SetChecksum controls whether this client's requests carry a CRC32C
+// trailer (default off, keeping frames bit-identical to the historical
+// format). Checksummed responses are always verified when present,
+// regardless of this setting. Not safe to call concurrently with in-flight
+// calls.
+func (c *Client) SetChecksum(enabled bool) { c.checksum = enabled }
+
+// SetMaxFrameSize caps the body length of response frames, enforced before
+// the body buffer is allocated (<= 0 selects DefaultMaxFrameSize). Not safe
+// to call concurrently with in-flight calls.
+func (c *Client) SetMaxFrameSize(n int) { c.maxFrame = n }
+
+// SetDialer installs a custom dialer used to replace a poisoned connection
+// (instead of re-dialing the original address). This is how a NewClient-
+// wrapped connection — e.g. one wrapped in a netem fault injector — gains
+// re-dial recovery. Not safe to call concurrently with in-flight calls.
+func (c *Client) SetDialer(dial func() (net.Conn, error)) { c.dialer = dial }
+
+// CorruptFrames returns how many integrity violations this client observed:
+// locally failed response checksums/caps plus typed corrupt-request
+// refusals from the server.
+func (c *Client) CorruptFrames() uint64 { return c.corruptFrames.Load() }
+
+// Redials returns how many times a poisoned connection was successfully
+// replaced with a fresh one.
+func (c *Client) Redials() uint64 { return c.redials.Load() }
 
 // MarkIdempotent declares methods safe to retry after a transport failure:
 // re-executing them on the server has no side effects. Unmarked methods are
@@ -621,7 +820,7 @@ func (c *Client) CallBudget(method string, payload []byte, d, budget time.Durati
 			}
 		}
 		if c.broken {
-			if !c.retrySet || c.addr == "" {
+			if !c.retrySet || (c.addr == "" && c.dialer == nil) {
 				// Cannot re-dial: surface the failure that broke the stream
 				// when this call caused it, the sentinel otherwise.
 				if err != nil {
@@ -647,9 +846,10 @@ func (c *Client) CallBudget(method string, payload []byte, d, budget time.Durati
 }
 
 // retryable reports whether an error may be fixed by re-dialing and trying
-// again: transport-level failures qualify; application-level RemoteErrors
-// (the handler ran and answered) and BudgetErrors (the server answered with
-// a deterministic refusal) do not.
+// again: transport-level failures — including corrupt frames, whose re-send
+// travels clean bytes on a fresh connection — qualify; application-level
+// RemoteErrors (the handler ran and answered) and BudgetErrors (the server
+// answered with a deterministic refusal) do not.
 func retryable(err error) bool {
 	var re *RemoteError
 	var be *BudgetError
@@ -657,10 +857,15 @@ func retryable(err error) bool {
 }
 
 // redialLocked replaces a broken connection with a fresh dial to the
-// original address. Caller holds c.mu.
+// original address (or via the custom dialer). Caller holds c.mu.
 func (c *Client) redialLocked() error {
-	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
-	if err != nil {
+	var conn net.Conn
+	var err error
+	if c.dialer != nil {
+		if conn, err = c.dialer(); err != nil {
+			return fmt.Errorf("rpcx: re-dial: %w", err)
+		}
+	} else if conn, err = net.DialTimeout("tcp", c.addr, 5*time.Second); err != nil {
 		return fmt.Errorf("rpcx: re-dial %s: %w", c.addr, err)
 	}
 	c.conn.Close()
@@ -668,6 +873,7 @@ func (c *Client) redialLocked() error {
 	c.r = bufio.NewReaderSize(conn, 64*1024)
 	c.w = bufio.NewWriterSize(conn, 64*1024)
 	c.broken = false
+	c.redials.Add(1)
 	return nil
 }
 
@@ -686,13 +892,13 @@ func (c *Client) callOnceLocked(method string, payload []byte, d, budget time.Du
 			time.Sleep(sd)
 		}
 	}
-	if err := writeRequest(c.w, method, payload, budget); err != nil {
+	if err := writeRequest(c.w, method, payload, budget, c.checksum); err != nil {
 		return nil, c.callErr(method, d, err)
 	}
 	if err := c.w.Flush(); err != nil {
 		return nil, c.callErr(method, d, err)
 	}
-	status, resp, err := readResponse(c.r)
+	status, resp, err := readResponse(c.r, frameCap(c.maxFrame))
 	if err != nil {
 		return nil, c.callErr(method, d, err)
 	}
@@ -708,6 +914,13 @@ func (c *Client) callOnceLocked(method string, payload []byte, d, budget time.Du
 		return resp, nil
 	case statusBudget:
 		return nil, &BudgetError{Method: method, Budget: budget, Msg: string(resp)}
+	case statusCorrupt:
+		// The server could not trust our request frame and is closing the
+		// connection; poison it here too so the next attempt re-dials.
+		c.corruptFrames.Add(1)
+		c.broken = true
+		c.conn.Close()
+		return nil, &FrameError{Op: "request", Reason: string(resp)}
 	default:
 		return nil, &RemoteError{Msg: string(resp)}
 	}
@@ -715,15 +928,25 @@ func (c *Client) callOnceLocked(method string, payload []byte, d, budget time.Du
 
 // callErr converts a transport error into a *TimeoutError when it was caused
 // by the per-call deadline, poisoning the client so the desynced stream is
-// never reused. With a retry policy installed, any transport error poisons
-// the connection (the peer likely tore it down) so the next attempt or call
-// re-dials instead of reusing a dead stream.
+// never reused. A *FrameError (failed checksum or over-cap length) always
+// poisons too — the stream's framing can no longer be trusted — and counts
+// toward the corruption counter. With a retry policy installed, any other
+// transport error also poisons the connection (the peer likely tore it
+// down) so the next attempt or call re-dials instead of reusing a dead
+// stream.
 func (c *Client) callErr(method string, d time.Duration, err error) error {
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		c.broken = true
 		c.conn.Close()
 		return &TimeoutError{Method: method, After: d}
+	}
+	var fe *FrameError
+	if errors.As(err, &fe) {
+		c.corruptFrames.Add(1)
+		c.broken = true
+		c.conn.Close()
+		return err
 	}
 	if c.retrySet {
 		c.broken = true

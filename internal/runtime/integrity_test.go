@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+
+	"murmuration/internal/rpcx"
+	"murmuration/internal/supernet"
+	"murmuration/internal/tensor"
+)
+
+// corruptReplyServer is a raw TCP listener that answers every rpcx request
+// with a checksummed response whose CRC is wrong — the on-the-wire signature
+// of a bit flip on the downlink.
+func corruptReplyServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					var lenBuf [4]byte
+					if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+						return
+					}
+					body := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+					if _, err := io.ReadFull(r, body); err != nil {
+						return
+					}
+					// status OK + checksum flag, payload "x", garbage CRC.
+					resp := []byte{6, 0, 0, 0, 0x80, 'x', 0xde, 0xad, 0xbe, 0xef}
+					if _, err := conn.Write(resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// A device whose link corrupts every response must surface a typed
+// corrupt-frame error — never a DeviceError, which would demote a healthy
+// device and trigger failover over the network's sins.
+func TestCorruptFrameIsNotADeviceFault(t *testing.T) {
+	addr, stop := corruptReplyServer(t)
+	defer stop()
+
+	a := supernet.TinyArch(4)
+	net1 := supernet.New(a, 30)
+	cl, err := rpcx.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	sched := NewScheduler(net1, []*rpcx.Client{cl})
+	cfg := a.MaxConfig()
+	costs, _ := a.Costs(cfg)
+	p := supernet.LocalPlacement(costs)
+	for k := range p.Devices {
+		for ti := range p.Devices[k] {
+			p.Devices[k][ti] = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(1, 3, 32, 32)
+	x.RandNormal(rng, 0.5)
+
+	_, err = sched.Infer(x, &supernet.Decision{Config: cfg, Placement: p})
+	if err == nil {
+		t.Fatal("inference over a corrupting link must fail")
+	}
+	if !errors.Is(err, rpcx.ErrCorruptFrame) {
+		t.Fatalf("want ErrCorruptFrame, got %v", err)
+	}
+	var de *DeviceError
+	if errors.As(err, &de) {
+		t.Fatalf("corruption classified as device fault (device %d): %v", de.Device, err)
+	}
+	if st := sched.Stats(); st.CorruptFrames == 0 {
+		t.Fatalf("scheduler stats missed the corruption: %+v", st)
+	}
+}

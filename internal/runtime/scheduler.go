@@ -32,6 +32,10 @@ import (
 //     healthy device; the first response wins and the loser is abandoned
 //     (bounded by its own deadline). A hedge budget caps hedges to a fraction
 //     of primary calls so retries cannot amplify overload.
+//
+// Corrupt frames (rpcx.ErrCorruptFrame) are classified like budget
+// exhaustion: a link fault, never a device fault, so corruption alone cannot
+// demote a healthy device.
 type Scheduler struct {
 	Local *supernet.Supernet
 	// Remotes[i] is the client for device i+1 (device 0 is local).
@@ -89,6 +93,11 @@ type SchedStats struct {
 	// response arrived first and was used.
 	Hedges    uint64
 	HedgeWins uint64
+	// CorruptFrames counts rpcx frames rejected by checksum or framing
+	// validation across all remote clients; Redials counts the connection
+	// re-establishments those (and other torn-connection events) forced.
+	CorruptFrames uint64
+	Redials       uint64
 }
 
 // NewScheduler creates a scheduler for a local supernet and remote clients.
@@ -98,11 +107,19 @@ func NewScheduler(local *supernet.Supernet, remotes []*rpcx.Client) *Scheduler {
 
 // Stats returns a snapshot of the remote-dispatch counters.
 func (s *Scheduler) Stats() SchedStats {
-	return SchedStats{
+	st := SchedStats{
 		RemoteCalls: s.remoteCalls.Load(),
 		Hedges:      s.hedges.Load(),
 		HedgeWins:   s.hedgeWins.Load(),
 	}
+	for _, c := range s.Remotes {
+		if c == nil {
+			continue
+		}
+		st.CorruptFrames += c.CorruptFrames()
+		st.Redials += c.Redials()
+	}
+	return st
 }
 
 // DeviceError is an inference failure attributable to one device: a remote
@@ -254,6 +271,14 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 			// (instead of as a DeviceError) keeps the serving layer from
 			// demoting a healthy device over deadline pressure.
 			if errors.Is(err, rpcx.ErrBudgetExhausted) {
+				return nil, fmt.Errorf("runtime: tile %d: %w", t, err)
+			}
+			// Likewise a corrupt frame is a link fault, not a device fault:
+			// the bits were damaged in flight, the device never saw (or never
+			// produced) them. The client has already poisoned and re-dialed
+			// the connection; demoting the device would punish it for the
+			// network's sins.
+			if errors.Is(err, rpcx.ErrCorruptFrame) {
 				return nil, fmt.Errorf("runtime: tile %d: %w", t, err)
 			}
 			if assign[t] > 0 {

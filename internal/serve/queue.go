@@ -196,6 +196,7 @@ func (g *Gateway) Stats() Stats {
 	s := g.stats
 	ss := g.rt.Scheduler.Stats()
 	s.Hedges, s.HedgeWins = ss.Hedges, ss.HedgeWins
+	s.CorruptFrames, s.Redials = ss.CorruptFrames, ss.Redials
 	for c := Class(0); c < numClasses; c++ {
 		s.QueueDepth[c] = len(g.queues[c])
 	}

@@ -169,6 +169,13 @@ type Stats struct {
 	// second responses arrived first and were used.
 	Hedges    uint64
 	HedgeWins uint64
+	// CorruptFrames counts rpcx frames rejected by checksum/framing
+	// validation on the scheduler's remote clients; Redials counts the
+	// connection re-establishments forced by poisoned connections. Both come
+	// from the integrity layer: corruption is detected, the connection torn
+	// down, and the call retried — never delivered corrupted.
+	CorruptFrames uint64
+	Redials       uint64
 	// ClusterUp / ClusterSuspect / ClusterDown are the failure detector's
 	// member counts at snapshot time (from the attached cluster.Manager, or
 	// derived from the runtime's device-health mask when none is attached).

@@ -30,15 +30,17 @@ const (
 //	                f64 sloValue | tensor.Encode(image)
 //	infer response: u8 batchSize | u8 cacheHit | u64 queueWaitµs
 //	                u64 execµs | u64 decideµs | tensor.Encode(logits)
-//	stats response: u8 version | 27 × u64 (see encodeStats)
+//	stats response: u8 version | 29 × u64 (see encodeStats)
 const inferHeaderLen = 1 + 8
 
 // statsWireVersion is the leading byte of the stats frame, bumped whenever
 // the field set changes. PR 2 grew the frame 16→22 u64s silently, which a
 // mixed-version gateway/daemon pair would misparse into garbage counters;
 // the version byte turns that into a typed, actionable error instead.
+//
 //	v3: +Degraded, +DegradedRungs, +BudgetExhausted, +Hedges, +HedgeWins
-const statsWireVersion = 3
+//	v4: +CorruptFrames, +Redials
+const statsWireVersion = 4
 
 // WireVersionError is the typed mismatch a client gets when the gateway
 // speaks a different stats frame version.
@@ -123,8 +125,8 @@ func decodeSLO(typ byte, value float64) (runtime.SLO, error) {
 }
 
 // statsFieldCount is the number of u64 fields in the stats wire encoding:
-// 18 counters + 3 queue depths + 6 cache fields.
-const statsFieldCount = 27
+// 20 counters + 3 queue depths + 6 cache fields.
+const statsFieldCount = 29
 
 // statsFields lists the counter fields in wire order; queue depths and
 // cache stats follow them in encodeStats/decodeStats.
@@ -135,6 +137,7 @@ func statsFields(s *Stats) []*uint64 {
 		&s.FailoverAttempts, &s.Failovers,
 		&s.Degraded, &s.DegradedRungs, &s.BudgetExhausted,
 		&s.Hedges, &s.HedgeWins,
+		&s.CorruptFrames, &s.Redials,
 		&s.ClusterUp, &s.ClusterSuspect, &s.ClusterDown,
 	}
 }
@@ -301,4 +304,16 @@ func IsBudgetExhausted(err error) bool {
 	}
 	return errors.Is(err, rpcx.ErrBudgetExhausted) ||
 		strings.Contains(err.Error(), "budget exhausted")
+}
+
+// IsCorruptFrame reports whether err (local or remote) is a frame rejected
+// by the rpcx integrity layer — a checksum mismatch or framing violation.
+// Corruption is a link fault: the connection was poisoned and re-dialed, no
+// corrupted payload was delivered, and no device was demoted for it.
+func IsCorruptFrame(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, rpcx.ErrCorruptFrame) ||
+		strings.Contains(err.Error(), "corrupt frame")
 }

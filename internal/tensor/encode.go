@@ -22,6 +22,33 @@ import (
 
 var errBadWire = errors.New("tensor: malformed wire data")
 
+// Decode caps, enforced per header field BEFORE any payload allocation: a
+// corrupted or hostile shape must cost a typed error, not a multi-GiB
+// make(). Checked dimension-by-dimension so the running element product can
+// never overflow int64 (each factor is <= maxDecodeDim and the product is
+// rejected as soon as it passes MaxDecodeElements).
+const (
+	// MaxDecodeElements bounds the total element count of a decoded tensor
+	// (512 MiB of float32) — far above any activation or checkpoint tensor
+	// this system moves, far below an allocation that could wedge an edge
+	// device.
+	MaxDecodeElements = 1 << 27
+	maxDecodeDim      = 1 << 27
+)
+
+// checkDim folds one decoded dimension into the running element count,
+// rejecting implausible shapes before anything is allocated.
+func checkDim(n, dim int) (int, error) {
+	if dim < 0 || dim > maxDecodeDim {
+		return 0, fmt.Errorf("%w: implausible dimension %d", errBadWire, dim)
+	}
+	n *= dim
+	if n > MaxDecodeElements {
+		return 0, fmt.Errorf("%w: element count %d exceeds cap %d", errBadWire, n, MaxDecodeElements)
+	}
+	return n, nil
+}
+
 // Encode writes t to w in the plain float32 wire format.
 func Encode(w io.Writer, t *Tensor) error {
 	hdr := []byte{'T', byte(len(t.Shape))}
@@ -61,10 +88,10 @@ func Decode(r io.Reader) (*Tensor, error) {
 			return nil, err
 		}
 		shape[i] = int(binary.LittleEndian.Uint32(b4[:]))
-		n *= shape[i]
-	}
-	if n < 0 || n > 1<<30 {
-		return nil, fmt.Errorf("%w: implausible element count %d", errBadWire, n)
+		var err error
+		if n, err = checkDim(n, shape[i]); err != nil {
+			return nil, err
+		}
 	}
 	buf := make([]byte, 4*n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -142,10 +169,10 @@ func DecodeQuantized(r io.Reader) (*Quantized, error) {
 			return nil, err
 		}
 		q.Shape[i] = int(binary.LittleEndian.Uint32(b4[:]))
-		n *= q.Shape[i]
-	}
-	if n < 0 || n > 1<<30 {
-		return nil, fmt.Errorf("%w: implausible element count %d", errBadWire, n)
+		var err error
+		if n, err = checkDim(n, q.Shape[i]); err != nil {
+			return nil, err
+		}
 	}
 	if _, err := io.ReadFull(r, b4[:]); err != nil {
 		return nil, err
