@@ -38,6 +38,7 @@ import (
 	"murmuration/internal/runtime"
 	"murmuration/internal/serve"
 	"murmuration/internal/supernet"
+	"murmuration/internal/watchdog"
 )
 
 func main() {
@@ -68,6 +69,12 @@ func main() {
 	ladderHysteresis := flag.Int("ladder-hysteresis", runtime.DefaultLadderHysteresis, "consecutive comfortable completions required to climb one rung back toward full quality")
 	frameChecksum := flag.Bool("frame-checksum", true, "emit CRC32C checksums on rpcx frames (incoming checksums are always verified)")
 	maxFrameMB := flag.Int("max-frame-mb", rpcx.DefaultMaxFrameSize>>20, "largest rpcx frame accepted before allocation, MiB")
+	connIdleTimeout := flag.Duration("conn-idle-timeout", 5*time.Minute, "evict a client connection after this long without a request (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "evict a client connection that will not drain a response within this window (0 = never)")
+	maxInflight := flag.Int("max-inflight", 256, "max concurrently executing gateway RPCs before new calls get a retryable overload refusal (0 = unlimited)")
+	watchdogInterval := flag.Duration("watchdog-interval", 250*time.Millisecond, "resource watchdog sample period (0 disables the watchdog)")
+	watchdogGoroutines := flag.Int("watchdog-goroutines", 20000, "goroutine count that trips a brownout (0 = unchecked)")
+	watchdogHeapMB := flag.Int("watchdog-heap-mb", 4096, "heap allocation that trips a brownout, MiB (0 = unchecked)")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -193,9 +200,37 @@ func main() {
 		log.Printf("failure detector on %d devices (heartbeat %v)", len(probes), *heartbeatInterval)
 	}
 
+	// Resource watchdog: under goroutine or heap pressure the gateway browns
+	// out — best-effort traffic is refused, queues run at half depth, and the
+	// degradation ladder floors at serve.BrownoutRung until the pressure
+	// clears (hysteresis: several consecutive clear samples).
+	var wd *watchdog.Watchdog
+	if *watchdogInterval > 0 && (*watchdogGoroutines > 0 || *watchdogHeapMB > 0) {
+		wd = watchdog.New(watchdog.Options{
+			Interval:      *watchdogInterval,
+			MaxGoroutines: *watchdogGoroutines,
+			MaxHeapBytes:  uint64(*watchdogHeapMB) << 20,
+			OnBrownout: func(reason string) {
+				log.Printf("watchdog: brownout (%s)", reason)
+				gw.SetBrownout(true)
+			},
+			OnClear: func() {
+				log.Println("watchdog: pressure cleared, brownout released")
+				gw.SetBrownout(false)
+			},
+		})
+		gw.AttachWatchdog(wd)
+		wd.Start()
+		log.Printf("resource watchdog on (every %v: goroutines > %d or heap > %d MiB)",
+			*watchdogInterval, *watchdogGoroutines, *watchdogHeapMB)
+	}
+
 	srv := rpcx.NewServer()
 	srv.MaxFrameSize = *maxFrameMB << 20
 	srv.SetChecksum(*frameChecksum)
+	srv.ConnIdleTimeout = *connIdleTimeout
+	srv.WriteTimeout = *writeTimeout
+	srv.MaxInflight = *maxInflight
 	gw.Register(srv)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
@@ -225,6 +260,9 @@ func main() {
 	// queues: requests admitted before the signal still get their outcome.
 	srv.Shutdown(*grace)
 	gw.Close(*grace)
+	if wd != nil {
+		wd.Close()
+	}
 	if mgr != nil {
 		log.Printf("cluster at shutdown: %s (%+v)", mgr, mgr.CountersSnapshot())
 		mgr.Close()

@@ -38,6 +38,9 @@ func main() {
 	grace := flag.Duration("grace", 10*time.Second, "drain window for in-flight requests on shutdown")
 	frameChecksum := flag.Bool("frame-checksum", true, "emit CRC32C checksums on rpcx responses (incoming checksums are always verified)")
 	maxFrameMB := flag.Int("max-frame-mb", rpcx.DefaultMaxFrameSize>>20, "largest rpcx frame accepted before allocation, MiB")
+	connIdleTimeout := flag.Duration("conn-idle-timeout", 5*time.Minute, "evict a connection after this long without a request (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "evict a connection whose client will not drain a response within this window (0 = never)")
+	maxInflight := flag.Int("max-inflight", 256, "max concurrently executing requests before new calls get a retryable overload refusal (0 = unlimited)")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -62,6 +65,9 @@ func main() {
 	srv := rpcx.NewServer()
 	srv.MaxFrameSize = *maxFrameMB << 20
 	srv.SetChecksum(*frameChecksum)
+	srv.ConnIdleTimeout = *connIdleTimeout
+	srv.WriteTimeout = *writeTimeout
+	srv.MaxInflight = *maxInflight
 	runtime.NewExecutor(net).Register(srv)
 	monitor.RegisterHandlers(srv)
 	// After the monitor handlers: the node's counting ping replaces the echo,
@@ -84,5 +90,6 @@ func main() {
 		os.Exit(1)
 	}()
 	srv.Shutdown(*grace)
-	log.Printf("drained (%d heartbeats answered)", node.Heartbeats())
+	log.Printf("drained (%d heartbeats answered; panics=%d overloads=%d evictions=%d)",
+		node.Heartbeats(), srv.Panics(), srv.Overloads(), srv.Evictions())
 }

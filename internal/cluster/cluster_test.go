@@ -8,6 +8,7 @@ import (
 
 	"murmuration/internal/monitor"
 	"murmuration/internal/rpcx"
+	"murmuration/internal/testutil"
 )
 
 // scriptedProbe is a ProbeFunc whose outcome tests flip at will.
@@ -172,6 +173,7 @@ func TestCountsAndSnapshot(t *testing.T) {
 // server, kills it, waits for Down, restarts it on the same address, and
 // waits for reintegration — the detector's end-to-end contract.
 func TestPingProbeAgainstRealDaemon(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	srv := rpcx.NewServer()
 	monitor.RegisterHandlers(srv)
 	addr, err := srv.Listen("127.0.0.1:0")
@@ -276,6 +278,7 @@ func TestNodeInfo(t *testing.T) {
 
 // TestSubscribeAfterCloseAndDoubleClose: lifecycle edges must not panic.
 func TestLifecycleEdges(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	p := &scriptedProbe{rtt: time.Millisecond}
 	m := NewManager([]ProbeFunc{p.fn}, fastOpts())
 	m.Start()

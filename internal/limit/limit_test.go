@@ -1,0 +1,118 @@
+package limit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTryAcquireRespectsLimit(t *testing.T) {
+	l := New(Options{Start: 2, Min: 1, Max: 4})
+	if !l.TryAcquire() || !l.TryAcquire() {
+		t.Fatal("first two acquisitions should succeed at limit 2")
+	}
+	if l.TryAcquire() {
+		t.Fatal("third acquisition escaped the limit")
+	}
+	if s := l.Snapshot(); s.Sheds != 1 || s.Inflight != 2 {
+		t.Fatalf("snapshot after shed: %+v", s)
+	}
+	l.Release(Neutral)
+	if !l.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestAdditiveIncrease(t *testing.T) {
+	l := New(Options{Start: 2, Min: 1, Max: 8})
+	// One full window of comfortable completions grows the limit by ~1.
+	for i := 0; i < 3; i++ {
+		if !l.TryAcquire() {
+			t.Fatalf("acquire %d refused", i)
+		}
+		l.Release(OK)
+	}
+	if got := l.Limit(); got != 3 {
+		t.Fatalf("limit after one success window = %d, want 3", got)
+	}
+	// Growth saturates at Max.
+	for i := 0; i < 200; i++ {
+		l.TryAcquire()
+		l.Release(OK)
+	}
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("limit should cap at Max=8, got %d", got)
+	}
+}
+
+func TestMultiplicativeDecreaseAndFloor(t *testing.T) {
+	l := New(Options{Start: 10, Min: 2, Max: 16, Backoff: 0.5, CutCooldown: time.Nanosecond})
+	l.TryAcquire()
+	l.Release(Congested)
+	if got := l.Limit(); got != 5 {
+		t.Fatalf("limit after one cut = %d, want 5", got)
+	}
+	for i := 0; i < 10; i++ {
+		time.Sleep(time.Microsecond)
+		l.Cut()
+	}
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit should floor at Min=2, got %d", got)
+	}
+	if s := l.Snapshot(); s.Cuts < 3 {
+		t.Fatalf("cuts not counted: %+v", s)
+	}
+}
+
+func TestCutCooldownCoalescesBursts(t *testing.T) {
+	l := New(Options{Start: 16, Min: 1, Max: 16, Backoff: 0.5, CutCooldown: time.Hour})
+	// A burst of congestion signals within one cooldown is one event.
+	for i := 0; i < 8; i++ {
+		l.Cut()
+	}
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("burst of cuts collapsed the limit to %d, want one halving to 8", got)
+	}
+	if s := l.Snapshot(); s.Cuts != 1 {
+		t.Fatalf("burst should count one cut, got %d", s.Cuts)
+	}
+}
+
+func TestAcquireWaitBlocksUntilRelease(t *testing.T) {
+	l := New(Options{Start: 1, Min: 1, Max: 1})
+	if !l.TryAcquire() {
+		t.Fatal("first acquire refused")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	got := false
+	go func() {
+		defer wg.Done()
+		got = l.AcquireWait(2 * time.Second)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	l.Release(Neutral)
+	wg.Wait()
+	if !got {
+		t.Fatal("waiter did not get the released slot")
+	}
+	// Saturated for the whole wait: refuse.
+	if l.AcquireWait(20 * time.Millisecond) {
+		t.Fatal("acquire should time out while saturated")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	l := New(Options{})
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("default start = %d, want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		if !l.TryAcquire() {
+			t.Fatalf("acquire %d refused under default start", i)
+		}
+	}
+	if l.TryAcquire() {
+		t.Fatal("acquisition beyond default start")
+	}
+}

@@ -2,6 +2,8 @@ package rpcx
 
 import (
 	"bytes"
+	"io"
+	"net"
 	"testing"
 	"time"
 )
@@ -92,5 +94,43 @@ func FuzzReadResponse(f *testing.F) {
 		if err != nil || s2 != status || !bytes.Equal(p2, payload) {
 			t.Fatalf("round trip drifted: %d/%v vs %d/%v (%v)", status, payload, s2, p2, err)
 		}
+	})
+}
+
+// FuzzServeConn drives raw byte streams at a live server connection: no
+// input may panic the serve goroutine, leak it, or wedge it past its
+// deadlines — the self-protection contract for a public-facing socket.
+func FuzzServeConn(f *testing.F) {
+	seedRequests(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewServer()
+		s.MaxFrameSize = fuzzFrameCap
+		s.ConnIdleTimeout = 200 * time.Millisecond
+		s.WriteTimeout = 200 * time.Millisecond
+		s.Handle("exec.block", func(p []byte) ([]byte, error) {
+			if len(p) > 0 && p[0] == 0xFF {
+				panic("fuzz-triggered handler panic")
+			}
+			return p, nil
+		})
+		client, server := net.Pipe()
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			s.serveConn(server)
+		}()
+		client.SetDeadline(time.Now().Add(time.Second))
+		client.Write(data)
+		// Drain whatever the server answers so its writes can't block on the
+		// unbuffered pipe, then signal EOF.
+		go io.Copy(io.Discard, client)
+		time.Sleep(time.Millisecond)
+		client.Close()
+		select {
+		case <-exited:
+		case <-time.After(5 * time.Second):
+			t.Fatal("serveConn did not exit after the client hung up")
+		}
+		s.Close()
 	})
 }

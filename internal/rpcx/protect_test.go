@@ -1,0 +1,267 @@
+package rpcx
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"murmuration/internal/testutil"
+)
+
+func TestHandlerPanicIsolated(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	s := NewServer()
+	s.Handle("boom", func(p []byte) ([]byte, error) {
+		panic(fmt.Sprintf("kaboom on %q", p))
+	})
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Call("boom", []byte("x"))
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("panicking handler returned %v, want ErrPanic", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *PanicError", err)
+	}
+	if !strings.Contains(pe.Msg, `kaboom on "x"`) {
+		t.Fatalf("panic message lost the recovered value: %q", pe.Msg)
+	}
+	if !strings.Contains(pe.Msg, "goroutine") {
+		t.Fatalf("panic message carries no stack: %q", pe.Msg)
+	}
+
+	// Same connection keeps serving: the panic failed one request, not the
+	// stream or the process.
+	out, err := c.Call("echo", []byte("still here"))
+	if err != nil || string(out) != "still here" {
+		t.Fatalf("connection dead after panic: out=%q err=%v", out, err)
+	}
+	if s.Panics() != 1 || c.Panics() != 1 {
+		t.Fatalf("panic counters: server=%d client=%d, want 1/1", s.Panics(), c.Panics())
+	}
+}
+
+func TestPanicNotRetried(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	var calls atomic.Int64
+	s := NewServer()
+	s.Handle("boom", func([]byte) ([]byte, error) {
+		calls.Add(1)
+		panic("always")
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond})
+	c.MarkIdempotent("boom")
+
+	if _, err := c.Call("boom", nil); !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("panicking handler ran %d times; a panic must never be retried", got)
+	}
+}
+
+func TestMaxInflightOverload(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	release := make(chan struct{})
+	s := NewServer()
+	s.MaxInflight = 1
+	s.Handle("slow", func([]byte) ([]byte, error) {
+		<-release
+		return []byte("done"), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// First call occupies the single slot.
+	c1, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c1.Call("slow", nil); err != nil {
+			t.Errorf("occupying call failed: %v", err)
+		}
+	}()
+	waitForCond(t, time.Second, func() bool {
+		s.inflightMu.Lock()
+		defer s.inflightMu.Unlock()
+		return s.inflightN == 1
+	})
+
+	// Second call is refused typed and retryable.
+	c2, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	_, err = c2.Call("slow", nil)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("call at cap returned %v, want ErrOverloaded", err)
+	}
+	if !retryable(err) {
+		t.Fatal("overload refusal must be retryable")
+	}
+	if s.Overloads() == 0 || c2.Overloads() == 0 {
+		t.Fatalf("overload counters: server=%d client=%d", s.Overloads(), c2.Overloads())
+	}
+
+	// With a retry policy, backoff rides out the congestion transparently.
+	c2.SetRetryPolicy(RetryPolicy{MaxAttempts: 50, BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff: 10 * time.Millisecond})
+	c2.MarkIdempotent("slow")
+	time.AfterFunc(30*time.Millisecond, func() { close(release) })
+	out, err := c2.Call("slow", nil)
+	if err != nil || string(out) != "done" {
+		t.Fatalf("retry across overload: out=%q err=%v", out, err)
+	}
+	wg.Wait()
+}
+
+func TestIdleConnEviction(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	s := NewServer()
+	s.ConnIdleTimeout = 60 * time.Millisecond
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A client that connects and goes silent must be evicted, not pinned.
+	idle, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	waitForCond(t, 2*time.Second, func() bool { return s.Evictions() >= 1 })
+
+	// The eviction is visible client-side as a dead connection.
+	idle.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := idle.Read(make([]byte, 1)); err == nil {
+		t.Fatal("evicted connection still readable without error")
+	}
+
+	// Active clients are unaffected as long as they keep talking.
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Call("echo", []byte("hi")); err != nil {
+			t.Fatalf("active client evicted on call %d: %v", i, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Shutdown is not wedged by connection goroutines: the idle eviction
+	// already released them.
+	done := make(chan struct{})
+	go func() { s.Shutdown(time.Second); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Shutdown wedged")
+	}
+}
+
+// flakyListener fails its first n Accepts with a transient error, then
+// delegates to the real listener.
+type flakyListener struct {
+	net.Listener
+	mu       sync.Mutex
+	failures int
+	seen     int
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "accept: too many open files" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	fail := l.seen < l.failures
+	l.seen++
+	l.mu.Unlock()
+	if fail {
+		return nil, tempErr{}
+	}
+	return l.Listener.Accept()
+}
+
+func TestAcceptLoopRecovers(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	s.Serve(&flakyListener{Listener: inner, failures: 3})
+	defer s.Close()
+
+	// Despite the EMFILE-style burst the accept loop must still be alive.
+	c, err := Dial(inner.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, err := c.Call("echo", []byte("alive"))
+	if err != nil || string(out) != "alive" {
+		t.Fatalf("call after transient accept errors: out=%q err=%v", out, err)
+	}
+	if got := s.AcceptRetries(); got < 3 {
+		t.Fatalf("AcceptRetries = %d, want >= 3", got)
+	}
+}
+
+func waitForCond(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,7 +60,56 @@ var (
 	// observed the budget expire locally. It is the typed alternative to a
 	// silent late reply.
 	ErrBudgetExhausted = errors.New("rpcx: budget exhausted")
+	// ErrPanic is the target for errors.Is when a handler panicked on the
+	// server (*PanicError). The panic was recovered — it failed one request,
+	// not the daemon — but the handler ran partway, so like a RemoteError a
+	// panicked call is never retried automatically.
+	ErrPanic = errors.New("rpcx: handler panicked")
+	// ErrOverloaded is the target for errors.Is when the server refused a
+	// call because its in-flight cap was reached (*OverloadError). An
+	// overload refusal is a load signal, not a fault: nothing failed, the
+	// server declined work it could not finish. It is retryable (backoff
+	// gives the server room) and must never count as a link or device fault.
+	ErrOverloaded = errors.New("rpcx: server overloaded")
 )
+
+// maxPanicStack caps how much of a recovered panic's stack trace travels in
+// the response payload; stacks are for operators, not for 64KiB frames.
+const maxPanicStack = 4096
+
+// PanicError reports that the server's handler panicked. Msg carries the
+// recovered value and a truncated stack capture from the server. It unwraps
+// to ErrPanic. Never retried: the handler executed partway, so a second
+// attempt could duplicate its effect — and a deterministic panic would just
+// fire again.
+type PanicError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("rpcx: call %q panicked on server: %s", e.Method, e.Msg)
+}
+
+// Unwrap lets errors.Is(err, ErrPanic) match.
+func (e *PanicError) Unwrap() error { return ErrPanic }
+
+// OverloadError is the server's typed refusal of a call because its
+// configured in-flight cap (Server.MaxInflight) was reached. It unwraps to
+// ErrOverloaded and is retryable — backoff gives the server room to drain.
+type OverloadError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("rpcx: call %q refused, server overloaded: %s", e.Method, e.Msg)
+}
+
+// Unwrap lets errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // BudgetError is the server's typed refusal of a budget-carrying call: its
 // estimate of the handler's cost exceeds the remaining deadline budget the
@@ -144,6 +194,19 @@ type Server struct {
 	// Set before Listen.
 	MaxFrameSize int
 
+	// MaxInflight caps concurrently executing handler calls (0 = unlimited).
+	// A call arriving at the cap is refused with a typed *OverloadError
+	// instead of queueing as a goroutine, so overload is shed at admission.
+	// Set before Listen.
+	MaxInflight int
+
+	// ConnIdleTimeout evicts a connection whose next request does not arrive
+	// within the window (0 = never): a stalled or dead client stops pinning a
+	// goroutine and wedging Shutdown. WriteTimeout bounds each response write
+	// the same way (0 = never). Set before Listen.
+	ConnIdleTimeout time.Duration
+	WriteTimeout    time.Duration
+
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	ln       net.Listener
@@ -156,6 +219,14 @@ type Server struct {
 	noChecksum atomic.Bool
 	// corruptFrames counts request frames rejected for integrity violations.
 	corruptFrames atomic.Uint64
+	// panics counts handler panics recovered into statusPanic responses;
+	// overloads counts calls refused at the MaxInflight cap; evictions counts
+	// connections closed for blowing an idle/write deadline; acceptRetries
+	// counts transient Accept errors survived by the accept loop's backoff.
+	panics        atomic.Uint64
+	overloads     atomic.Uint64
+	evictions     atomic.Uint64
+	acceptRetries atomic.Uint64
 
 	// In-flight handler tracking for graceful shutdown.
 	inflightMu   sync.Mutex
@@ -217,6 +288,22 @@ func (s *Server) SetChecksum(enabled bool) { s.noChecksum.Store(!enabled) }
 // integrity violations (checksum mismatch or over-cap length).
 func (s *Server) CorruptFrames() uint64 { return s.corruptFrames.Load() }
 
+// Panics returns how many handler panics this server recovered into typed
+// statusPanic responses.
+func (s *Server) Panics() uint64 { return s.panics.Load() }
+
+// Overloads returns how many calls this server refused at its MaxInflight
+// cap.
+func (s *Server) Overloads() uint64 { return s.overloads.Load() }
+
+// Evictions returns how many connections this server closed for exceeding
+// the idle or write deadline.
+func (s *Server) Evictions() uint64 { return s.evictions.Load() }
+
+// AcceptRetries returns how many transient Accept errors the accept loop
+// survived via backoff instead of dying.
+func (s *Server) AcceptRetries() uint64 { return s.acceptRetries.Load() }
+
 // Listen starts accepting connections on addr ("host:port"; use ":0" for an
 // ephemeral port) and returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
@@ -224,15 +311,41 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Serve starts accepting connections from ln in a background goroutine
+// (Listen is Serve over a fresh TCP listener). Transient Accept errors —
+// EMFILE under fd exhaustion, ECONNABORTED, momentary resource pressure —
+// are retried with capped exponential backoff instead of killing the accept
+// loop permanently; only the listener closing (Shutdown/Close) ends it.
+func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		backoff := 5 * time.Millisecond
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
-				return
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				s.mu.RLock()
+				closed := s.closed
+				s.mu.RUnlock()
+				if closed {
+					return
+				}
+				s.acceptRetries.Add(1)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				continue
 			}
+			backoff = 5 * time.Millisecond
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
@@ -240,7 +353,6 @@ func (s *Server) Listen(addr string) (string, error) {
 			}()
 		}
 	}()
-	return ln.Addr().String(), nil
 }
 
 // Shutdown gracefully stops the server: it stops accepting new connections
@@ -339,8 +451,18 @@ func (s *Server) serveConn(conn net.Conn) {
 	w := bufio.NewWriterSize(conn, 64*1024)
 	max := frameCap(s.MaxFrameSize)
 	for {
+		if s.ConnIdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ConnIdleTimeout))
+		}
 		method, budget, payload, checksummed, err := readRequest(r, max)
 		if err != nil {
+			if isTimeout(err) {
+				// Idle eviction: the client held the connection without
+				// sending a request for the whole window. Dropping it frees
+				// the goroutine and lets Shutdown finish.
+				s.evictions.Add(1)
+				return
+			}
 			// Integrity violations earn a best-effort typed refusal before the
 			// connection dies: the stream can no longer be trusted to be
 			// framed, but the length-prefixed reply usually still lands and
@@ -360,11 +482,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.RUnlock()
 		var status byte
 		var resp []byte
+		ok, overloaded := false, false
+		if h != nil {
+			ok, overloaded = s.beginCall()
+		}
 		switch {
 		case h == nil:
 			status = statusError
 			resp = []byte(fmt.Sprintf("rpcx: unknown method %q", method))
-		case !s.beginCall():
+		case overloaded:
+			// In-flight cap reached: refuse typed instead of queueing the
+			// work. The client sees a retryable *OverloadError.
+			status = statusOverload
+			resp = []byte(fmt.Sprintf("in-flight cap %d reached", s.MaxInflight))
+		case !ok:
 			status = statusError
 			resp = []byte("rpcx: server shutting down")
 		case budget > 0 && s.estimatedCost(method) > budget:
@@ -378,34 +509,78 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.estimatedCost(method).Round(time.Microsecond), budget))
 			s.endCall()
 		default:
-			start := time.Now()
-			if resp, err = h(payload); err != nil {
-				status = statusError
-				resp = []byte(err.Error())
-			} else {
-				s.observeCost(method, time.Since(start))
-			}
+			status, resp = s.invoke(method, h, payload)
 			s.endCall()
 		}
-		if err := writeResponse(w, status, resp, respChecksum); err != nil {
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		err = writeResponse(w, status, resp, respChecksum)
+		if err == nil {
+			err = w.Flush()
+		}
+		if err != nil {
+			if isTimeout(err) {
+				// Write eviction: the client stopped draining its socket and
+				// our response could not land within the window.
+				s.evictions.Add(1)
+			}
 			return
 		}
-		if err := w.Flush(); err != nil {
-			return
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Time{})
 		}
 	}
 }
 
-// beginCall registers an in-flight handler invocation; it reports false when
-// the server is draining and the request must be rejected.
-func (s *Server) beginCall() bool {
+// invoke runs one handler with panic isolation: a panicking handler fails
+// its request with a typed statusPanic response — carrying the recovered
+// value and a truncated stack — and never takes down the daemon or the
+// connection.
+func (s *Server) invoke(method string, h Handler, payload []byte) (status byte, resp []byte) {
+	start := time.Now()
+	panicked := true
+	defer func() {
+		if !panicked {
+			return
+		}
+		r := recover()
+		s.panics.Add(1)
+		stack := make([]byte, maxPanicStack)
+		stack = stack[:runtime.Stack(stack, false)]
+		status = statusPanic
+		resp = []byte(fmt.Sprintf("%v\n\n%s", r, stack))
+	}()
+	out, err := h(payload)
+	panicked = false
+	if err != nil {
+		return statusError, []byte(err.Error())
+	}
+	s.observeCost(method, time.Since(start))
+	return statusOK, out
+}
+
+// isTimeout reports whether err is a connection-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// beginCall registers an in-flight handler invocation. ok is false when the
+// request must be rejected; overloaded additionally marks the rejection as a
+// MaxInflight refusal (typed statusOverload) rather than a drain.
+func (s *Server) beginCall() (ok, overloaded bool) {
 	s.inflightMu.Lock()
 	defer s.inflightMu.Unlock()
 	if s.draining {
-		return false
+		return false, false
+	}
+	if s.MaxInflight > 0 && s.inflightN >= s.MaxInflight {
+		s.overloads.Add(1)
+		return false, true
 	}
 	s.inflightN++
-	return true
+	return true, false
 }
 
 // endCall retires an in-flight handler invocation and releases a pending
@@ -450,6 +625,13 @@ const (
 	// the server's description; the server closes the connection right after
 	// sending it because the stream can no longer be trusted to be framed.
 	statusCorrupt = 3
+	// statusPanic reports that the handler panicked and was recovered; the
+	// payload is the recovered value plus a truncated stack. The connection
+	// stays usable — a panic fails one request, not the stream.
+	statusPanic = 4
+	// statusOverload is a typed refusal at the server's in-flight cap; the
+	// payload names the cap. Retryable: backoff gives the server room.
+	statusOverload = 5
 )
 
 // DefaultMaxFrameSize caps a frame's body length when the peer did not
@@ -681,9 +863,13 @@ type Client struct {
 	// corruptFrames counts integrity violations observed on this client's
 	// calls: response frames that failed their checksum or cap locally, plus
 	// typed statusCorrupt refusals from the server. redials counts successful
-	// connection replacements after poisoning.
+	// connection replacements after poisoning. panics counts statusPanic
+	// responses (the peer's handler panicked); overloads counts statusOverload
+	// refusals (the peer's in-flight cap).
 	corruptFrames atomic.Uint64
 	redials       atomic.Uint64
+	panics        atomic.Uint64
+	overloads     atomic.Uint64
 }
 
 // Dial connects to addr. If shaper is non-nil, outbound traffic is
@@ -743,6 +929,14 @@ func (c *Client) CorruptFrames() uint64 { return c.corruptFrames.Load() }
 // Redials returns how many times a poisoned connection was successfully
 // replaced with a fresh one.
 func (c *Client) Redials() uint64 { return c.redials.Load() }
+
+// Panics returns how many typed handler-panic responses (*PanicError) this
+// client has received from its peer.
+func (c *Client) Panics() uint64 { return c.panics.Load() }
+
+// Overloads returns how many typed overload refusals (*OverloadError) this
+// client has received from its peer.
+func (c *Client) Overloads() uint64 { return c.overloads.Load() }
 
 // MarkIdempotent declares methods safe to retry after a transport failure:
 // re-executing them on the server has no side effects. Unmarked methods are
@@ -847,13 +1041,16 @@ func (c *Client) CallBudget(method string, payload []byte, d, budget time.Durati
 
 // retryable reports whether an error may be fixed by re-dialing and trying
 // again: transport-level failures — including corrupt frames, whose re-send
-// travels clean bytes on a fresh connection — qualify; application-level
-// RemoteErrors (the handler ran and answered) and BudgetErrors (the server
-// answered with a deterministic refusal) do not.
+// travels clean bytes on a fresh connection — qualify, as do typed overload
+// refusals (backoff gives the server room to drain); application-level
+// RemoteErrors (the handler ran and answered), BudgetErrors (deterministic
+// refusal), and PanicErrors (the handler executed partway; a second attempt
+// could duplicate its effect) do not.
 func retryable(err error) bool {
 	var re *RemoteError
 	var be *BudgetError
-	return !errors.As(err, &re) && !errors.As(err, &be)
+	var pe *PanicError
+	return !errors.As(err, &re) && !errors.As(err, &be) && !errors.As(err, &pe)
 }
 
 // redialLocked replaces a broken connection with a fresh dial to the
@@ -914,6 +1111,15 @@ func (c *Client) callOnceLocked(method string, payload []byte, d, budget time.Du
 		return resp, nil
 	case statusBudget:
 		return nil, &BudgetError{Method: method, Budget: budget, Msg: string(resp)}
+	case statusPanic:
+		// The handler panicked but the server recovered: the connection is
+		// fine, the one call failed. Typed so the scheduler can count panics
+		// per device and demote a wedged daemon.
+		c.panics.Add(1)
+		return nil, &PanicError{Method: method, Msg: string(resp)}
+	case statusOverload:
+		c.overloads.Add(1)
+		return nil, &OverloadError{Method: method, Msg: string(resp)}
 	case statusCorrupt:
 		// The server could not trust our request frame and is closing the
 		// connection; poison it here too so the next attempt re-dials.

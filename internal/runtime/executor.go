@@ -39,6 +39,13 @@ func (e *Executor) Register(s *rpcx.Server) {
 	s.Handle(ExecBlockMethod, e.handleExecBlock)
 }
 
+// ExecBlockHandler exposes the raw exec.block handler so callers can wrap it
+// (fault injection in chaos tests, instrumentation) before registering the
+// wrapper under ExecBlockMethod themselves.
+func (e *Executor) ExecBlockHandler() func([]byte) ([]byte, error) {
+	return e.handleExecBlock
+}
+
 func (e *Executor) handleExecBlock(payload []byte) ([]byte, error) {
 	if len(payload) < blockHeaderLen {
 		return nil, fmt.Errorf("runtime: short exec.block payload")

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"murmuration/internal/limit"
 	"murmuration/internal/rpcx"
 	"murmuration/internal/stats"
 	"murmuration/internal/supernet"
@@ -36,6 +37,17 @@ import (
 // Corrupt frames (rpcx.ErrCorruptFrame) are classified like budget
 // exhaustion: a link fault, never a device fault, so corruption alone cannot
 // demote a healthy device.
+//
+// Self-protection rides the same path: every remote device has an AIMD
+// concurrency limiter (internal/limit) capping in-flight tile calls —
+// comfortable completions grow the cap, congestion signals (timeouts,
+// budget/overload refusals, panics) cut it — so an overloaded or wedged
+// daemon sheds load at dispatch instead of accumulating goroutines. Overload
+// refusals (limit.ErrLimited locally, rpcx.ErrOverloaded from the server)
+// are load signals, never device faults. A handler panic (rpcx.ErrPanic)
+// fails its one request; only a streak of PanicFaultThreshold consecutive
+// panics from the same device is classified as a device fault, letting the
+// failure detector demote a daemon wedged in a deterministic panic.
 type Scheduler struct {
 	Local *supernet.Supernet
 	// Remotes[i] is the client for device i+1 (device 0 is local).
@@ -56,10 +68,23 @@ type Scheduler struct {
 	latMu  sync.Mutex
 	latWin *stats.Window
 
+	// limiters[i] is the adaptive concurrency limiter for device i+1;
+	// panicStreaks[i] counts consecutive panic responses from device i+1
+	// (reset on any success). Both are sized to Remotes by NewScheduler.
+	limiters     []*limit.AIMD
+	panicStreaks []atomic.Int32
+
 	remoteCalls atomic.Uint64
 	hedges      atomic.Uint64
 	hedgeWins   atomic.Uint64
+	overloads   atomic.Uint64
 }
+
+// PanicFaultThreshold is how many consecutive panic responses from one
+// device the scheduler tolerates as request faults before classifying the
+// next one as a device fault (driving demotion and failover). One panic is
+// a bad request; a streak is a wedged daemon.
+const PanicFaultThreshold = 3
 
 // HedgePolicy configures hedged tile RPCs (Dean & Barroso, "The Tail at
 // Scale"). Zero values select the defaults.
@@ -98,11 +123,26 @@ type SchedStats struct {
 	// re-establishments those (and other torn-connection events) forced.
 	CorruptFrames uint64
 	Redials       uint64
+	// Panics counts typed handler-panic responses received across all remote
+	// clients. Overloads counts overload sheds: local limiter refusals plus
+	// typed server in-flight-cap refusals.
+	Panics    uint64
+	Overloads uint64
+	// LimiterCuts counts multiplicative limit decreases across all device
+	// limiters; LimiterLimit is the summed current limit (a gauge).
+	LimiterCuts  uint64
+	LimiterLimit uint64
 }
 
 // NewScheduler creates a scheduler for a local supernet and remote clients.
 func NewScheduler(local *supernet.Supernet, remotes []*rpcx.Client) *Scheduler {
-	return &Scheduler{Local: local, Remotes: remotes, latWin: stats.NewWindow(128)}
+	s := &Scheduler{Local: local, Remotes: remotes, latWin: stats.NewWindow(128)}
+	s.limiters = make([]*limit.AIMD, len(remotes))
+	for i := range s.limiters {
+		s.limiters[i] = limit.New(limit.Options{})
+	}
+	s.panicStreaks = make([]atomic.Int32, len(remotes))
+	return s
 }
 
 // Stats returns a snapshot of the remote-dispatch counters.
@@ -111,6 +151,7 @@ func (s *Scheduler) Stats() SchedStats {
 		RemoteCalls: s.remoteCalls.Load(),
 		Hedges:      s.hedges.Load(),
 		HedgeWins:   s.hedgeWins.Load(),
+		Overloads:   s.overloads.Load(),
 	}
 	for _, c := range s.Remotes {
 		if c == nil {
@@ -118,8 +159,66 @@ func (s *Scheduler) Stats() SchedStats {
 		}
 		st.CorruptFrames += c.CorruptFrames()
 		st.Redials += c.Redials()
+		st.Panics += c.Panics()
+		st.Overloads += c.Overloads()
+	}
+	for _, l := range s.limiters {
+		snap := l.Snapshot()
+		st.LimiterCuts += snap.Cuts
+		st.LimiterLimit += uint64(snap.Limit)
 	}
 	return st
+}
+
+// Limiter returns device dev's concurrency limiter (nil when dev is out of
+// range or the scheduler was built without NewScheduler).
+func (s *Scheduler) Limiter(dev int) *limit.AIMD {
+	if dev < 1 || dev > len(s.limiters) {
+		return nil
+	}
+	return s.limiters[dev-1]
+}
+
+// notePanic records a panic response from device dev and returns the streak
+// length; noteSuccess resets it.
+func (s *Scheduler) notePanic(dev int) int32 {
+	if dev < 1 || dev > len(s.panicStreaks) {
+		return 0
+	}
+	return s.panicStreaks[dev-1].Add(1)
+}
+
+func (s *Scheduler) noteSuccess(dev int) {
+	if dev < 1 || dev > len(s.panicStreaks) {
+		return
+	}
+	s.panicStreaks[dev-1].Store(0)
+}
+
+// panicStreak returns the current consecutive-panic count for device dev.
+func (s *Scheduler) panicStreak(dev int) int32 {
+	if dev < 1 || dev > len(s.panicStreaks) {
+		return 0
+	}
+	return s.panicStreaks[dev-1].Load()
+}
+
+// releaseOutcome maps a tile call's result onto the limiter dynamics:
+// success grows the limit, load signals (timeout, budget refusal, overload,
+// panic — a wedged daemon should see fewer concurrent calls, not more) cut
+// it, anything else is neutral.
+func releaseOutcome(err error) limit.Outcome {
+	switch {
+	case err == nil:
+		return limit.OK
+	case errors.Is(err, rpcx.ErrTimeout),
+		errors.Is(err, rpcx.ErrBudgetExhausted),
+		errors.Is(err, rpcx.ErrOverloaded),
+		errors.Is(err, rpcx.ErrPanic):
+		return limit.Congested
+	default:
+		return limit.Neutral
+	}
 }
 
 // DeviceError is an inference failure attributable to one device: a remote
@@ -281,6 +380,20 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 			if errors.Is(err, rpcx.ErrCorruptFrame) {
 				return nil, fmt.Errorf("runtime: tile %d: %w", t, err)
 			}
+			// Overload refusals — the limiter's local shed or the server's
+			// typed in-flight-cap refusal — are load signals, never faults:
+			// nothing failed, work was declined. Demoting the device would
+			// turn congestion into an outage.
+			if errors.Is(err, limit.ErrLimited) || errors.Is(err, rpcx.ErrOverloaded) {
+				return nil, fmt.Errorf("runtime: tile %d: %w", t, err)
+			}
+			// A lone handler panic is a request fault — the input (or a bug it
+			// tickled) killed one call, the daemon recovered. Only a streak of
+			// consecutive panics marks the device itself as wedged.
+			if errors.Is(err, rpcx.ErrPanic) && assign[t] > 0 &&
+				s.panicStreak(assign[t]) < PanicFaultThreshold {
+				return nil, fmt.Errorf("runtime: tile %d on device %d: %w", t, assign[t], err)
+			}
 			if assign[t] > 0 {
 				return nil, &DeviceError{Device: assign[t], Tile: t, Err: err}
 			}
@@ -374,8 +487,35 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 	if err != nil {
 		return nil, err
 	}
+	// Adaptive concurrency limit: dispatch past the device's learned limit is
+	// shed typed instead of queueing as goroutines. The brief wait absorbs
+	// sub-RTT bursts without turning the limiter into a queue.
+	lim := s.Limiter(dev)
+	if lim != nil {
+		wait := 50 * time.Millisecond
+		if timeout > 0 && timeout/4 < wait {
+			wait = timeout / 4
+		}
+		if !lim.AcquireWait(wait) {
+			s.overloads.Add(1)
+			return nil, fmt.Errorf("runtime: tile dispatch to device %d shed: %w", dev, limit.ErrLimited)
+		}
+	}
 	primary := s.Remotes[dev-1]
 	s.remoteCalls.Add(1)
+	// finishPrimary releases the limiter slot with the call's outcome and
+	// maintains the device's panic streak. Runs exactly once per dispatch,
+	// wherever the primary call actually completes.
+	finishPrimary := func(err error) {
+		if lim != nil {
+			lim.Release(releaseOutcome(err))
+		}
+		if err == nil {
+			s.noteSuccess(dev)
+		} else if errors.Is(err, rpcx.ErrPanic) {
+			s.notePanic(dev)
+		}
+	}
 
 	var policy HedgePolicy
 	alt := 0
@@ -388,6 +528,7 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 	if alt <= 0 || alt == dev || alt > len(s.Remotes) {
 		start := time.Now()
 		resp, err := primary.CallBudget(ExecBlockMethod, payload, timeout, budget)
+		finishPrimary(err)
 		if err == nil {
 			s.observeTileLatency(time.Since(start))
 		}
@@ -403,6 +544,7 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 	start := time.Now()
 	go func() {
 		resp, err := primary.CallBudget(ExecBlockMethod, payload, timeout, budget)
+		finishPrimary(err)
 		results <- tileResult{resp, err, false}
 	}()
 
@@ -433,17 +575,38 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 			outstanding--
 		case <-hedgeC:
 			hedgeC = nil
+			// A hedge never waits on the alternate's limiter: if the
+			// alternate is itself saturated, racing more work at it would
+			// only spread the congestion.
+			altLim := s.Limiter(alt)
+			if altLim != nil && !altLim.TryAcquire() {
+				continue
+			}
 			if !s.tryHedgeToken(policy.BudgetFrac) {
+				if altLim != nil {
+					altLim.Release(limit.Neutral)
+				}
 				continue
 			}
 			outstanding++
 			go func() {
 				t2, b2, err := s.tileBudget(deadline)
 				if err != nil {
+					if altLim != nil {
+						altLim.Release(limit.Neutral)
+					}
 					results <- tileResult{nil, err, true}
 					return
 				}
 				resp, err := s.Remotes[alt-1].CallBudget(ExecBlockMethod, payload, t2, b2)
+				if altLim != nil {
+					altLim.Release(releaseOutcome(err))
+				}
+				if err == nil {
+					s.noteSuccess(alt)
+				} else if errors.Is(err, rpcx.ErrPanic) {
+					s.notePanic(alt)
+				}
 				results <- tileResult{resp, err, true}
 			}()
 		}

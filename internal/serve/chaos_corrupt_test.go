@@ -13,6 +13,7 @@ import (
 	"murmuration/internal/rpcx"
 	"murmuration/internal/runtime"
 	"murmuration/internal/supernet"
+	"murmuration/internal/testutil"
 )
 
 // TestChaosCorruption drives the gateway through sustained load while the
@@ -28,6 +29,7 @@ import (
 //     keeps both devices Up and no failover fires;
 //   - when the corruption clears, throughput fully recovers.
 func TestChaosCorruption(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const (
 		corruptRate  = 1e-3
 		baselineReqs = 5

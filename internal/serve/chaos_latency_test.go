@@ -11,6 +11,7 @@ import (
 	"murmuration/internal/rpcx"
 	"murmuration/internal/runtime"
 	"murmuration/internal/supernet"
+	"murmuration/internal/testutil"
 )
 
 // TestChaosLatencySpike drives the gateway through a scripted network
@@ -27,6 +28,7 @@ import (
 //     both devices Up and no failover is attempted;
 //   - once the spike clears, the hysteresis ladder climbs back to rung 0.
 func TestChaosLatencySpike(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const (
 		sloMs        = 1500
 		spikeDelay   = 600 * time.Millisecond

@@ -12,6 +12,7 @@ import (
 	"murmuration/internal/rpcx"
 	"murmuration/internal/runtime"
 	"murmuration/internal/supernet"
+	"murmuration/internal/testutil"
 )
 
 // remoteDecider always places every tile on placement device 1 — the
@@ -171,6 +172,7 @@ func TestAttachClusterFailoverEvents(t *testing.T) {
 // daemon returns the detector must reintegrate it so strategies place work
 // there again.
 func TestChaosDeviceKill(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const (
 		numClients    = 8
 		reqsPerClient = 6

@@ -11,6 +11,7 @@ import (
 	"murmuration/internal/rpcx"
 	"murmuration/internal/runtime"
 	"murmuration/internal/tensor"
+	"murmuration/internal/testutil"
 )
 
 // TestServeUnderLoad fires N concurrent clients at a gateway over real rpcx
@@ -20,6 +21,7 @@ import (
 // nothing grows without bound. Run under -race this is the subsystem's
 // concurrency test.
 func TestServeUnderLoad(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const (
 		numClients    = 40 // 32 latency-SLO + 8 accuracy/best-effort
 		reqsPerClient = 3

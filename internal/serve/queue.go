@@ -7,6 +7,7 @@ import (
 	"murmuration/internal/cluster"
 	"murmuration/internal/runtime"
 	"murmuration/internal/tensor"
+	"murmuration/internal/watchdog"
 )
 
 // request is one queued inference.
@@ -18,6 +19,10 @@ type request struct {
 	deadline time.Time // zero for non-latency classes
 	enqueued time.Time
 	done     chan Outcome // buffered(1); exactly one Outcome is ever sent
+	// sent guards the done channel (under Gateway.mu): delivery must be
+	// idempotent so a panic recovered mid-delivery cannot double-send into
+	// the buffered(1) channel and wedge a worker.
+	sent bool
 }
 
 // expired reports whether the request's deadline has passed.
@@ -52,6 +57,13 @@ type Gateway struct {
 	// Guarded by mu; the Manager itself is internally synchronized.
 	cluster *cluster.Manager
 
+	// brownout marks the watchdog's resource-pressure signal: while set,
+	// admission tightens (best-effort shed, queue depth halved) and the
+	// ladder floor is raised to BrownoutRung. wd is the attached watchdog
+	// (nil until AttachWatchdog), source of the resource gauges in Stats.
+	brownout bool
+	wd       *watchdog.Watchdog
+
 	stats Stats
 
 	workers sync.WaitGroup
@@ -83,7 +95,21 @@ func (g *Gateway) admit(req *request) error {
 		return ErrShuttingDown
 	}
 	q := req.class
-	if len(g.queues[q]) >= g.opts.QueueDepth {
+	depth := g.opts.QueueDepth
+	if g.brownout {
+		// Brownout admission: best-effort traffic is refused outright and
+		// every queue runs at half depth — the fastest way to shrink the
+		// goroutine and heap footprint is to hold less work.
+		if q == ClassBestEffort {
+			g.stats.Shed++
+			g.stats.Overloads++
+			return ErrOverloaded
+		}
+		if depth /= 2; depth < 1 {
+			depth = 1
+		}
+	}
+	if len(g.queues[q]) >= depth {
 		g.stats.Shed++
 		return ErrQueueFull
 	}
@@ -163,8 +189,13 @@ func (g *Gateway) collectCompatible(head *request, max int, now time.Time) []*re
 }
 
 // failLocked delivers an error outcome for an admitted request that will
-// not execute and updates the drop counters. Caller holds g.mu.
+// not execute and updates the drop counters. Caller holds g.mu. A request
+// that already received its outcome is left alone (idempotent delivery).
 func (g *Gateway) failLocked(req *request, err error) {
+	if req.sent {
+		return
+	}
+	req.sent = true
 	g.stats.Dropped++
 	if req.class == ClassLatency {
 		g.stats.DeadlineMissed++
@@ -172,9 +203,63 @@ func (g *Gateway) failLocked(req *request, err error) {
 	req.done <- Outcome{Err: err}
 }
 
+// deliver sends a request's outcome exactly once; it reports false when the
+// request already received one. The buffered(1) done channel never blocks a
+// first send.
+func (g *Gateway) deliver(req *request, out Outcome) bool {
+	g.mu.Lock()
+	if req.sent {
+		g.mu.Unlock()
+		return false
+	}
+	req.sent = true
+	g.mu.Unlock()
+	req.done <- out
+	return true
+}
+
 // Ladder exposes the gateway's degradation ladder for observation (current
 // rung, degradation/promotion counters).
 func (g *Gateway) Ladder() *runtime.Ladder { return g.ladder }
+
+// SetBrownout raises or clears the gateway's brownout: on entry the ladder
+// floor jumps to BrownoutRung (every batch at least one rung degraded) and
+// admission tightens; on exit the floor drops back to 0 and the ladder
+// climbs home through its normal hysteresis. Idempotent per edge. Wired to
+// the watchdog's OnBrownout/OnClear callbacks by the daemons.
+func (g *Gateway) SetBrownout(on bool) {
+	g.mu.Lock()
+	changed := g.brownout != on
+	g.brownout = on
+	if changed && on {
+		g.stats.Brownouts++
+	}
+	g.mu.Unlock()
+	if !changed {
+		return
+	}
+	if on {
+		g.ladder.SetFloor(BrownoutRung)
+	} else {
+		g.ladder.SetFloor(0)
+	}
+}
+
+// Brownout reports whether the gateway is currently in brownout.
+func (g *Gateway) Brownout() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.brownout
+}
+
+// AttachWatchdog records the resource watchdog whose gauges ride Stats. The
+// caller remains responsible for the watchdog's lifecycle (Start/Close) and
+// for wiring its callbacks to SetBrownout.
+func (g *Gateway) AttachWatchdog(w *watchdog.Watchdog) {
+	g.mu.Lock()
+	g.wd = w
+	g.mu.Unlock()
+}
 
 // ResetWaitEstimates clears the per-class queue-wait EMAs. The cluster glue
 // calls it when a device is demoted or reinstated: batch cost just changed
@@ -197,6 +282,15 @@ func (g *Gateway) Stats() Stats {
 	ss := g.rt.Scheduler.Stats()
 	s.Hedges, s.HedgeWins = ss.Hedges, ss.HedgeWins
 	s.CorruptFrames, s.Redials = ss.CorruptFrames, ss.Redials
+	s.RemotePanics = ss.Panics
+	s.LimiterCuts, s.LimiterLimit = ss.LimiterCuts, ss.LimiterLimit
+	if g.brownout {
+		s.BrownoutActive = 1
+	}
+	if g.wd != nil {
+		s.Goroutines = uint64(g.wd.Goroutines())
+		s.HeapBytes = g.wd.HeapBytes()
+	}
 	for c := Class(0); c < numClasses; c++ {
 		s.QueueDepth[c] = len(g.queues[c])
 	}

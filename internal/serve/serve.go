@@ -74,7 +74,16 @@ var (
 	ErrDeadlineMissed = errors.New("serve: deadline missed in queue")
 	// ErrShuttingDown rejects work during/after gateway shutdown.
 	ErrShuttingDown = errors.New("serve: shed: gateway shutting down")
+	// ErrOverloaded sheds a request because the gateway is protecting itself:
+	// a watchdog brownout tightened admission, or dispatch hit a concurrency
+	// limit downstream. Like every shed it is a refusal, not a failure.
+	ErrOverloaded = errors.New("serve: shed: overloaded")
 )
+
+// BrownoutRung is the degradation-ladder floor a watchdog brownout raises:
+// under resource pressure every batch executes at least one rung degraded,
+// trading quality for headroom until the pressure clears.
+const BrownoutRung = 1
 
 // Options configures a Gateway. Zero values select the defaults.
 type Options struct {
@@ -182,6 +191,28 @@ type Stats struct {
 	ClusterUp      uint64
 	ClusterSuspect uint64
 	ClusterDown    uint64
+	// Panics counts batch executions that panicked inside the gateway and
+	// were recovered (the batch failed, the process survived); RemotePanics
+	// counts typed handler-panic responses received from daemons.
+	Panics       uint64
+	RemotePanics uint64
+	// Overloads counts requests shed or dropped as overload refusals: brownout
+	// admission sheds plus batches refused by a concurrency limit (local AIMD
+	// or a daemon's in-flight cap). Overload is never a fault — these ride
+	// Shed/Dropped in the ledger, never Failed.
+	Overloads uint64
+	// LimiterCuts counts multiplicative cuts across the scheduler's per-device
+	// AIMD limiters; LimiterLimit is their summed current limit (a gauge).
+	LimiterCuts  uint64
+	LimiterLimit uint64
+	// Brownouts counts watchdog brownout activations; BrownoutActive is 1
+	// while the gateway is currently in brownout (a gauge).
+	Brownouts      uint64
+	BrownoutActive uint64
+	// Goroutines / HeapBytes are the watchdog's last resource samples (0 when
+	// no watchdog is attached). Gauges, not counters.
+	Goroutines uint64
+	HeapBytes  uint64
 	// QueueDepth is the current per-class queue occupancy.
 	QueueDepth [numClasses]int
 	// Cache is the runtime strategy-cache snapshot (occupancy, hit-rate).

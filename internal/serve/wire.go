@@ -30,7 +30,7 @@ const (
 //	                f64 sloValue | tensor.Encode(image)
 //	infer response: u8 batchSize | u8 cacheHit | u64 queueWaitµs
 //	                u64 execµs | u64 decideµs | tensor.Encode(logits)
-//	stats response: u8 version | 29 × u64 (see encodeStats)
+//	stats response: u8 version | 38 × u64 (see encodeStats)
 const inferHeaderLen = 1 + 8
 
 // statsWireVersion is the leading byte of the stats frame, bumped whenever
@@ -40,7 +40,9 @@ const inferHeaderLen = 1 + 8
 //
 //	v3: +Degraded, +DegradedRungs, +BudgetExhausted, +Hedges, +HedgeWins
 //	v4: +CorruptFrames, +Redials
-const statsWireVersion = 4
+//	v5: +Panics, +RemotePanics, +Overloads, +LimiterCuts, +LimiterLimit,
+//	    +Brownouts, +BrownoutActive, +Goroutines, +HeapBytes
+const statsWireVersion = 5
 
 // WireVersionError is the typed mismatch a client gets when the gateway
 // speaks a different stats frame version.
@@ -125,8 +127,8 @@ func decodeSLO(typ byte, value float64) (runtime.SLO, error) {
 }
 
 // statsFieldCount is the number of u64 fields in the stats wire encoding:
-// 20 counters + 3 queue depths + 6 cache fields.
-const statsFieldCount = 29
+// 29 counters/gauges + 3 queue depths + 6 cache fields.
+const statsFieldCount = 38
 
 // statsFields lists the counter fields in wire order; queue depths and
 // cache stats follow them in encodeStats/decodeStats.
@@ -139,6 +141,10 @@ func statsFields(s *Stats) []*uint64 {
 		&s.Hedges, &s.HedgeWins,
 		&s.CorruptFrames, &s.Redials,
 		&s.ClusterUp, &s.ClusterSuspect, &s.ClusterDown,
+		&s.Panics, &s.RemotePanics, &s.Overloads,
+		&s.LimiterCuts, &s.LimiterLimit,
+		&s.Brownouts, &s.BrownoutActive,
+		&s.Goroutines, &s.HeapBytes,
 	}
 }
 
@@ -316,4 +322,27 @@ func IsCorruptFrame(err error) bool {
 	}
 	return errors.Is(err, rpcx.ErrCorruptFrame) ||
 		strings.Contains(err.Error(), "corrupt frame")
+}
+
+// IsPanic reports whether err (local or remote) is a request failed by a
+// recovered panic — a daemon handler's (rpcx.ErrPanic) or the gateway's own
+// batch execution. The panic failed one request; the process survived.
+func IsPanic(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, rpcx.ErrPanic) ||
+		strings.Contains(err.Error(), "panicked")
+}
+
+// IsOverloaded reports whether err (local or remote) is an overload refusal:
+// a brownout admission shed, a concurrency-limit shed, or a daemon's typed
+// in-flight-cap refusal. Overload is backpressure, not failure — the caller
+// should back off and retry.
+func IsOverloaded(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, rpcx.ErrOverloaded) ||
+		strings.Contains(err.Error(), "overloaded")
 }

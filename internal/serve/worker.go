@@ -2,8 +2,11 @@ package serve
 
 import (
 	"errors"
+	"fmt"
+	goruntime "runtime"
 	"time"
 
+	"murmuration/internal/limit"
 	"murmuration/internal/rpcx"
 	"murmuration/internal/runtime"
 	"murmuration/internal/tensor"
@@ -17,8 +20,34 @@ func (g *Gateway) worker() {
 		if batch == nil {
 			return
 		}
-		g.execute(batch)
+		g.executeProtected(batch)
 	}
+}
+
+// panicStackCap bounds the stack capture attached to a recovered worker
+// panic's error.
+const panicStackCap = 4096
+
+// executeProtected runs one batch with panic isolation: a panic anywhere in
+// resolution, degradation, or execution fails that batch — every request
+// gets a typed error — and the worker loop survives to take the next batch.
+// Delivery is idempotent, so a panic after some outcomes were already sent
+// fails only the requests still waiting.
+func (g *Gateway) executeProtected(batch []*request) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		stack := make([]byte, panicStackCap)
+		stack = stack[:goruntime.Stack(stack, false)]
+		g.mu.Lock()
+		g.stats.Panics++
+		g.mu.Unlock()
+		err := fmt.Errorf("serve: batch execution panicked: %v\n%s", r, stack)
+		g.finishError(batch, err)
+	}()
+	g.execute(batch)
 }
 
 // nextBatch blocks until work is available and returns a batch of
@@ -154,6 +183,17 @@ func (g *Gateway) execute(batch []*request) {
 			g.dropBatch(batch, err)
 			return
 		}
+		if errors.Is(err, limit.ErrLimited) || errors.Is(err, rpcx.ErrOverloaded) {
+			// An overload refusal — the per-device limiter shed the dispatch,
+			// or the daemon's in-flight cap refused it. A refusal is not a
+			// malfunction: the batch is dropped (shed-shaped, retryable by
+			// the caller), never Failed, and no device is demoted for it.
+			g.mu.Lock()
+			g.stats.Overloads += uint64(len(batch))
+			g.mu.Unlock()
+			g.dropBatch(batch, fmt.Errorf("%w: %v", ErrOverloaded, err))
+			return
+		}
 		g.finishError(batch, err)
 		return
 	}
@@ -185,7 +225,7 @@ func (g *Gateway) execute(batch []*request) {
 	g.mu.Unlock()
 
 	for i, r := range batch {
-		r.done <- Outcome{
+		g.deliver(r, Outcome{
 			Logits:     outs[i],
 			QueueWait:  start.Sub(r.enqueued),
 			ExecTime:   execTime,
@@ -193,7 +233,7 @@ func (g *Gateway) execute(batch []*request) {
 			BatchSize:  len(batch),
 			CacheHit:   res.CacheHit,
 			Rung:       rung,
-		}
+		})
 	}
 }
 
@@ -262,11 +302,14 @@ func (g *Gateway) dropBatch(batch []*request, err error) {
 }
 
 // finishError fails every request of a batch whose execution errored.
+// Delivery is idempotent: requests that already received their outcome
+// (e.g. before a mid-delivery panic) are neither re-sent nor re-counted.
 func (g *Gateway) finishError(batch []*request, err error) {
-	g.mu.Lock()
-	g.stats.Failed += uint64(len(batch))
-	g.mu.Unlock()
 	for _, r := range batch {
-		r.done <- Outcome{Err: err}
+		if g.deliver(r, Outcome{Err: err}) {
+			g.mu.Lock()
+			g.stats.Failed++
+			g.mu.Unlock()
+		}
 	}
 }

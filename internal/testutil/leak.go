@@ -1,0 +1,42 @@
+// Package testutil holds shared test helpers. The goroutine-leak check
+// guards the self-protection work: a server that pins a goroutine per dead
+// client, or a worker pool that survives Close, shows up here as a count
+// that never returns to baseline.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakSlack absorbs runtime-internal goroutines (timer wheels, GC workers,
+// race-detector helpers) that come and go independently of the test body.
+const leakSlack = 10
+
+// CheckGoroutines snapshots the goroutine count and registers a cleanup that
+// fails the test if, after the body finishes, the count does not return to
+// within a small slack of the baseline. Background goroutines legitimately
+// take a moment to unwind after Close, so the check polls before judging.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before+leakSlack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after (slack %d)\n%s",
+			before, after, leakSlack, buf[:n])
+	})
+}

@@ -1,0 +1,184 @@
+package watchdog
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// burnGoroutines parks n goroutines until release is closed.
+func burnGoroutines(n int, release <-chan struct{}) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			<-release
+		}()
+	}
+	return &wg
+}
+
+func TestGoroutineThresholdTripsAndClears(t *testing.T) {
+	var mu sync.Mutex
+	var reasons []string
+	clears := 0
+	base := runtime.NumGoroutine()
+	w := New(Options{
+		MaxGoroutines: base + 50,
+		ClearAfter:    2,
+		OnBrownout:    func(r string) { mu.Lock(); reasons = append(reasons, r); mu.Unlock() },
+		OnClear:       func() { mu.Lock(); clears++; mu.Unlock() },
+	})
+
+	w.Sample()
+	if w.Active() {
+		t.Fatal("brownout active at baseline")
+	}
+
+	release := make(chan struct{})
+	wg := burnGoroutines(200, release)
+	defer func() { close(release); wg.Wait() }()
+
+	w.Sample()
+	if !w.Active() {
+		t.Fatalf("brownout not raised with %d goroutines over threshold %d",
+			w.Goroutines(), base+50)
+	}
+	if w.Brownouts() != 1 {
+		t.Fatalf("brownouts = %d, want 1", w.Brownouts())
+	}
+	mu.Lock()
+	if len(reasons) != 1 || reasons[0] == "" {
+		t.Fatalf("OnBrownout reasons = %q, want one non-empty", reasons)
+	}
+	mu.Unlock()
+
+	// Still over threshold: no re-fire, stays active.
+	w.Sample()
+	if got := w.Brownouts(); got != 1 {
+		t.Fatalf("repeated trip re-fired brownout: %d", got)
+	}
+
+	// Drop the pressure; needs ClearAfter consecutive clear samples.
+	close(release)
+	wg.Wait()
+	release = make(chan struct{}) // keep the deferred close safe
+	wg = burnGoroutines(0, release)
+
+	waitFor(t, time.Second, func() bool { return runtime.NumGoroutine() < base+40 })
+	w.Sample()
+	if !w.Active() {
+		t.Fatal("brownout released after a single clear sample; want ClearAfter=2")
+	}
+	w.Sample()
+	if w.Active() {
+		t.Fatal("brownout still active after ClearAfter clear samples")
+	}
+	mu.Lock()
+	if clears != 1 {
+		t.Fatalf("OnClear fired %d times, want 1", clears)
+	}
+	mu.Unlock()
+}
+
+func TestHeapThresholdTrips(t *testing.T) {
+	tripped := make(chan string, 1)
+	w := New(Options{
+		MaxHeapBytes: 1, // any live heap trips it
+		OnBrownout:   func(r string) { tripped <- r },
+	})
+	w.Sample()
+	select {
+	case r := <-tripped:
+		if r == "" {
+			t.Fatal("empty brownout reason")
+		}
+	default:
+		t.Fatal("heap threshold of 1 byte did not trip")
+	}
+	if w.HeapBytes() == 0 {
+		t.Fatal("heap gauge not recorded")
+	}
+}
+
+func TestDisabledThresholdsNeverTrip(t *testing.T) {
+	w := New(Options{OnBrownout: func(string) { t.Error("brownout with all checks disabled") }})
+	for i := 0; i < 5; i++ {
+		w.Sample()
+	}
+	if w.Active() || w.Brownouts() != 0 {
+		t.Fatalf("active=%v brownouts=%d with no thresholds", w.Active(), w.Brownouts())
+	}
+	if w.Samples() != 5 {
+		t.Fatalf("samples = %d, want 5", w.Samples())
+	}
+}
+
+func TestHysteresisHoldsBetweenBandAndThreshold(t *testing.T) {
+	// Trip on goroutines, then set the scene so the count sits between
+	// ReleaseFrac*Max and Max: the brownout must hold.
+	base := runtime.NumGoroutine()
+	release := make(chan struct{})
+	wg := burnGoroutines(100, release)
+	defer func() { close(release); wg.Wait() }()
+
+	w := New(Options{
+		MaxGoroutines: base + 50, // 100 burners put us over
+		ReleaseFrac:   0.5,
+		ClearAfter:    1,
+	})
+	w.Sample()
+	if !w.Active() {
+		t.Fatal("not tripped")
+	}
+
+	// Raise the threshold above the current count but keep the count above
+	// the release band: base+100 in [0.5*(base+150), base+150].
+	w.opts.MaxGoroutines = base + 150
+	w.Sample()
+	if !w.Active() {
+		t.Fatal("brownout released inside the hysteresis band")
+	}
+}
+
+func TestStartCloseLoop(t *testing.T) {
+	fired := make(chan struct{}, 1)
+	w := New(Options{
+		Interval:     2 * time.Millisecond,
+		MaxHeapBytes: 1,
+		OnBrownout: func(string) {
+			select {
+			case fired <- struct{}{}:
+			default:
+			}
+		},
+	})
+	w.Start()
+	w.Start() // idempotent
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sampling loop never fired the brownout callback")
+	}
+	w.Close()
+	w.Close() // idempotent
+	n := w.Samples()
+	time.Sleep(20 * time.Millisecond)
+	if got := w.Samples(); got != n {
+		t.Fatalf("samples advanced after Close: %d -> %d", n, got)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
