@@ -1,0 +1,65 @@
+package murmuration
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchSnapshot is the schema of the checked-in BENCH_N.json files: one
+// serving-throughput snapshot per PR, machine-readable so regressions show
+// up as a diff.
+type benchSnapshot struct {
+	Benchmark   string  `json:"benchmark"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	ReqPerSec   float64 `json:"req_per_s"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	BatchSize   float64 `json:"batch_size"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestEmitBenchJSON runs BenchmarkServeThroughput programmatically and writes
+// the snapshot named by MURMURATION_BENCH_JSON (e.g. BENCH_6.json). Gated on
+// the env var so `go test ./...` never runs a benchmark: emitting a snapshot
+// is an explicit act —
+//
+//	MURMURATION_BENCH_JSON=BENCH_6.json go test -run TestEmitBenchJSON .
+func TestEmitBenchJSON(t *testing.T) {
+	out := os.Getenv("MURMURATION_BENCH_JSON")
+	if out == "" {
+		t.Skip("set MURMURATION_BENCH_JSON=<path> to emit a bench snapshot")
+	}
+	res := testing.Benchmark(BenchmarkServeThroughput)
+	if res.N == 0 {
+		t.Fatal("benchmark did not run")
+	}
+	snap := benchSnapshot{
+		Benchmark:   "BenchmarkServeThroughput",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		N:           res.N,
+		NsPerOp:     float64(res.NsPerOp()),
+		ReqPerSec:   res.Extra["req/s"],
+		P50Ms:       res.Extra["p50_ms"],
+		P95Ms:       res.Extra["p95_ms"],
+		P99Ms:       res.Extra["p99_ms"],
+		BatchSize:   res.Extra["batch_size"],
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	js, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(js, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", out, js)
+}

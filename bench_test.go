@@ -11,7 +11,9 @@ package murmuration
 
 import (
 	"math/rand"
+	"sort"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -306,7 +308,9 @@ func BenchmarkFig19ModelSwitchTime(b *testing.B) {
 // BenchmarkServeThroughput measures the serving gateway end to end: b.N
 // latency-SLO requests from parallel clients through admission control,
 // dynamic batching, and local supernet execution. Reports achieved
-// requests/sec and the mean coalesced batch size.
+// requests/sec, per-request latency percentiles, the mean coalesced batch
+// size, and allocations per request. The same metrics feed the checked-in
+// BENCH_6.json snapshot (see bench_json_test.go).
 func BenchmarkServeThroughput(b *testing.B) {
 	a := supernet.TinyArch(4)
 	net := supernet.New(a, 42)
@@ -330,15 +334,27 @@ func BenchmarkServeThroughput(b *testing.B) {
 	x.RandNormal(rng, 0.5)
 	slo := runtime.SLO{Type: env.LatencySLO, Value: 60_000}
 
+	// Per-goroutine latency slices, merged under the mutex at the end —
+	// collection must not serialize the parallel submitters.
+	var mu sync.Mutex
+	var latencies []time.Duration
+
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 1024)
 		for pb.Next() {
+			t0 := time.Now()
 			if _, err := g.Submit(x, slo); err != nil {
 				b.Error(err)
 				return
 			}
+			local = append(local, time.Since(t0))
 		}
+		mu.Lock()
+		latencies = append(latencies, local...)
+		mu.Unlock()
 	})
 	elapsed := time.Since(start)
 	b.StopTimer()
@@ -348,4 +364,23 @@ func BenchmarkServeThroughput(b *testing.B) {
 	if st.Batches > 0 {
 		b.ReportMetric(float64(st.BatchedRequests)/float64(st.Batches), "batch_size")
 	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		b.ReportMetric(benchPercentileMs(latencies, 0.50), "p50_ms")
+		b.ReportMetric(benchPercentileMs(latencies, 0.95), "p95_ms")
+		b.ReportMetric(benchPercentileMs(latencies, 0.99), "p99_ms")
+	}
+}
+
+// benchPercentileMs reads the q-quantile of an ascending latency slice, in
+// milliseconds.
+func benchPercentileMs(sorted []time.Duration, q float64) float64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
 }

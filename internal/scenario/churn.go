@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"murmuration/internal/cluster"
+	"murmuration/internal/netem"
+)
+
+// ErrNotEnvironment is returned when a request event is handed to the
+// orchestrator: arrivals belong to the runner, not the churn path.
+var ErrNotEnvironment = errors.New("scenario: request events are workload, not environment")
+
+// Target binds one trace device index to the live handles its environment
+// events act on. Every field is optional; events with no applicable handle
+// are an error so a mis-wired scenario fails loudly instead of silently
+// testing nothing.
+type Target struct {
+	// Shaper is the device's netem hook: delay, rate, loss, corruption, and
+	// blackhole transitions apply here.
+	Shaper *netem.Shaper
+	// Leave is called on EvDeviceLeave (e.g. kill the daemon). When nil,
+	// the shaper is blackholed for leaveBlackhole instead — the link-level
+	// emulation of a device that went dark.
+	Leave func()
+	// Join is called on EvDeviceJoin (e.g. restart the daemon). When nil,
+	// any active blackhole on the shaper is cleared.
+	Join func()
+}
+
+// leaveBlackhole is the outage window a hook-less EvDeviceLeave opens; long
+// enough that the device stays dark until an explicit EvDeviceJoin clears it.
+const leaveBlackhole = 24 * time.Hour
+
+// Orchestrator replays a trace's environment events against live daemons:
+// netem transitions go to each device's shaper, leave/join churn goes to the
+// kill/restart hooks (and optionally to the failure detector). It is safe
+// for concurrent use.
+type Orchestrator struct {
+	mu      sync.Mutex
+	targets []Target
+	cluster *cluster.Manager
+	applied uint64
+
+	// OnApply, when set, observes every successfully applied event
+	// (called outside the lock, in apply order per caller).
+	OnApply func(Event)
+}
+
+// NewOrchestrator binds trace device i to targets[i].
+func NewOrchestrator(targets []Target) *Orchestrator {
+	return &Orchestrator{targets: targets}
+}
+
+// AttachCluster optionally wires the failure detector in: EvDeviceLeave
+// additionally marks the member Down so detection does not wait out the
+// heartbeat silence (an operator-scripted removal is an unambiguous signal,
+// unlike an organic failure). Recovery still flows through heartbeats — the
+// detector, not the script, decides when a device is trustworthy again.
+func (o *Orchestrator) AttachCluster(m *cluster.Manager) {
+	o.mu.Lock()
+	o.cluster = m
+	o.mu.Unlock()
+}
+
+// Applied returns how many environment events have been applied so far.
+func (o *Orchestrator) Applied() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.applied
+}
+
+// Apply dispatches one environment event to its device's live handles.
+func (o *Orchestrator) Apply(ev Event) error {
+	if ev.IsRequest() {
+		return ErrNotEnvironment
+	}
+	o.mu.Lock()
+	if ev.Device < 0 || ev.Device >= len(o.targets) {
+		o.mu.Unlock()
+		return fmt.Errorf("scenario: event targets device %d, orchestrator has %d", ev.Device, len(o.targets))
+	}
+	tgt := o.targets[ev.Device]
+	mgr := o.cluster
+	o.mu.Unlock()
+
+	sh := tgt.Shaper
+	needShaper := func() error {
+		if sh == nil {
+			return fmt.Errorf("scenario: %v event for device %d, but no shaper bound", ev.Kind, ev.Device)
+		}
+		return nil
+	}
+	switch ev.Kind {
+	case EvSetDelay:
+		if err := needShaper(); err != nil {
+			return err
+		}
+		sh.SetDelay(time.Duration(ev.Value * float64(time.Millisecond)))
+	case EvSetRate:
+		if err := needShaper(); err != nil {
+			return err
+		}
+		sh.SetRate(ev.Value)
+	case EvSetLoss:
+		if err := needShaper(); err != nil {
+			return err
+		}
+		sh.SetLoss(ev.Value, ev.Seed)
+	case EvSetCorrupt:
+		if err := needShaper(); err != nil {
+			return err
+		}
+		sh.SetCorrupt(ev.Value, ev.Seed)
+	case EvBlackhole:
+		if err := needShaper(); err != nil {
+			return err
+		}
+		sh.Blackhole(time.Duration(ev.Value * float64(time.Millisecond)))
+	case EvDeviceLeave:
+		switch {
+		case tgt.Leave != nil:
+			tgt.Leave()
+		case sh != nil:
+			sh.Blackhole(leaveBlackhole)
+		default:
+			return fmt.Errorf("scenario: device-leave for device %d, but no leave hook or shaper bound", ev.Device)
+		}
+		if mgr != nil {
+			mgr.MarkDown(ev.Device)
+		}
+	case EvDeviceJoin:
+		switch {
+		case tgt.Join != nil:
+			tgt.Join()
+		case sh != nil:
+			sh.Blackhole(0)
+		default:
+			return fmt.Errorf("scenario: device-join for device %d, but no join hook or shaper bound", ev.Device)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown event kind %d", ev.Kind)
+	}
+	o.mu.Lock()
+	o.applied++
+	hook := o.OnApply
+	o.mu.Unlock()
+	if hook != nil {
+		hook(ev)
+	}
+	return nil
+}
+
+// Player replays a trace's environment timeline through an orchestrator on
+// a logical clock: Advance(t) synchronously applies every environment event
+// with offset <= t, in order, without sleeping. Tests use it to script fault
+// timelines deterministically — the kill happens exactly between two phases
+// of the test, not "hopefully after 50ms of wall time". A Player is not safe
+// for concurrent use; drive it from one goroutine (the runner drives its own
+// inline copy of this logic on the wall clock instead).
+type Player struct {
+	o      *Orchestrator
+	events []Event
+	pos    int
+}
+
+// NewPlayer extracts the trace's environment events (requests are skipped —
+// they belong to the runner) for replay through o.
+func NewPlayer(o *Orchestrator, t *Trace) *Player {
+	p := &Player{o: o}
+	for _, e := range t.Events {
+		if !e.IsRequest() {
+			p.events = append(p.events, e)
+		}
+	}
+	return p
+}
+
+// Advance applies every not-yet-applied environment event with At <= to and
+// returns how many were applied. The first apply error stops the replay at
+// that event (a later Advance retries it).
+func (p *Player) Advance(to time.Duration) (int, error) {
+	applied := 0
+	for p.pos < len(p.events) && p.events[p.pos].At <= to {
+		if err := p.o.Apply(p.events[p.pos]); err != nil {
+			return applied, err
+		}
+		p.pos++
+		applied++
+	}
+	return applied, nil
+}
+
+// Finish applies every remaining environment event.
+func (p *Player) Finish() (int, error) {
+	if len(p.events) == 0 {
+		return 0, nil
+	}
+	return p.Advance(p.events[len(p.events)-1].At)
+}
+
+// Remaining reports how many environment events have not yet been applied.
+func (p *Player) Remaining() int { return len(p.events) - p.pos }

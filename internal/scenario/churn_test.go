@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"murmuration/internal/netem"
+	"murmuration/internal/rl/env"
+)
+
+func TestOrchestratorDispatch(t *testing.T) {
+	sh := netem.NewShaper(0, 0)
+	o := NewOrchestrator([]Target{{Shaper: sh}})
+
+	if err := o.Apply(Event{Kind: EvSetDelay, Device: 0, Value: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Delay(); got != 40*time.Millisecond {
+		t.Fatalf("delay = %v, want 40ms", got)
+	}
+	if err := o.Apply(Event{Kind: EvBlackhole, Device: 0, Value: 1e7}); err != nil {
+		t.Fatal(err)
+	}
+	if !sh.OutageActive() {
+		t.Fatal("blackhole not active")
+	}
+	if err := o.Apply(Event{Kind: EvBlackhole, Device: 0, Value: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if sh.OutageActive() {
+		t.Fatal("blackhole not cleared")
+	}
+	if err := o.Apply(Event{Kind: EvSetLoss, Device: 0, Value: 0.5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Apply(Event{Kind: EvSetCorrupt, Device: 0, Value: 0.5, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Apply(Event{Kind: EvSetRate, Device: 0, Value: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Applied(); got != 6 {
+		t.Fatalf("applied = %d, want 6", got)
+	}
+}
+
+func TestOrchestratorLeaveJoin(t *testing.T) {
+	var left, joined int
+	o := NewOrchestrator([]Target{{
+		Leave: func() { left++ },
+		Join:  func() { joined++ },
+	}})
+	if err := o.Apply(Event{Kind: EvDeviceLeave, Device: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Apply(Event{Kind: EvDeviceJoin, Device: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if left != 1 || joined != 1 {
+		t.Fatalf("left=%d joined=%d, want 1/1", left, joined)
+	}
+
+	// Without hooks, leave/join fall back to a blackhole window on the shaper.
+	sh := netem.NewShaper(0, 0)
+	o2 := NewOrchestrator([]Target{{Shaper: sh}})
+	if err := o2.Apply(Event{Kind: EvDeviceLeave, Device: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !sh.OutageActive() {
+		t.Fatal("leave without hook should blackhole the shaper")
+	}
+	if err := o2.Apply(Event{Kind: EvDeviceJoin, Device: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if sh.OutageActive() {
+		t.Fatal("join without hook should clear the blackhole")
+	}
+}
+
+func TestOrchestratorErrors(t *testing.T) {
+	o := NewOrchestrator([]Target{{}})
+	if err := o.Apply(Event{Kind: EvRequest, SLOType: env.LatencySLO, Resolution: 32}); err != ErrNotEnvironment {
+		t.Fatalf("want ErrNotEnvironment, got %v", err)
+	}
+	if err := o.Apply(Event{Kind: EvSetDelay, Device: 5}); err == nil {
+		t.Fatal("want error for out-of-range device")
+	}
+	if err := o.Apply(Event{Kind: EvSetDelay, Device: 0}); err == nil {
+		t.Fatal("want error when no shaper is bound")
+	}
+	if err := o.Apply(Event{Kind: EvDeviceLeave, Device: 0}); err == nil {
+		t.Fatal("want error when no leave hook or shaper is bound")
+	}
+}
+
+func TestPlayerAdvance(t *testing.T) {
+	sh := netem.NewShaper(0, 0)
+	o := NewOrchestrator([]Target{{Shaper: sh}})
+	var order []Kind
+	o.OnApply = func(ev Event) { order = append(order, ev.Kind) }
+
+	tr := &Trace{
+		Name: "player",
+		Events: []Event{
+			{At: 0, Kind: EvRequest, SLOType: env.LatencySLO, SLOValue: 100, Resolution: 32},
+			{At: 10 * time.Millisecond, Kind: EvSetDelay, Device: 0, Value: 50},
+			{At: 20 * time.Millisecond, Kind: EvRequest, SLOType: env.LatencySLO, SLOValue: 100, Resolution: 32},
+			{At: 30 * time.Millisecond, Kind: EvDeviceLeave, Device: 0},
+			{At: 60 * time.Millisecond, Kind: EvDeviceJoin, Device: 0},
+			{At: 90 * time.Millisecond, Kind: EvSetDelay, Device: 0, Value: 0},
+		},
+	}
+	p := NewPlayer(o, tr)
+	if got := p.Remaining(); got != 4 {
+		t.Fatalf("remaining = %d, want 4 (requests excluded)", got)
+	}
+
+	n, err := p.Advance(30 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("applied %d events by t=30ms, want 2", n)
+	}
+	if !sh.OutageActive() {
+		t.Fatal("leave at t=30ms should have blackholed the shaper")
+	}
+
+	// Advancing to the same point again is a no-op.
+	if n, _ := p.Advance(30 * time.Millisecond); n != 0 {
+		t.Fatalf("re-advance applied %d events, want 0", n)
+	}
+
+	n, err = p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || p.Remaining() != 0 {
+		t.Fatalf("finish applied %d, remaining %d; want 2, 0", n, p.Remaining())
+	}
+	if sh.OutageActive() {
+		t.Fatal("join should have cleared the blackhole")
+	}
+
+	want := []Kind{EvSetDelay, EvDeviceLeave, EvDeviceJoin, EvSetDelay}
+	if len(order) != len(want) {
+		t.Fatalf("applied order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("applied order %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeTrace hammers the binary trace decoder with arbitrary bytes: it
+// must never panic or over-allocate (the caps reject forged counts before any
+// allocation), and any input it accepts must re-encode canonically — decode →
+// encode → decode → encode yields byte-identical output, even for traces
+// carrying NaN float payloads that defeat direct struct comparison.
+func FuzzDecodeTrace(f *testing.F) {
+	seed := sampleTrace()
+	var buf bytes.Buffer
+	if err := seed.EncodeBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("MTRC"))
+	f.Add(buf.Bytes()[:buf.Len()/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc1 bytes.Buffer
+		if err := tr.EncodeBinary(&enc1); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := DecodeBinary(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		var enc2 bytes.Buffer
+		if err := tr2.EncodeBinary(&enc2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatal("re-encode is not canonical")
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"murmuration/internal/runtime"
+	"murmuration/internal/serve"
+	"murmuration/internal/tensor"
+)
+
+// Submitter is the surface the runner drives load at. *serve.Gateway
+// satisfies it in-process; WireSubmitter adapts a serve.Client for driving a
+// remote gateway over rpcx.
+type Submitter interface {
+	Submit(x *tensor.Tensor, slo runtime.SLO) (serve.Outcome, error)
+}
+
+// WireSubmitter drives a remote gateway through its rpcx client. The
+// degradation rung does not travel the infer wire, so outcomes report
+// Rung = -1 (unknown) and the rung histogram comes from the gateway's stats
+// instead.
+type WireSubmitter struct {
+	Client *serve.Client
+	// Timeout bounds each call (0 waits indefinitely; see
+	// rpcx.Client.CallTimeout for the poisoning caveat).
+	Timeout time.Duration
+}
+
+// Submit implements Submitter.
+func (w *WireSubmitter) Submit(x *tensor.Tensor, slo runtime.SLO) (serve.Outcome, error) {
+	res, err := w.Client.Infer(x, slo, w.Timeout)
+	if err != nil {
+		return serve.Outcome{Rung: -1, Err: err}, err
+	}
+	return serve.Outcome{
+		Logits:     res.Logits,
+		QueueWait:  res.QueueWait,
+		ExecTime:   res.ExecTime,
+		DecideTime: res.DecideTime,
+		BatchSize:  res.BatchSize,
+		CacheHit:   res.CacheHit,
+		Rung:       -1,
+	}, nil
+}
+
+// RunOptions parameterizes Run.
+type RunOptions struct {
+	// Submitter receives every request arrival. Required.
+	Submitter Submitter
+	// Orchestrator receives every environment event. Optional: with none
+	// attached, environment events are counted as skipped (and OnEnvSkipped
+	// fires) instead of failing the run — a loadgen pointed at a remote
+	// gateway has no reach into that deployment's shapers.
+	Orchestrator *Orchestrator
+	// Speed compresses (>1) or dilates (<1) the trace clock. Default 1.
+	Speed float64
+	// Channels is the synthesized input's channel count (default 3).
+	Channels int
+	// MaxInFlight bounds concurrently outstanding submissions — open-loop
+	// arrivals do not wait for completions, but memory must stay bounded
+	// (default 1024). When the bound is hit the runner blocks, which shows
+	// up as late arrivals rather than lost ones.
+	MaxInFlight int
+	// OnEnvSkipped observes environment events dropped for lack of an
+	// orchestrator.
+	OnEnvSkipped func(Event)
+}
+
+// RunResult summarizes a replay.
+type RunResult struct {
+	Requests   uint64
+	EnvApplied uint64
+	EnvSkipped uint64
+	Elapsed    time.Duration
+}
+
+// Run replays a trace open-loop: request arrivals are dispatched at their
+// trace offsets (scaled by Speed) on goroutines that do not wait for prior
+// outcomes — exactly how independent clients behave — and environment events
+// are applied inline through the orchestrator at the same offsets. Outcomes
+// land in the scorer as they complete; Run returns once every submission has
+// finished.
+//
+// Input tensors are synthesized deterministically from the trace seed and
+// the request's index, at the request's resolution, so two replays of the
+// same trace submit identical payloads.
+func Run(t *Trace, o RunOptions, sc *Scorer) (*RunResult, error) {
+	if o.Submitter == nil {
+		return nil, fmt.Errorf("scenario: RunOptions.Submitter is required")
+	}
+	if o.Speed <= 0 {
+		o.Speed = 1
+	}
+	if o.Channels <= 0 {
+		o.Channels = 3
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 1024
+	}
+	sem := make(chan struct{}, o.MaxInFlight)
+	var wg sync.WaitGroup
+	res := &RunResult{}
+	start := time.Now()
+	for i, ev := range t.Events {
+		due := start.Add(time.Duration(float64(ev.At) / o.Speed))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		if !ev.IsRequest() {
+			if o.Orchestrator == nil {
+				res.EnvSkipped++
+				if o.OnEnvSkipped != nil {
+					o.OnEnvSkipped(ev)
+				}
+				continue
+			}
+			if err := o.Orchestrator.Apply(ev); err != nil {
+				wg.Wait()
+				return res, err
+			}
+			res.EnvApplied++
+			continue
+		}
+		res.Requests++
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, ev Event) {
+			defer func() { <-sem; wg.Done() }()
+			x := requestTensor(t.Seed, i, o.Channels, ev.Resolution)
+			slo := ev.SLO()
+			t0 := time.Now()
+			out, err := o.Submitter.Submit(x, slo)
+			if sc != nil {
+				sc.Record(slo, out.Rung, time.Since(t0), err)
+			}
+		}(i, ev)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// requestTensor synthesizes the deterministic input for request index i of a
+// trace: a seeded normal image at the request's resolution.
+func requestTensor(traceSeed int64, i, channels, resolution int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(traceSeed*1_000_003 + int64(i)))
+	x := tensor.New(1, channels, resolution, resolution)
+	x.RandNormal(rng, 0.5)
+	return x
+}

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rpcx"
+	"murmuration/internal/runtime"
+	"murmuration/internal/serve"
+)
+
+func latency(ms float64) runtime.SLO {
+	return runtime.SLO{Type: env.LatencySLO, Value: ms}
+}
+
+func TestScorerClassification(t *testing.T) {
+	s := NewScorer()
+	// Served on time at rung 0 and rung 2.
+	s.Record(latency(100), 0, 10*time.Millisecond, nil)
+	s.Record(latency(100), 2, 20*time.Millisecond, nil)
+	// Served but late: counts served yet misses the latency SLO.
+	s.Record(latency(100), 0, 150*time.Millisecond, nil)
+	// The refusal taxonomy, one of each.
+	s.Record(latency(100), -1, 0, serve.ErrQueueFull)
+	s.Record(latency(100), -1, 0, serve.ErrDeadlineMissed)
+	s.Record(latency(100), -1, 0, rpcx.ErrBudgetExhausted)
+	s.Record(latency(100), -1, 0, serve.ErrOverloaded)
+	s.Record(latency(100), -1, 0, errors.New("boom"))
+	// Accuracy class: served slow is still attained (no clock constraint).
+	s.Record(runtime.SLO{Type: env.AccuracySLO, Value: 75}, 0, 2*time.Second, nil)
+
+	r := s.Report("classification", nil)
+	if r.Requests != 9 {
+		t.Fatalf("requests = %d, want 9", r.Requests)
+	}
+	lat := r.Classes[int(serve.ClassLatency)]
+	if lat.Served != 3 || lat.OnTime != 2 || lat.Late != 1 {
+		t.Fatalf("latency served/onTime/late = %d/%d/%d, want 3/2/1", lat.Served, lat.OnTime, lat.Late)
+	}
+	if lat.Shed != 1 || lat.DeadlineDropped != 1 || lat.BudgetExhausted != 1 || lat.Overloaded != 1 || lat.Failed != 1 {
+		t.Fatalf("refusal breakdown = %+v", lat)
+	}
+	if got, want := lat.Attainment, 2.0/8.0; got != want {
+		t.Fatalf("latency attainment = %v, want %v", got, want)
+	}
+	acc := r.Classes[int(serve.ClassAccuracy)]
+	if acc.Attainment != 1 {
+		t.Fatalf("accuracy attainment = %v, want 1 (served, no clock bound)", acc.Attainment)
+	}
+	// Rung histogram covers exactly the known-rung serves.
+	var rungTotal uint64
+	for _, rc := range r.Rungs {
+		rungTotal += rc.Requests
+	}
+	if rungTotal != 4 {
+		t.Fatalf("rung histogram total = %d, want 4", rungTotal)
+	}
+}
+
+func TestScorerOverloadedBeforeShed(t *testing.T) {
+	// ErrOverloaded carries the "serve: shed" prefix: classification must pick
+	// the more specific overload bucket, not the generic shed one.
+	s := NewScorer()
+	s.Record(latency(100), -1, 0, serve.ErrOverloaded)
+	r := s.Report("order", nil)
+	lat := r.Classes[int(serve.ClassLatency)]
+	if lat.Overloaded != 1 || lat.Shed != 0 {
+		t.Fatalf("overloaded/shed = %d/%d, want 1/0", lat.Overloaded, lat.Shed)
+	}
+}
+
+func TestGatewayDelta(t *testing.T) {
+	var before, after serve.Stats
+	before.Admitted, after.Admitted = 10, 110
+	before.ClassMet[serve.ClassLatency], after.ClassMet[serve.ClassLatency] = 5, 95
+	before.ClassMissed[serve.ClassLatency], after.ClassMissed[serve.ClassLatency] = 5, 15
+	after.ClassMet[serve.ClassBestEffort] = 7
+
+	g := GatewayDelta(before, after)
+	if g.Admitted != 100 {
+		t.Fatalf("admitted delta = %d, want 100", g.Admitted)
+	}
+	lat := g.ClassAttainment[int(serve.ClassLatency)]
+	if lat.Met != 90 || lat.Missed != 10 || lat.Attainment != 0.9 {
+		t.Fatalf("latency attainment = %+v, want 90/10/0.9", lat)
+	}
+	be := g.ClassAttainment[int(serve.ClassBestEffort)]
+	if be.Met != 7 || be.Attainment != 1 {
+		t.Fatalf("best-effort attainment = %+v, want 7 met, 1.0", be)
+	}
+	acc := g.ClassAttainment[int(serve.ClassAccuracy)]
+	if acc.Attainment != 1 {
+		t.Fatalf("idle class attainment = %v, want vacuous 1.0", acc.Attainment)
+	}
+}
+
+func TestReportCheck(t *testing.T) {
+	s := NewScorer()
+	s.Record(latency(100), 0, 10*time.Millisecond, nil)
+	s.Record(latency(100), 0, 10*time.Millisecond, nil)
+	s.Record(latency(100), -1, 0, serve.ErrQueueFull)
+	r := s.Report("check", nil)
+
+	if err := r.Check(Thresholds{"latency": 0.5}); err != nil {
+		t.Fatalf("0.667 attainment should pass 0.5: %v", err)
+	}
+	err := r.Check(Thresholds{"latency": 0.9, "accuracy": 0.9})
+	if err == nil {
+		t.Fatal("0.667 attainment should fail 0.9")
+	}
+	if !strings.Contains(err.Error(), "latency") {
+		t.Fatalf("violation should name the class: %v", err)
+	}
+	if strings.Contains(err.Error(), "accuracy") {
+		t.Fatalf("idle accuracy class attains vacuously, must not violate: %v", err)
+	}
+	// Unknown class names attain vacuously rather than erroring — thresholds
+	// stay forward-compatible with future classes.
+	if err := r.Check(Thresholds{"no-such-class": 0.99}); err != nil {
+		t.Fatalf("unknown class should pass vacuously: %v", err)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	s := NewScorer()
+	s.Record(latency(100), 1, 42*time.Millisecond, nil)
+	b, err := s.Report("json", GatewayDelta(serve.Stats{}, serve.Stats{})).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"scenario", "requests", "classes", "rungs", "gateway"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("report missing %q: %s", key, b)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	s := NewScorer()
+	for i := 1; i <= 100; i++ {
+		s.Record(latency(1000), 0, time.Duration(i)*time.Millisecond, nil)
+	}
+	lat := s.Report("pct", nil).Classes[int(serve.ClassLatency)]
+	if lat.P50Ms < 45 || lat.P50Ms > 55 {
+		t.Fatalf("p50 = %v, want ~50", lat.P50Ms)
+	}
+	if lat.P95Ms < 90 || lat.P95Ms > 100 {
+		t.Fatalf("p95 = %v, want ~95", lat.P95Ms)
+	}
+	if lat.P99Ms < 94 || lat.P99Ms > 100 {
+		t.Fatalf("p99 = %v, want ~99", lat.P99Ms)
+	}
+}

@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"murmuration/internal/rl/env"
+)
+
+func encodeBin(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Name: "sample",
+		Seed: 42,
+		Events: []Event{
+			{At: 0, Kind: EvRequest, SLOType: env.LatencySLO, SLOValue: 250, Resolution: 32, Model: "resnet50"},
+			{At: 5 * time.Millisecond, Kind: EvSetDelay, Device: 1, Value: 80},
+			{At: 7 * time.Millisecond, Kind: EvSetLoss, Device: 0, Value: 0.05, Seed: 9},
+			{At: 8 * time.Millisecond, Kind: EvSetCorrupt, Device: 0, Value: 0.01, Seed: 3},
+			{At: 9 * time.Millisecond, Kind: EvSetRate, Device: 1, Value: 1e6},
+			{At: 10 * time.Millisecond, Kind: EvDeviceLeave, Device: 1},
+			{At: 12 * time.Millisecond, Kind: EvRequest, SLOType: env.AccuracySLO, SLOValue: 70, Resolution: 28, Model: "mobilenetv3-large"},
+			{At: 15 * time.Millisecond, Kind: EvBlackhole, Device: 0, Value: 50},
+			{At: 20 * time.Millisecond, Kind: EvDeviceJoin, Device: 1},
+		},
+	}
+}
+
+func TestTraceBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	b := encodeBin(t, tr)
+	got, err := DecodeBinary(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Name != tr.Name || got.Seed != tr.Seed || len(got.Events) != len(tr.Events) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+	// Re-encode must be byte-identical: the codec is canonical.
+	if b2 := encodeBin(t, got); !bytes.Equal(b, b2) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.EncodeJSON(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Name != tr.Name || got.Seed != tr.Seed || len(got.Events) != len(tr.Events) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestTraceVersionError(t *testing.T) {
+	tr := &Trace{Name: "v", Events: []Event{{Kind: EvDeviceJoin}}}
+	b := encodeBin(t, tr)
+	b[4] = 99 // version byte follows the 4-byte magic
+	_, err := DecodeBinary(bytes.NewReader(b))
+	var ve *TraceVersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want TraceVersionError, got %v", err)
+	}
+	if ve.Got != 99 || ve.Want != traceWireVersion {
+		t.Fatalf("bad fields: %+v", ve)
+	}
+
+	var jbuf bytes.Buffer
+	if err := tr.EncodeJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	j := bytes.Replace(jbuf.Bytes(), []byte(`"version": 1`), []byte(`"version": 9`), 1)
+	_, err = DecodeJSON(bytes.NewReader(j))
+	if !errors.As(err, &ve) {
+		t.Fatalf("want TraceVersionError from JSON decoder, got %v", err)
+	}
+}
+
+func TestDecodeBinaryRejects(t *testing.T) {
+	tr := sampleTrace()
+	good := encodeBin(t, tr)
+
+	t.Run("short", func(t *testing.T) {
+		if _, err := DecodeBinary(bytes.NewReader(good[:3])); err == nil {
+			t.Fatal("want error on truncated input")
+		}
+	})
+	t.Run("magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] = 'X'
+		if _, err := DecodeBinary(bytes.NewReader(b)); err == nil {
+			t.Fatal("want error on bad magic")
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		b := append(append([]byte(nil), good...), 0)
+		if _, err := DecodeBinary(bytes.NewReader(b)); err == nil {
+			t.Fatal("want error on trailing bytes")
+		}
+	})
+	t.Run("count-overclaim", func(t *testing.T) {
+		// Claim far more events than the buffer could hold: the decoder must
+		// reject before allocating.
+		b := append([]byte(nil), good...)
+		off := 4 + 1 + 1 + len(tr.Name) + 8
+		binary.LittleEndian.PutUint32(b[off:], 1<<19)
+		if _, err := DecodeBinary(bytes.NewReader(b)); err == nil {
+			t.Fatal("want error on count overclaim")
+		}
+	})
+	t.Run("truncated-event", func(t *testing.T) {
+		if _, err := DecodeBinary(bytes.NewReader(good[:len(good)-5])); err == nil {
+			t.Fatal("want error on truncated event")
+		}
+	})
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	t.Run("non-monotonic", func(t *testing.T) {
+		bad := sampleTrace()
+		bad.Events[3].At = 0
+		if err := bad.EncodeBinary(&buf); err == nil {
+			t.Fatal("want error on non-monotonic events")
+		}
+	})
+	t.Run("request-without-resolution", func(t *testing.T) {
+		bad := &Trace{Events: []Event{{Kind: EvRequest, SLOType: env.LatencySLO}}}
+		if err := bad.EncodeBinary(&buf); err == nil {
+			t.Fatal("want error on request with zero resolution")
+		}
+	})
+	t.Run("device-out-of-range", func(t *testing.T) {
+		bad := &Trace{Events: []Event{{Kind: EvDeviceLeave, Device: MaxTraceDevices}}}
+		if err := bad.EncodeBinary(&buf); err == nil {
+			t.Fatal("want error on out-of-range device")
+		}
+	})
+	t.Run("unknown-kind", func(t *testing.T) {
+		bad := &Trace{Events: []Event{{Kind: numKinds}}}
+		if err := bad.EncodeBinary(&buf); err == nil {
+			t.Fatal("want error on unknown kind")
+		}
+	})
+}

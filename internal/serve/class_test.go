@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"murmuration/internal/rl/env"
+	"murmuration/internal/runtime"
+)
+
+func accSLO(v float64) runtime.SLO {
+	return runtime.SLO{Type: env.AccuracySLO, Value: v}
+}
+
+// TestClassCountersWireRoundTrip: the v6 per-class attainment counters ride
+// the stats wire like every other field.
+func TestClassCountersWireRoundTrip(t *testing.T) {
+	var in Stats
+	in.Admitted = 7
+	in.ClassMet = [numClasses]uint64{3, 2, 1}
+	in.ClassMissed = [numClasses]uint64{1, 0, 0}
+	out, err := decodeStats(encodeStats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ClassMet != in.ClassMet || out.ClassMissed != in.ClassMissed {
+		t.Fatalf("class counters round trip: got %v/%v, want %v/%v",
+			out.ClassMet, out.ClassMissed, in.ClassMet, in.ClassMissed)
+	}
+}
+
+// TestClassCountersSemantics pins the met/missed ledger: a served request
+// counts met for its class unless it is a latency request delivered after its
+// deadline, which counts missed (alongside DeadlineMissed); after drain every
+// admitted request sits in exactly one bucket.
+func TestClassCountersSemantics(t *testing.T) {
+	var stall atomic.Bool
+	rt := newTestRuntime(77, func() {
+		if stall.Load() {
+			time.Sleep(120 * time.Millisecond)
+		}
+	})
+	g := New(rt, Options{Workers: 1, MaxBatch: 4, MaxLinger: time.Millisecond, QueueDepth: 8})
+	defer g.Close(5 * time.Second)
+
+	// One on-time serve per class.
+	if _, err := g.Submit(testInput(1), latSLO(10_000)); err != nil {
+		t.Fatalf("latency request: %v", err)
+	}
+	if _, err := g.Submit(testInput(2), accSLO(75)); err != nil {
+		t.Fatalf("accuracy request: %v", err)
+	}
+	if _, err := g.Submit(testInput(3), latSLO(0)); err != nil {
+		t.Fatalf("best-effort request: %v", err)
+	}
+
+	// A late serve: a fresh SLO forces a decider call, and the stalled decide
+	// pushes delivery past the 30ms deadline. Served, but missed.
+	stall.Store(true)
+	if _, err := g.Submit(testInput(4), latSLO(30)); err != nil {
+		t.Fatalf("stalled request should still be served (late): %v", err)
+	}
+	stall.Store(false)
+
+	st := g.Stats()
+	wantMet := [numClasses]uint64{1, 1, 1}
+	wantMissed := [numClasses]uint64{1, 0, 0}
+	if st.ClassMet != wantMet || st.ClassMissed != wantMissed {
+		t.Fatalf("class counters met=%v missed=%v, want %v/%v: %+v",
+			st.ClassMet, st.ClassMissed, wantMet, wantMissed, st)
+	}
+	if st.DeadlineMissed != 1 {
+		t.Fatalf("DeadlineMissed = %d, want 1 (the late serve): %+v", st.DeadlineMissed, st)
+	}
+	var met, missed uint64
+	for c := range st.ClassMet {
+		met += st.ClassMet[c]
+		missed += st.ClassMissed[c]
+	}
+	if met+missed != st.Admitted {
+		t.Fatalf("per-class ledger: met %d + missed %d != admitted %d", met, missed, st.Admitted)
+	}
+}
+
+// TestClassForExported: the exported classifier matches the gateway's own
+// bucketing, so scorers aggregate under the same classes admission uses.
+func TestClassForExported(t *testing.T) {
+	cases := []struct {
+		slo  runtime.SLO
+		want Class
+	}{
+		{latSLO(100), ClassLatency},
+		{accSLO(75), ClassAccuracy},
+		{latSLO(0), ClassBestEffort},
+		{accSLO(0), ClassBestEffort},
+	}
+	for _, tc := range cases {
+		if got := ClassFor(tc.slo); got != tc.want {
+			t.Fatalf("ClassFor(%+v) = %v, want %v", tc.slo, got, tc.want)
+		}
+	}
+	if NumClasses != int(numClasses) {
+		t.Fatalf("NumClasses = %d, want %d", NumClasses, numClasses)
+	}
+}

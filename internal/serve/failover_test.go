@@ -1,18 +1,15 @@
 package serve
 
 import (
-	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"murmuration/internal/cluster"
-	"murmuration/internal/monitor"
 	"murmuration/internal/rl/env"
 	"murmuration/internal/rpcx"
 	"murmuration/internal/runtime"
 	"murmuration/internal/supernet"
-	"murmuration/internal/testutil"
 )
 
 // remoteDecider always places every tile on placement device 1 — the
@@ -162,216 +159,4 @@ func TestAttachClusterFailoverEvents(t *testing.T) {
 		st := g.Stats()
 		return st.ClusterUp == 1 && st.ClusterDown == 0
 	})
-}
-
-// TestChaosDeviceKill is the fault-injection load test: concurrent clients
-// drive a gateway over real sockets while one of its two device daemons is
-// killed mid-run and later restarted on the same address. The serving
-// invariant must hold throughout (no request vanishes), the outage must not
-// fail requests (failover serves them on the surviving devices), and once the
-// daemon returns the detector must reintegrate it so strategies place work
-// there again.
-func TestChaosDeviceKill(t *testing.T) {
-	testutil.CheckGoroutines(t)
-	const (
-		numClients    = 8
-		reqsPerClient = 6
-		sloMs         = 30000 // generous: -race plus outage retries are slow
-	)
-	a := supernet.TinyArch(4)
-	net := supernet.New(a, 302)
-
-	// Two device daemons: executor + monitor endpoints + cluster node.
-	startDaemon := func(addr string) (*rpcx.Server, string) {
-		srv := rpcx.NewServer()
-		runtime.NewExecutor(net).Register(srv)
-		monitor.RegisterHandlers(srv)
-		cluster.NewNode().Register(srv)
-		got, err := srv.Listen(addr)
-		if err != nil {
-			t.Fatalf("listen %q: %v", addr, err)
-		}
-		return srv, got
-	}
-	srv1, addr1 := startDaemon("127.0.0.1:0")
-	srv2, addr2 := startDaemon("127.0.0.1:0")
-	defer srv2.Close()
-
-	// Data clients: retry policy + idempotent marking so calls ride out the
-	// restart via automatic re-dial.
-	dialData := func(addr string) *rpcx.Client {
-		c, err := rpcx.Dial(addr, nil)
-		if err != nil {
-			t.Fatalf("dial %s: %v", addr, err)
-		}
-		c.SetRetryPolicy(rpcx.RetryPolicy{MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond})
-		c.MarkIdempotent(runtime.ExecBlockMethod, monitor.PingMethod)
-		return c
-	}
-	data1, data2 := dialData(addr1), dialData(addr2)
-	defer data1.Close()
-	defer data2.Close()
-
-	sched := runtime.NewScheduler(net, []*rpcx.Client{data1, data2})
-	sched.RemoteTimeout = 10 * time.Second
-
-	// Deterministic decider: spread tiles round-robin over every device whose
-	// link looks alive (the runtime degrades a down device's link to ~zero).
-	decider := runtime.DeciderFunc(func(c env.Constraint) (*env.Decision, error) {
-		cfg := a.MinConfig()
-		costs, _ := a.Costs(cfg)
-		p := supernet.LocalPlacement(costs)
-		var live []int
-		for i, bw := range c.BandwidthMbps {
-			if bw > 1 {
-				live = append(live, i+1)
-			}
-		}
-		if len(live) > 0 {
-			n := 0
-			for k := range p.Devices {
-				for ti := range p.Devices[k] {
-					p.Devices[k][ti] = live[n%len(live)]
-					n++
-				}
-			}
-		}
-		return &env.Decision{Config: cfg, Placement: p}, nil
-	})
-	rt := runtime.New(sched, decider, runtime.NewStrategyCache(32, 25, 5, 10), nil)
-	rt.SetLinkState(0, 100, 5)
-	rt.SetLinkState(1, 100, 5)
-	rt.SetSLO(latSLO(sloMs))
-
-	// Heartbeats ride dedicated connections (data calls serialize per client,
-	// so sharing would let a slow batch delay failure detection).
-	hb1, hb2 := dialData(addr1), dialData(addr2)
-	defer hb1.Close()
-	defer hb2.Close()
-	m := cluster.NewManager(
-		[]cluster.ProbeFunc{cluster.PingProbe(hb1), cluster.PingProbe(hb2)},
-		cluster.Options{
-			HeartbeatInterval: 10 * time.Millisecond,
-			SuspectAfter:      50 * time.Millisecond,
-			DownAfter:         120 * time.Millisecond,
-		})
-	defer m.Close()
-
-	g := New(rt, Options{Workers: 2, MaxBatch: 4, MaxLinger: time.Millisecond, QueueDepth: 32})
-	g.AttachCluster(m)
-	m.Start()
-
-	gwSrv := rpcx.NewServer()
-	g.Register(gwSrv)
-	gwAddr, err := gwSrv.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer gwSrv.Close()
-
-	var success, shed, missed, otherErr atomic.Uint64
-	var wg sync.WaitGroup
-	for c := 0; c < numClients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			cl, err := DialClient(gwAddr)
-			if err != nil {
-				t.Errorf("client %d dial: %v", c, err)
-				return
-			}
-			defer cl.Close()
-			for i := 0; i < reqsPerClient; i++ {
-				res, err := cl.Infer(testInput(int64(100*c+i)), latSLO(sloMs), 60*time.Second)
-				switch {
-				case err == nil:
-					success.Add(1)
-					if res.Logits == nil || res.Logits.Shape[1] != 4 {
-						t.Errorf("client %d: bad logits %v", c, res.Logits)
-					}
-				case IsShed(err):
-					shed.Add(1)
-				case IsDeadlineMissed(err):
-					missed.Add(1)
-				default:
-					otherErr.Add(1)
-					t.Errorf("client %d req %d: unexpected error %v", c, i, err)
-				}
-				time.Sleep(5 * time.Millisecond)
-			}
-		}(c)
-	}
-
-	// Kill device 1 while traffic flows, wait for the detector, restart it on
-	// the same address, and wait for reintegration — all mid-load.
-	time.Sleep(50 * time.Millisecond)
-	srv1.Close()
-	waitState := func(want cluster.State) {
-		t.Helper()
-		deadline := time.Now().Add(20 * time.Second)
-		for time.Now().Before(deadline) {
-			if m.StateOf(0) == want {
-				return
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-		t.Fatalf("member 0 never reached %v (now %v)", want, m.StateOf(0))
-	}
-	waitState(cluster.Down)
-	srv1b, _ := startDaemon(addr1)
-	defer srv1b.Close()
-	waitState(cluster.Up)
-
-	wg.Wait()
-	g.Close(30 * time.Second)
-
-	st := g.Stats()
-	const total = uint64(numClients * reqsPerClient)
-	t.Logf("chaos: %d requests → success=%d shed=%d missed=%d; detector=%+v; stats=%+v",
-		total, success.Load(), shed.Load(), missed.Load(), m.CountersSnapshot(), st)
-
-	// Every request got exactly one definitive outcome, and the admission
-	// ledger balances: nothing vanished during the outage.
-	if got := success.Load() + shed.Load() + missed.Load() + otherErr.Load(); got != total {
-		t.Fatalf("outcomes %d != requests %d", got, total)
-	}
-	if otherErr.Load() != 0 {
-		t.Fatalf("%d requests failed with unexpected errors", otherErr.Load())
-	}
-	if st.Admitted+st.Shed != total {
-		t.Fatalf("admitted %d + shed %d != %d attempts", st.Admitted, st.Shed, total)
-	}
-	if st.Admitted != st.Served+st.Dropped+st.Failed {
-		t.Fatalf("admitted %d != served %d + dropped %d + failed %d",
-			st.Admitted, st.Served, st.Dropped, st.Failed)
-	}
-	// Failover, not failure: requests caught on the dying device were retried
-	// onto the survivors.
-	if st.Failed != 0 {
-		t.Fatalf("%d requests failed despite failover", st.Failed)
-	}
-	if success.Load() == 0 {
-		t.Fatal("no request succeeded — chaos test vacuous")
-	}
-	// The detector saw the churn.
-	if c := m.CountersSnapshot(); c.Downs < 1 || c.Recoveries < 1 {
-		t.Fatalf("detector counters after kill+restart: %+v", c)
-	}
-	// Reintegration: with the daemon back and Up, resolution places work on
-	// device 1 again (the degraded-constraint bucket is no longer used).
-	res, err := rt.ResolveFor(rt.SLO())
-	if err != nil {
-		t.Fatal(err)
-	}
-	placed := false
-	for _, layer := range res.Decision.Placement.Devices {
-		for _, dev := range layer {
-			if dev == 1 {
-				placed = true
-			}
-		}
-	}
-	if !placed {
-		t.Fatalf("recovered device 1 not back in the placement: %v", res.Decision.Placement.Devices)
-	}
 }

@@ -197,6 +197,7 @@ func (g *Gateway) failLocked(req *request, err error) {
 	}
 	req.sent = true
 	g.stats.Dropped++
+	g.stats.ClassMissed[req.class]++
 	if req.class == ClassLatency {
 		g.stats.DeadlineMissed++
 	}

@@ -48,6 +48,15 @@ func (c Class) String() string {
 	return "unknown"
 }
 
+// NumClasses is the number of service classes — the length of the per-class
+// arrays in Stats, exported for scorers that iterate them.
+const NumClasses = int(numClasses)
+
+// ClassFor derives the service class a request with the given SLO queues
+// under — the exported form of the gateway's own classifier, so external
+// scorers bucket exactly the way admission does.
+func ClassFor(slo runtime.SLO) Class { return classOf(slo) }
+
 // classOf derives the service class from an SLO. A latency SLO with a
 // positive budget gets the deadline class; a positive accuracy SLO gets the
 // quality class; anything else is best-effort.
@@ -213,6 +222,16 @@ type Stats struct {
 	// no watchdog is attached). Gauges, not counters.
 	Goroutines uint64
 	HeapBytes  uint64
+	// ClassMet / ClassMissed are the per-SLO-class attainment ledger: every
+	// admitted request lands in exactly one bucket of its class once it gets
+	// its outcome. Met is served within the SLO (for classes without a
+	// deadline, simply served); Missed is everything else — a late serve, a
+	// queue drop, a budget exhaustion, or a failure. After a drain,
+	// sum(ClassMet) + sum(ClassMissed) == Admitted, so per-class attainment
+	// is Met/(Met+Missed) straight off the stats wire (v6), with no
+	// client-side bookkeeping.
+	ClassMet    [numClasses]uint64
+	ClassMissed [numClasses]uint64
 	// QueueDepth is the current per-class queue occupancy.
 	QueueDepth [numClasses]int
 	// Cache is the runtime strategy-cache snapshot (occupancy, hit-rate).

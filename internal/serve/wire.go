@@ -30,7 +30,7 @@ const (
 //	                f64 sloValue | tensor.Encode(image)
 //	infer response: u8 batchSize | u8 cacheHit | u64 queueWaitµs
 //	                u64 execµs | u64 decideµs | tensor.Encode(logits)
-//	stats response: u8 version | 38 × u64 (see encodeStats)
+//	stats response: u8 version | 44 × u64 (see encodeStats)
 const inferHeaderLen = 1 + 8
 
 // statsWireVersion is the leading byte of the stats frame, bumped whenever
@@ -42,7 +42,9 @@ const inferHeaderLen = 1 + 8
 //	v4: +CorruptFrames, +Redials
 //	v5: +Panics, +RemotePanics, +Overloads, +LimiterCuts, +LimiterLimit,
 //	    +Brownouts, +BrownoutActive, +Goroutines, +HeapBytes
-const statsWireVersion = 5
+//	v6: +ClassMet[numClasses], +ClassMissed[numClasses] (per-class SLO
+//	    attainment, read by the scenario scorer)
+const statsWireVersion = 6
 
 // WireVersionError is the typed mismatch a client gets when the gateway
 // speaks a different stats frame version.
@@ -127,13 +129,14 @@ func decodeSLO(typ byte, value float64) (runtime.SLO, error) {
 }
 
 // statsFieldCount is the number of u64 fields in the stats wire encoding:
-// 29 counters/gauges + 3 queue depths + 6 cache fields.
-const statsFieldCount = 38
+// 29 counters/gauges + 2×3 per-class attainment counters + 3 queue depths +
+// 6 cache fields.
+const statsFieldCount = 44
 
 // statsFields lists the counter fields in wire order; queue depths and
 // cache stats follow them in encodeStats/decodeStats.
 func statsFields(s *Stats) []*uint64 {
-	return []*uint64{
+	fields := []*uint64{
 		&s.Admitted, &s.Served, &s.Shed, &s.Dropped, &s.DeadlineMissed,
 		&s.Failed, &s.Batches, &s.BatchedRequests,
 		&s.FailoverAttempts, &s.Failovers,
@@ -146,6 +149,13 @@ func statsFields(s *Stats) []*uint64 {
 		&s.Brownouts, &s.BrownoutActive,
 		&s.Goroutines, &s.HeapBytes,
 	}
+	for c := range s.ClassMet {
+		fields = append(fields, &s.ClassMet[c])
+	}
+	for c := range s.ClassMissed {
+		fields = append(fields, &s.ClassMissed[c])
+	}
+	return fields
 }
 
 func encodeStats(s Stats) []byte {

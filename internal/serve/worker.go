@@ -220,6 +220,9 @@ func (g *Gateway) execute(batch []*request) {
 		g.stats.Served++
 		if r.class == ClassLatency && now.After(r.deadline) {
 			g.stats.DeadlineMissed++
+			g.stats.ClassMissed[r.class]++
+		} else {
+			g.stats.ClassMet[r.class]++
 		}
 	}
 	g.mu.Unlock()
@@ -309,6 +312,7 @@ func (g *Gateway) finishError(batch []*request, err error) {
 		if g.deliver(r, Outcome{Err: err}) {
 			g.mu.Lock()
 			g.stats.Failed++
+			g.stats.ClassMissed[r.class]++
 			g.mu.Unlock()
 		}
 	}
