@@ -1,0 +1,79 @@
+package murmuration
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Regression-gate thresholds: the newest checked-in bench snapshot may not
+// lose more than 10% serving throughput or gain more than 25% p99 latency
+// against its predecessor. Snapshots are emitted on the same class of machine
+// (see TestEmitBenchJSON), so a breach is a code regression, not noise.
+const (
+	maxThroughputDrop = 0.10
+	maxP99Rise        = 0.25
+)
+
+// loadBenchSnapshots reads every BENCH_<n>.json at the repo root, ordered by
+// n ascending.
+func loadBenchSnapshots(t *testing.T) []benchSnapshot {
+	t.Helper()
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var ordered []numbered
+	for _, p := range paths {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		n, err := strconv.Atoi(base)
+		if err != nil {
+			continue // not a numbered snapshot
+		}
+		ordered = append(ordered, numbered{n, p})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].n < ordered[j].n })
+	var snaps []benchSnapshot
+	for _, o := range ordered {
+		raw, err := os.ReadFile(o.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s benchSnapshot
+		if err := json.Unmarshal(raw, &s); err != nil {
+			t.Fatalf("%s: %v", o.path, err)
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps
+}
+
+// TestBenchRegressionGate compares the two newest checked-in bench snapshots:
+// a PR that drops serving throughput by more than 10% or raises p99 latency
+// by more than 25% fails here, in CI, instead of surfacing as a slow
+// production gateway three PRs later.
+func TestBenchRegressionGate(t *testing.T) {
+	snaps := loadBenchSnapshots(t)
+	if len(snaps) < 2 {
+		t.Skipf("need two BENCH_*.json snapshots to compare, have %d", len(snaps))
+	}
+	prev, cur := snaps[len(snaps)-2], snaps[len(snaps)-1]
+	t.Logf("gate: prev %.0f req/s p99 %.3fms, current %.0f req/s p99 %.3fms",
+		prev.ReqPerSec, prev.P99Ms, cur.ReqPerSec, cur.P99Ms)
+	if prev.ReqPerSec > 0 && cur.ReqPerSec < prev.ReqPerSec*(1-maxThroughputDrop) {
+		t.Errorf("serving throughput regressed %.1f%%: %.0f -> %.0f req/s (budget %.0f%%)",
+			100*(1-cur.ReqPerSec/prev.ReqPerSec), prev.ReqPerSec, cur.ReqPerSec, 100*maxThroughputDrop)
+	}
+	if prev.P99Ms > 0 && cur.P99Ms > prev.P99Ms*(1+maxP99Rise) {
+		t.Errorf("p99 latency regressed %.1f%%: %.3f -> %.3f ms (budget %.0f%%)",
+			100*(cur.P99Ms/prev.P99Ms-1), prev.P99Ms, cur.P99Ms, 100*maxP99Rise)
+	}
+}

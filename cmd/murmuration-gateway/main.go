@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"murmuration/internal/adapt"
 	"murmuration/internal/cluster"
 	"murmuration/internal/device"
 	"murmuration/internal/monitor"
@@ -75,6 +76,11 @@ func main() {
 	watchdogInterval := flag.Duration("watchdog-interval", 250*time.Millisecond, "resource watchdog sample period (0 disables the watchdog)")
 	watchdogGoroutines := flag.Int("watchdog-goroutines", 20000, "goroutine count that trips a brownout (0 = unchecked)")
 	watchdogHeapMB := flag.Int("watchdog-heap-mb", 4096, "heap allocation that trips a brownout, MiB (0 = unchecked)")
+	adaptOn := flag.Bool("adapt", false, "enable online policy adaptation: live outcomes retrain the policy and candidates roll out shadow->canary->full with automatic rollback")
+	adaptInterval := flag.Duration("adapt-interval", 2*time.Second, "adaptation loop cadence (retrain + evaluate + advance)")
+	canaryFrac := flag.Float64("canary-frac", 0.2, "fraction of decisions routed to the candidate during canary")
+	rollbackSLO := flag.Float64("rollback-slo", 0.7, "SLO-attainment floor; observation windows below it count toward rollback")
+	adaptDir := flag.String("adapt-dir", "", "directory for versioned policy checkpoints and the rollout manifest (empty = promotions do not survive restarts)")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -138,12 +144,13 @@ func main() {
 
 	e := env.New(arch, nas.NewCalibratedPredictor(arch), kinds)
 	var decider runtime.Decider
+	var pol *policy.Policy
 	if *policyCkpt != "" {
-		p := policy.New(e, *hidden, 1)
-		if err := nn.LoadParams(*policyCkpt, p.Params()); err != nil {
+		pol = policy.New(e, *hidden, 1)
+		if err := nn.LoadParams(*policyCkpt, pol.Params()); err != nil {
 			log.Fatalf("load policy: %v", err)
 		}
-		decider = runtime.DeciderFunc(p.GreedyDecision)
+		decider = runtime.DeciderFunc(pol.GreedyDecision)
 		log.Println("decider: trained RL policy")
 	} else {
 		decider = runtime.DeciderFunc(func(c env.Constraint) (*env.Decision, error) {
@@ -182,6 +189,48 @@ func main() {
 			log.Printf("device %d failed a batch (failing over): %v", dev, err)
 		},
 	})
+
+	// Online adaptation: the controller becomes the runtime's decider, taps
+	// the gateway's outcome stream, retrains a private clone of the policy in
+	// the background, and promotes candidates shadow->canary->full with
+	// automatic rollback to the last good version.
+	var ctl *adapt.Controller
+	if *adaptOn {
+		if pol == nil {
+			// No checkpoint: start from a fresh policy and let live outcomes
+			// train it. The incumbent (structured search) keeps serving until
+			// a candidate earns promotion.
+			pol = policy.New(e, *hidden, 1)
+		}
+		remotes := len(clients)
+		if remotes < 1 {
+			remotes = 1
+		}
+		space := env.ConstraintSpace{
+			Type: env.LatencySLO, SLOMin: 10, SLOMax: 10_000,
+			BwMinMbps: 10, BwMaxMbps: 1000, DelayMin: 1, DelayMax: 200,
+			Points: 8, Remotes: remotes,
+		}
+		var err error
+		ctl, err = adapt.New(adapt.Config{
+			Runtime:     rt,
+			Incumbent:   decider,
+			Policy:      pol,
+			Space:       space,
+			Dir:         *adaptDir,
+			Interval:    *adaptInterval,
+			CanaryFrac:  *canaryFrac,
+			RollbackSLO: *rollbackSLO,
+		})
+		if err != nil {
+			log.Fatalf("adaptation controller: %v", err)
+		}
+		rt.SwapDecider(ctl)
+		ctl.AttachGateway(gw)
+		ctl.Start()
+		log.Printf("online adaptation on (interval %v, canary %.0f%%, rollback floor %.2f, dir %q, policy v%d)",
+			*adaptInterval, *canaryFrac*100, *rollbackSLO, *adaptDir, ctl.PolicyVersion())
+	}
 
 	var mgr *cluster.Manager
 	if len(probes) > 0 {
@@ -260,6 +309,11 @@ func main() {
 	// queues: requests admitted before the signal still get their outcome.
 	srv.Shutdown(*grace)
 	gw.Close(*grace)
+	if ctl != nil {
+		ctl.Close()
+		log.Printf("adaptation at shutdown: mode=%v policy=v%d pinned=%v",
+			ctl.Mode(), ctl.PolicyVersion(), ctl.Pinned())
+	}
 	if wd != nil {
 		wd.Close()
 	}

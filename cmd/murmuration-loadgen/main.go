@@ -219,14 +219,22 @@ func replay(gateway, tracePath string, speed float64, timeout time.Duration, max
 		res.Requests, res.Elapsed, res.EnvSkipped)
 
 	var gw *scenario.GatewayReport
+	var policyVersion uint64
 	if statsErr == nil {
 		if after, err := cl.Stats(); err != nil {
 			log.Printf("warning: stats unavailable after run: %v", err)
 		} else {
 			gw = scenario.GatewayDelta(before, after)
+			policyVersion = after.PolicyVersion
 		}
 	}
 	rep := sc.Report(tr.Name, gw)
+	if gw != nil {
+		// Report header: which stats frame version the gateway spoke and which
+		// policy version was serving when the run ended.
+		rep.StatsWireVersion = serve.StatsWireVersion
+		rep.PolicyVersion = policyVersion
+	}
 	js, err := rep.JSON()
 	if err != nil {
 		log.Fatal(err)

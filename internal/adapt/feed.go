@@ -1,0 +1,95 @@
+// Package adapt closes Murmuration's control loop: it taps the gateway's
+// live outcome stream, feeds measured transitions back into the SUPREME
+// replay buffer, retrains the policy in the background, and promotes
+// retrained snapshots through a guarded shadow → canary → full rollout with
+// automatic rollback to the last known-good policy.
+//
+// The design splits into three pieces:
+//
+//   - Feed: a bounded, drop-oldest buffer between the serving hot path and
+//     the adaptation loop. The gateway's tap must never block, so under
+//     pressure the feed sheds its oldest events — stale telemetry is the
+//     cheapest thing in the system to lose.
+//   - Manifest: a tiny crash-safe record of the rollout state machine
+//     (current/last-good versions, promotion and rollback counts, circuit
+//     breaker), written atomically next to the versioned policy checkpoints.
+//   - Controller: the rollout state machine itself, installed as the
+//     runtime's decider so it can route a canary fraction of decisions
+//     through the candidate policy and hot-swap the incumbent on promotion.
+package adapt
+
+import (
+	"sync"
+
+	"murmuration/internal/serve"
+)
+
+// Feed is the bounded hand-off between the gateway's outcome tap and the
+// adaptation loop. Offer never blocks: when the buffer is full the oldest
+// event is dropped to make room. It implements serve.OutcomeTap.
+type Feed struct {
+	mu      sync.Mutex
+	buf     []serve.OutcomeEvent // ring storage, len == capacity
+	head    int                  // index of oldest event
+	n       int                  // live events
+	dropped uint64
+}
+
+// DefaultFeedCap bounds the feed when the caller does not: at typical
+// serving rates it holds several retrain intervals of events.
+const DefaultFeedCap = 4096
+
+// NewFeed creates a feed holding at most capacity events (DefaultFeedCap
+// when <= 0).
+func NewFeed(capacity int) *Feed {
+	if capacity <= 0 {
+		capacity = DefaultFeedCap
+	}
+	return &Feed{buf: make([]serve.OutcomeEvent, capacity)}
+}
+
+// Offer appends an event, dropping the oldest when full. Non-blocking and
+// safe under the gateway mutex: the critical section is a few index updates.
+func (f *Feed) Offer(ev serve.OutcomeEvent) {
+	f.mu.Lock()
+	if f.n == len(f.buf) {
+		// Full: overwrite the oldest. Newest data wins — the loop adapts to
+		// the present, not the past.
+		f.head = (f.head + 1) % len(f.buf)
+		f.n--
+		f.dropped++
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = ev
+	f.n++
+	f.mu.Unlock()
+}
+
+// Drain removes and returns every buffered event in arrival order.
+func (f *Feed) Drain() []serve.OutcomeEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.n == 0 {
+		return nil
+	}
+	out := make([]serve.OutcomeEvent, f.n)
+	for i := 0; i < f.n; i++ {
+		out[i] = f.buf[(f.head+i)%len(f.buf)]
+		f.buf[(f.head+i)%len(f.buf)] = serve.OutcomeEvent{} // release Choices
+	}
+	f.head, f.n = 0, 0
+	return out
+}
+
+// Len returns the number of buffered events.
+func (f *Feed) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Dropped returns how many events were shed oldest-first.
+func (f *Feed) Dropped() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}

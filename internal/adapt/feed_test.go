@@ -1,0 +1,68 @@
+package adapt
+
+import (
+	"sync"
+	"testing"
+
+	"murmuration/internal/serve"
+)
+
+func TestFeedDropsOldest(t *testing.T) {
+	f := NewFeed(3)
+	for v := 1; v <= 5; v++ {
+		f.Offer(serve.OutcomeEvent{Rung: v})
+	}
+	got := f.Drain()
+	if len(got) != 3 {
+		t.Fatalf("drained %d events, want 3", len(got))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if got[i].Rung != want {
+			t.Fatalf("event %d = %d, want %d (oldest must drop first)", i, got[i].Rung, want)
+		}
+	}
+	if f.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", f.Dropped())
+	}
+	if f.Len() != 0 || f.Drain() != nil {
+		t.Fatal("drain did not empty the feed")
+	}
+}
+
+func TestFeedWrapsAcrossDrains(t *testing.T) {
+	f := NewFeed(4)
+	seq := 0
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			seq++
+			f.Offer(serve.OutcomeEvent{Rung: seq})
+		}
+		got := f.Drain()
+		if len(got) != 3 {
+			t.Fatalf("round %d: drained %d, want 3", round, len(got))
+		}
+		for i := range got {
+			if got[i].Rung != seq-2+i {
+				t.Fatalf("round %d: out-of-order drain %v", round, got)
+			}
+		}
+	}
+}
+
+func TestFeedConcurrentOffer(t *testing.T) {
+	f := NewFeed(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Offer(serve.OutcomeEvent{})
+			}
+		}()
+	}
+	wg.Wait()
+	if n, d := f.Len(), f.Dropped(); uint64(n)+d != 1600 {
+		t.Fatalf("len %d + dropped %d != 1600 offers", n, d)
+	}
+}

@@ -1,0 +1,165 @@
+package adapt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Manifest is the durable record of the rollout state machine. It is written
+// atomically on every promotion and rollback, next to the versioned policy
+// checkpoints, so a restarted gateway resumes from the last promoted policy
+// — never from a candidate that was mid-rollout when the process died.
+type Manifest struct {
+	// Current is the serving (incumbent) policy version; LastGood is the
+	// version rollback returns to.
+	Current  uint64
+	LastGood uint64
+	// Promotions / Rollbacks are lifetime transition counts.
+	Promotions uint64
+	Rollbacks  uint64
+	// RollbackStreak counts consecutive rollbacks with no intervening settled
+	// promotion; Pinned marks the circuit breaker: after MaxRollbacks
+	// consecutive rollbacks the frozen policy is pinned and adaptation stops
+	// promoting until an operator intervenes.
+	RollbackStreak uint8
+	Pinned         bool
+}
+
+// Wire layout (little endian), fixed length:
+//
+//	"MADP" | u8 version=1 | u64 current | u64 lastGood | u64 promotions
+//	| u64 rollbacks | u8 rollbackStreak | u8 pinned | u32 crc32c
+//
+// The CRC covers every preceding byte. The frame is fixed-size and decoding
+// rejects any trailing bytes, so encode(decode(b)) == b for every accepted b
+// — the canonical round trip the fuzz target asserts.
+const (
+	manifestVersion = 1
+	manifestLen     = 4 + 1 + 4*8 + 1 + 1 + 4
+)
+
+var manifestMagic = []byte("MADP")
+
+var manifestTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrManifestCorrupt is the typed failure for a manifest that fails framing
+// or integrity checks. Wrapped errors unwrap to it via errors.Is.
+var ErrManifestCorrupt = errors.New("adapt: manifest failed integrity check")
+
+// EncodeManifest serializes a manifest to its fixed-size wire form.
+func EncodeManifest(m Manifest) []byte {
+	b := make([]byte, 0, manifestLen)
+	b = append(b, manifestMagic...)
+	b = append(b, manifestVersion)
+	var u8 [8]byte
+	for _, v := range []uint64{m.Current, m.LastGood, m.Promotions, m.Rollbacks} {
+		binary.LittleEndian.PutUint64(u8[:], v)
+		b = append(b, u8[:]...)
+	}
+	b = append(b, m.RollbackStreak)
+	if m.Pinned {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	var c4 [4]byte
+	binary.LittleEndian.PutUint32(c4[:], crc32.Checksum(b, manifestTable))
+	return append(b, c4[:]...)
+}
+
+// DecodeManifest parses and verifies a manifest frame. It never panics on
+// arbitrary input, and any accepted input re-encodes byte-identically.
+func DecodeManifest(b []byte) (Manifest, error) {
+	if len(b) != manifestLen {
+		return Manifest{}, fmt.Errorf("%w: length %d, want %d", ErrManifestCorrupt, len(b), manifestLen)
+	}
+	if string(b[:4]) != string(manifestMagic) {
+		return Manifest{}, fmt.Errorf("%w: bad magic %q", ErrManifestCorrupt, b[:4])
+	}
+	if b[4] != manifestVersion {
+		return Manifest{}, fmt.Errorf("%w: version %d, want %d", ErrManifestCorrupt, b[4], manifestVersion)
+	}
+	body, tail := b[:manifestLen-4], b[manifestLen-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.Checksum(body, manifestTable); got != want {
+		return Manifest{}, fmt.Errorf("%w: crc32c %08x != stored %08x", ErrManifestCorrupt, want, got)
+	}
+	var m Manifest
+	off := 5
+	next := func() uint64 {
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v
+	}
+	m.Current = next()
+	m.LastGood = next()
+	m.Promotions = next()
+	m.Rollbacks = next()
+	m.RollbackStreak = b[off]
+	switch b[off+1] {
+	case 0:
+		m.Pinned = false
+	case 1:
+		m.Pinned = true
+	default:
+		// Reject non-canonical booleans: they would break the exact
+		// round-trip property and smuggle entropy through re-encoding.
+		return Manifest{}, fmt.Errorf("%w: pinned byte %d", ErrManifestCorrupt, b[off+1])
+	}
+	return m, nil
+}
+
+// SaveManifest writes the manifest atomically and durably (temp file, fsync,
+// rename, directory fsync) — the same discipline as nn.SaveParams, so a crash
+// leaves either the old manifest or the new one.
+func SaveManifest(path string, m Manifest) (err error) {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(EncodeManifest(m)); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(dirOrDot(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func dirOrDot(dir string) string {
+	if dir == "" {
+		return "."
+	}
+	return dir
+}
+
+// LoadManifest reads and verifies a manifest file.
+func LoadManifest(path string) (Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	return DecodeManifest(b)
+}

@@ -162,11 +162,34 @@ func ReadParams(r io.Reader, params []*Param) error {
 	return nil
 }
 
-// SaveParams writes a checkpoint file atomically: the bytes land in a temp
-// file in the same directory, are fsynced, and only then renamed over path.
-// A crash at any point leaves either the old checkpoint or the new one —
-// never a truncated hybrid that would strand the only copy of a trained
-// model.
+// Interposition points for SaveParams, swapped by the durability regression
+// test to observe the fsync/rename ordering without a kernel crash harness.
+var (
+	renameFile = os.Rename
+	syncDir    = fsyncDir
+)
+
+// fsyncDir flushes a directory's metadata so a rename into it survives a
+// crash. An empty dir means the current directory.
+func fsyncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SaveParams writes a checkpoint file atomically and durably: the bytes land
+// in a temp file in the same directory, are fsynced, renamed over path, and
+// the parent directory is fsynced last. A crash at any point leaves either
+// the old checkpoint or the new one — never a truncated hybrid — and once
+// SaveParams returns, the rename itself is on disk: without the directory
+// fsync a power loss after rename could resurrect the old file (or nothing),
+// silently un-promoting a policy snapshot the caller believed durable.
 func SaveParams(path string, params []*Param) (err error) {
 	dir, base := filepath.Split(path)
 	f, err := os.CreateTemp(dir, base+".tmp*")
@@ -189,7 +212,10 @@ func SaveParams(path string, params []*Param) (err error) {
 	if err = f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err = renameFile(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // LoadParams reads a checkpoint file.

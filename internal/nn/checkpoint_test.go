@@ -2,6 +2,8 @@ package nn
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -69,4 +71,78 @@ func TestCheckpointFileHelpers(t *testing.T) {
 	if b.W.Data[0] != 9 || b.W.Data[1] != 8 {
 		t.Fatal("file roundtrip mismatch")
 	}
+}
+
+// TestSaveParamsSyncsDirAfterRename is the durability regression test for the
+// crash window SaveParams used to leave open: the temp file was fsynced but
+// the rename was not, so a power loss after SaveParams returned could
+// resurrect the old checkpoint. The rename and directory-fsync hooks are
+// interposed to record ordering: the parent directory must be fsynced after
+// the rename, against the directory the checkpoint lives in.
+func TestSaveParamsSyncsDirAfterRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.ckpt")
+
+	var order []string
+	var syncedDir string
+	origRename, origSyncDir := renameFile, syncDir
+	defer func() { renameFile, syncDir = origRename, origSyncDir }()
+	renameFile = func(oldpath, newpath string) error {
+		order = append(order, "rename")
+		return os.Rename(oldpath, newpath)
+	}
+	syncDir = func(d string) error {
+		order = append(order, "syncdir")
+		syncedDir = d
+		return fsyncDir(d)
+	}
+
+	p := NewParam("w", tensor.FromSlice([]float32{1, 2}, 2))
+	if err := SaveParams(path, []*Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "rename" || order[1] != "syncdir" {
+		t.Fatalf("hook order %v, want [rename syncdir]", order)
+	}
+	if filepath.Clean(syncedDir) != filepath.Clean(dir) {
+		t.Fatalf("directory fsync hit %q, want %q", syncedDir, dir)
+	}
+
+	// A failed directory fsync must surface: the caller cannot treat the
+	// snapshot as durable when the rename may not be on disk.
+	wantErr := errors.New("injected dir-fsync failure")
+	syncDir = func(string) error { return wantErr }
+	if err := SaveParams(path, []*Param{p}); !errors.Is(err, wantErr) {
+		t.Fatalf("SaveParams swallowed dir-fsync failure: %v", err)
+	}
+}
+
+// TestSaveParamsRelativePathSyncsCWD pins the dir=="" edge: a checkpoint
+// saved to a bare filename fsyncs the current directory, not an empty path.
+func TestSaveParamsRelativePathSyncsCWD(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	var syncedDir string
+	origSyncDir := syncDir
+	defer func() { syncDir = origSyncDir }()
+	syncDir = func(d string) error {
+		syncedDir = d
+		if d != "" {
+			t.Fatalf("bare filename passed dir %q to syncDir, want \"\"", d)
+		}
+		return fsyncDir(d)
+	}
+	p := NewParam("w", tensor.FromSlice([]float32{3}, 1))
+	if err := SaveParams("bare.ckpt", []*Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	_ = syncedDir
 }

@@ -116,25 +116,35 @@ func (e *Env) Evaluate(c Constraint, d *Decision) (Outcome, error) {
 	acc := e.Predictor.Accuracy(d.Config)
 
 	out := Outcome{AccuracyPct: acc, LatencyMs: latMs}
+	out.Reward, out.SLOMet = e.RewardFor(c, acc, latMs)
+	return out, nil
+}
+
+// RewardFor scores an (accuracy, latency) pair under a constraint — the
+// Eq. (2)/(3) reward with the outcome supplied by the caller instead of the
+// cost model. Evaluate feeds it model predictions; the adaptation layer feeds
+// it measured serving latency, so live transitions earn rewards grounded in
+// what actually happened on the wire rather than what the model forecast.
+func (e *Env) RewardFor(c Constraint, accuracyPct, latencyMs float64) (reward float64, sloMet bool) {
 	switch c.Type {
 	case LatencySLO:
-		if latMs <= c.LatencyMs {
-			out.SLOMet = true
-			out.Reward = e.Alpha*acc - e.Beta
-			if out.Reward < 0 {
-				out.Reward = 0.01 // met the SLO: strictly better than violating it
+		if latencyMs <= c.LatencyMs {
+			sloMet = true
+			reward = e.Alpha*accuracyPct - e.Beta
+			if reward < 0 {
+				reward = 0.01 // met the SLO: strictly better than violating it
 			}
 		}
 	case AccuracySLO:
-		if acc >= c.AccuracyPct {
-			out.SLOMet = true
-			out.Reward = 1.6 * (1 - latMs/e.LatencyRefMs)
-			if out.Reward < 0.01 {
-				out.Reward = 0.01
+		if accuracyPct >= c.AccuracyPct {
+			sloMet = true
+			reward = 1.6 * (1 - latencyMs/e.LatencyRefMs)
+			if reward < 0.01 {
+				reward = 0.01
 			}
 		}
 	}
-	return out, nil
+	return reward, sloMet
 }
 
 // ConstraintSpace is the discretized training grid of §6.1.1: 10 points per

@@ -53,6 +53,24 @@ func New(e *env.Env, hidden int, seed int64) *Policy {
 	return p
 }
 
+// Clone returns a deep copy of the policy: a freshly constructed network of
+// the same architecture with every parameter value copied over. The clone
+// shares the (immutable) Env but no tensors, so the adaptation trainer can
+// keep optimizing its working policy while a frozen snapshot of it serves
+// traffic.
+func (p *Policy) Clone() *Policy {
+	q := New(p.Env, p.Hidden, 0)
+	src, dst := p.Params(), q.Params()
+	for i := range src {
+		// Same constructor, same order — assert rather than trust.
+		if dst[i].Name != src[i].Name || !dst[i].W.SameShape(src[i].W) {
+			panic(fmt.Sprintf("policy: clone parameter mismatch at %d: %s vs %s", i, dst[i].Name, src[i].Name))
+		}
+		copy(dst[i].W.Data, src[i].W.Data)
+	}
+	return q
+}
+
 // Params returns all trainable parameters.
 func (p *Policy) Params() []*nn.Param {
 	ps := p.lstm.Params()

@@ -1,0 +1,142 @@
+package supreme
+
+import (
+	"murmuration/internal/nn"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/tensor"
+)
+
+// This file is the live side of SUPREME: the adaptation layer feeds serving
+// transitions into the replay buffer (IngestLive) and retrains the policy on
+// the constraint cells the gateway is actually seeing (TrainOn), instead of
+// the uniform grid sweep offline training uses.
+
+// KeyOf conservatively quantizes a live constraint onto the training grid:
+// the cell whose conditions are tighter-or-equal in every coordinate, so any
+// strategy satisfying the cell satisfies the live constraint. Latency SLO
+// rounds down (a strategy meeting 280 ms meets a 300 ms request); accuracy
+// rounds up; bandwidth rounds down and delay up (the cell assumes a worse
+// link than observed).
+func (b *Buffer) KeyOf(c env.Constraint) BucketKey {
+	s := b.Space
+	k := BucketKey{}
+	if s.Type == env.LatencySLO {
+		k.SLO = gridIdxDown(s.SLOMin, s.SLOMax, s.Points, c.LatencyMs)
+	} else {
+		k.SLO = gridIdxUp(s.SLOMin, s.SLOMax, s.Points, c.AccuracyPct)
+	}
+	for i := 0; i < s.Remotes; i++ {
+		bw, dl := s.BwMaxMbps, s.DelayMin
+		if i < len(c.BandwidthMbps) {
+			bw = c.BandwidthMbps[i]
+		}
+		if i < len(c.DelayMs) {
+			dl = c.DelayMs[i]
+		}
+		k.Bw = append(k.Bw, gridIdxDown(s.BwMinMbps, s.BwMaxMbps, s.Points, bw))
+		k.Delay = append(k.Delay, gridIdxUp(s.DelayMin, s.DelayMax, s.Points, dl))
+	}
+	return k
+}
+
+// IngestLive folds one live serving transition into the replay buffer: the
+// constraint the request was resolved under, the choice sequence that served
+// it, and the latency the gateway measured. The measured latency replaces the
+// cost model's forecast in the reward; accuracy still comes from the
+// predictor (serving has no label stream). Like every insert, the buffer is
+// reward-filtered: an SLO-violating transition is dropped, and the report
+// value is whether the entry was stored.
+func (t *Trainer) IngestLive(c env.Constraint, choices []int, latencyMs float64) (bool, error) {
+	if len(choices) == 0 {
+		return false, nil
+	}
+	d, err := t.Policy.Env.Decode(choices)
+	if err != nil {
+		return false, err
+	}
+	acc := t.Policy.Env.Predictor.Accuracy(d.Config)
+	if _, met := t.Policy.Env.RewardFor(c, acc, latencyMs); !met {
+		return false, nil
+	}
+	// Relabel to the tightest satisfiable grid cell, exactly like offline
+	// collection — the measured outcome decides which cell the data teaches.
+	out := env.Outcome{AccuracyPct: acc, LatencyMs: latencyMs}
+	tight := t.Buffer.KeyFor(c, out)
+	reward, met := t.Policy.Env.RewardFor(t.Buffer.Constraint(tight), acc, latencyMs)
+	if !met {
+		return false, nil
+	}
+	t.Buffer.Insert(tight, Entry{
+		Choices:     choices,
+		Reward:      reward,
+		LatencyMs:   latencyMs,
+		AccuracyPct: acc,
+	})
+	return true, nil
+}
+
+// TrainOn runs `rounds` targeted SUPREME iterations over the constraint
+// cells the gateway is live-observing: epsilon-greedy rollouts collected and
+// relabeled per cell, followed by an imitation update focused on those cells
+// (with ancestor sharing, so a cell with no data of its own still learns from
+// a dominating neighbor). Unlike Step it does not advance the curriculum or
+// mutate the buffer — the live loop calls it on a cadence and wants every
+// update spent on the regime at hand.
+func (t *Trainer) TrainOn(cells []env.Constraint, rounds int) error {
+	if len(cells) == 0 || rounds <= 0 {
+		return nil
+	}
+	keys := make([]BucketKey, len(cells))
+	for i, c := range cells {
+		keys[i] = t.Buffer.KeyOf(c)
+	}
+	for r := 0; r < rounds; r++ {
+		for _, k := range keys {
+			c := t.Buffer.Constraint(k)
+			choices, _, err := t.Policy.Rollout(c, t.rng, t.Opts.Epsilon)
+			if err != nil {
+				return err
+			}
+			if err := t.insertEvaluated(choices, k); err != nil {
+				return err
+			}
+		}
+		t.Opts.Epsilon *= t.Opts.EpsilonDecay
+		if err := t.imitateKeys(keys); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// imitateKeys performs one supervised update over an explicit key set — the
+// focused counterpart of imitate()'s random bucket sampling.
+func (t *Trainer) imitateKeys(keys []BucketKey) error {
+	params := t.Policy.Params()
+	updated := false
+	for _, k := range keys {
+		bk := t.Buffer.Lookup(k)
+		if bk == nil || len(bk.Entries) == 0 {
+			continue
+		}
+		e := bk.Entries[0]
+		c := t.Buffer.Constraint(k)
+		fr, err := t.Policy.Forward(c, e.Choices)
+		if err != nil {
+			return err
+		}
+		dLogits := make([]*tensor.Tensor, len(e.Choices))
+		for st := range e.Choices {
+			_, d, _ := nn.SoftmaxCrossEntropy(fr.Logits[st], []int{e.Choices[st]})
+			d.Scale(1 / float32(len(e.Choices)))
+			dLogits[st] = d
+		}
+		t.Policy.Backward(fr, dLogits, nil)
+		updated = true
+	}
+	if updated {
+		nn.ClipGradNorm(params, 5)
+		t.opt.Step(params)
+	}
+	return nil
+}

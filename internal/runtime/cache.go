@@ -162,6 +162,22 @@ func (c *StrategyCache) InvalidateDevice(dev int) int {
 	return removed
 }
 
+// Clear evicts every cached strategy, returning how many entries were
+// removed. The adaptation layer calls it when the decider changes regime
+// (policy promotion or rollback): every cached decision was produced by the
+// previous policy, so serving it would mis-attribute traffic and dilute the
+// new policy's rollout. Removals count as invalidations, like
+// InvalidateDevice — they are forced, not capacity-driven.
+func (c *StrategyCache) Clear() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := c.order.Len()
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+	c.invalidations += uint64(removed)
+	return removed
+}
+
 // decisionPlacesOn reports whether a decision assigns any tile to dev.
 func decisionPlacesOn(d *env.Decision, dev int) bool {
 	if d == nil || d.Placement == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"murmuration/internal/monitor"
@@ -35,6 +36,41 @@ type DeciderFunc func(c env.Constraint) (*env.Decision, error)
 // Decide implements Decider.
 func (f DeciderFunc) Decide(c env.Constraint) (*env.Decision, error) { return f(c) }
 
+// DecisionMeta attributes a decision to its origin: which policy version
+// produced it and whether it is a canary decision (served experimentally by a
+// rollout controller). NoCache marks decisions that must not enter the
+// strategy cache — a canary decision cached under the constraint's bucket
+// would be replayed for every subsequent request in the bucket, silently
+// inflating the canary fraction from "some requests" to "all of them".
+type DecisionMeta struct {
+	PolicyVersion uint64
+	Canary        bool
+	NoCache       bool
+	// Choices is the policy's raw action sequence for the decision, when the
+	// decider exposes it. The serving layer forwards it with the request's
+	// outcome so the adaptation loop can feed measured transitions back into
+	// the replay buffer without re-deriving the episode.
+	Choices []int
+}
+
+// MetaDecider is an optional Decider extension for deciders that attribute
+// their decisions (adaptation controllers). When the installed decider
+// implements it, ResolveFor records the metadata on the Resolution and honors
+// NoCache.
+type MetaDecider interface {
+	Decider
+	DecideMeta(c env.Constraint) (*env.Decision, DecisionMeta, error)
+}
+
+// PolicyVersioner is an optional Decider extension reporting the policy
+// version that cached decisions belong to. Because the adaptation controller
+// invalidates the strategy cache on every promotion and rollback, every live
+// cache entry was produced by the current incumbent — so a cache hit is
+// attributed to the versioner's current answer.
+type PolicyVersioner interface {
+	PolicyVersion() uint64
+}
+
 // SLO is the user-facing service-level objective (paper §5: "The SLO API
 // enables users to specify latency or accuracy SLOs as a scalar value").
 type SLO struct {
@@ -47,8 +83,11 @@ type SLO struct {
 // the cache or the decider, and executes inference through the scheduler.
 type Runtime struct {
 	Scheduler *Scheduler
-	Decider   Decider
 	Cache     *StrategyCache
+	// decider is the installed Decider behind an atomic pointer, so an
+	// adaptation controller can hot-swap the serving policy while workers
+	// resolve concurrently, without taking the runtime mutex on the hot path.
+	decider atomic.Pointer[deciderBox]
 	// Monitors[i] tracks the link of remote device i+1. May be nil when
 	// link state is set manually via SetLinkState.
 	Monitors []*monitor.LinkMonitor
@@ -77,12 +116,12 @@ func New(s *Scheduler, d Decider, cache *StrategyCache, monitors []*monitor.Link
 	}
 	r := &Runtime{
 		Scheduler:  s,
-		Decider:    d,
 		Cache:      cache,
 		Monitors:   monitors,
 		manualLink: make([]monitor.Sample, len(s.Remotes)),
 		healthy:    healthy,
 	}
+	r.decider.Store(&deciderBox{d: d})
 	// Wire the scheduler's hedged-RPC alternate-device choice to the
 	// runtime's health mask and link estimates, unless the caller already
 	// installed its own policy.
@@ -90,6 +129,41 @@ func New(s *Scheduler, d Decider, cache *StrategyCache, monitors []*monitor.Link
 		s.PickAlternate = r.AlternateFor
 	}
 	return r
+}
+
+// deciderBox wraps a Decider interface value so it can live behind an
+// atomic.Pointer (interface values are not directly atomically swappable).
+type deciderBox struct{ d Decider }
+
+// SwapDecider atomically installs a new decider and returns the previous one.
+// Resolutions in flight finish on whichever decider they loaded; the caller
+// is responsible for invalidating cached strategies when the swap changes
+// what the decider would answer (see InvalidateStrategies).
+func (r *Runtime) SwapDecider(d Decider) Decider {
+	old := r.decider.Swap(&deciderBox{d: d})
+	if old == nil {
+		return nil
+	}
+	return old.d
+}
+
+// CurrentDecider returns the installed decider.
+func (r *Runtime) CurrentDecider() Decider {
+	if b := r.decider.Load(); b != nil {
+		return b.d
+	}
+	return nil
+}
+
+// InvalidateStrategies drops every cached strategy, returning how many were
+// removed. The adaptation controller calls it on promotion and rollback: the
+// decider just changed regime, so every cached decision is attributable to
+// the wrong policy version and must be re-resolved.
+func (r *Runtime) InvalidateStrategies() int {
+	if r.Cache == nil {
+		return 0
+	}
+	return r.Cache.Clear()
 }
 
 // AlternateFor picks the healthy remote device a hedged tile RPC should be
@@ -269,6 +343,14 @@ type Resolution struct {
 	Key        string
 	CacheHit   bool
 	DecideTime time.Duration
+	// PolicyVersion attributes the decision to the policy snapshot that
+	// produced it (0 when the decider does not version itself); Canary marks
+	// a decision routed through a rollout controller's candidate policy.
+	PolicyVersion uint64
+	Canary        bool
+	// Choices is the policy's action sequence behind Decision (nil on cache
+	// hits and for deciders that do not expose one).
+	Choices []int
 }
 
 // StrategyKeyFor returns the bucketized cache key for an SLO under current
@@ -288,13 +370,21 @@ func (r *Runtime) ResolveFor(slo SLO) (*Resolution, error) {
 	c := r.ConstraintFor(slo)
 	start := time.Now()
 	key := ""
+	dec := r.CurrentDecider()
 	var d *env.Decision
+	var meta DecisionMeta
 	hit := false
 	if r.Cache != nil {
 		key = r.Cache.Key(c)
 		if cached, ok := r.Cache.Get(c); ok {
 			d = cached
 			hit = true
+			// A cache hit belongs to the incumbent: canary decisions never
+			// enter the cache, and the cache is cleared on promotion/rollback,
+			// so the versioner's current answer is the entry's producer.
+			if pv, ok := dec.(PolicyVersioner); ok {
+				meta.PolicyVersion = pv.PolicyVersion()
+			}
 			r.mu.Lock()
 			r.CacheHits++
 			r.mu.Unlock()
@@ -302,11 +392,15 @@ func (r *Runtime) ResolveFor(slo SLO) (*Resolution, error) {
 	}
 	if d == nil {
 		var err error
-		d, err = r.Decider.Decide(c)
+		if md, ok := dec.(MetaDecider); ok {
+			d, meta, err = md.DecideMeta(c)
+		} else {
+			d, err = dec.Decide(c)
+		}
 		if err != nil {
 			return nil, err
 		}
-		if r.Cache != nil {
+		if r.Cache != nil && !meta.NoCache {
 			r.Cache.Put(c, d)
 		}
 		r.mu.Lock()
@@ -314,11 +408,14 @@ func (r *Runtime) ResolveFor(slo SLO) (*Resolution, error) {
 		r.mu.Unlock()
 	}
 	return &Resolution{
-		Decision:   r.sanitizeDecision(d),
-		Constraint: c,
-		Key:        key,
-		CacheHit:   hit,
-		DecideTime: time.Since(start),
+		Decision:      r.sanitizeDecision(d),
+		Constraint:    c,
+		Key:           key,
+		CacheHit:      hit,
+		DecideTime:    time.Since(start),
+		PolicyVersion: meta.PolicyVersion,
+		Canary:        meta.Canary,
+		Choices:       meta.Choices,
 	}, nil
 }
 
@@ -409,9 +506,20 @@ func (r *Runtime) Precompute(ahead time.Duration) error {
 	if _, ok := r.Cache.Get(c); ok {
 		return nil
 	}
-	d, err := r.Decider.Decide(c)
+	dec := r.CurrentDecider()
+	var d *env.Decision
+	var meta DecisionMeta
+	var err error
+	if md, ok := dec.(MetaDecider); ok {
+		d, meta, err = md.DecideMeta(c)
+	} else {
+		d, err = dec.Decide(c)
+	}
 	if err != nil {
 		return err
+	}
+	if meta.NoCache {
+		return nil
 	}
 	r.Cache.Put(c, r.sanitizeDecision(d))
 	return nil

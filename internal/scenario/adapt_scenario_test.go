@@ -1,0 +1,362 @@
+// Adaptation scenarios: the closed loop (live outcome tap → background
+// retraining → shadow/canary/full rollout) replayed against seeded drift
+// traces. Two verdicts: a drifting environment where the adaptive controller
+// must match or beat a frozen decider, and a hostile canary that must roll
+// back automatically without bending the serving ledger.
+package scenario_test
+
+import (
+	"testing"
+	"time"
+
+	"murmuration/internal/adapt"
+	"murmuration/internal/device"
+	"murmuration/internal/nas"
+	"murmuration/internal/netem"
+	"murmuration/internal/rl/env"
+	"murmuration/internal/rl/policy"
+	"murmuration/internal/rl/supreme"
+	"murmuration/internal/rpcx"
+	"murmuration/internal/runtime"
+	"murmuration/internal/scenario"
+	"murmuration/internal/serve"
+	"murmuration/internal/supernet"
+	"murmuration/internal/testutil"
+)
+
+// remoteMinDecider pins every tile of the min config onto remote device 1 —
+// the frozen policy that is right while the link is fast and wrong once the
+// trace degrades it.
+func remoteMinDecider(a *supernet.Arch) runtime.DeciderFunc {
+	return func(c env.Constraint) (*env.Decision, error) {
+		cfg := a.MinConfig()
+		costs, _ := a.Costs(cfg)
+		p := supernet.LocalPlacement(costs)
+		for k := range p.Devices {
+			for ti := range p.Devices[k] {
+				p.Devices[k][ti] = 1
+			}
+		}
+		return &env.Decision{Config: cfg, Placement: p}, nil
+	}
+}
+
+// driftTrace synthesizes the seeded drift trace both runs replay: a
+// latency/accuracy blend whose class mix shifts toward tight deadlines
+// halfway through, with a link-degrade event (2ms → 150ms one-way) at 900ms.
+// Once degraded, a remote min-config inference costs two sequential tile
+// RPCs × two shaped directions ≈ 600ms — far past the 280ms deadlines — so
+// only a decider that moves work off the link keeps attaining.
+func driftTrace(t *testing.T, seed int64) *scenario.Trace {
+	t.Helper()
+	const half = 1500 * time.Millisecond
+	phase := func(s int64, rate, latW, accW float64) *scenario.Trace {
+		tr, err := scenario.Synthesize(scenario.GenOptions{
+			Name: "adapt-drift", Seed: s, Duration: half,
+			Process: scenario.Poisson{Rate: rate},
+			Mix: scenario.Mix{
+				Classes: []scenario.ClassShare{
+					{SLOType: env.LatencySLO, SLOValue: 280, Weight: latW},
+					{SLOType: env.AccuracySLO, SLOValue: 75, Weight: accW},
+				},
+				Resolutions: []int{32},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	first := phase(seed, 20, 0.6, 0.4)
+	second := phase(seed+1, 24, 0.85, 0.15)
+
+	events := append([]scenario.Event(nil), first.Events...)
+	for _, ev := range second.Events {
+		ev.At += half
+		events = append(events, ev)
+	}
+	events = append(events, scenario.Event{
+		At: 900 * time.Millisecond, Kind: scenario.EvSetDelay, Device: 0, Value: 150,
+	})
+	sortEvents(events)
+	return &scenario.Trace{Name: "adapt-drift", Seed: seed, Events: events}
+}
+
+// sortEvents re-sorts a hand-merged event stream by offset, stably.
+func sortEvents(events []scenario.Event) {
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].At < events[j-1].At; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+// adaptController pretrains a constraint-conditioned policy offline (the
+// paper's offline SUPREME phase) and wraps the frozen incumbent in an
+// adaptation controller tuned for a seconds-long trace: short windows, an
+// aggressive canary, and a rollback floor low enough that drift turbulence
+// alone cannot trip it.
+func adaptController(t *testing.T, rt *runtime.Runtime, a *supernet.Arch, incumbent runtime.Decider, seed int64) *adapt.Controller {
+	t.Helper()
+	e := env.New(a, nas.NewCalibratedPredictor(a), []device.Kind{device.RaspberryPi4, device.GPUDesktop})
+	p := policy.New(e, 16, seed)
+	space := env.ConstraintSpace{
+		Type: env.LatencySLO, SLOMin: 50, SLOMax: 2000,
+		BwMinMbps: 20, BwMaxMbps: 200, DelayMin: 1, DelayMax: 200,
+		Points: 8, Remotes: 1,
+	}
+	opts := supreme.DefaultOptions()
+	opts.Steps = 250
+	opts.CurriculumEvery = 30
+	opts.Seed = seed
+	if err := supreme.New(p, space, opts).Run(); err != nil {
+		t.Fatalf("offline pretrain: %v", err)
+	}
+	ctl, err := adapt.New(adapt.Config{
+		Runtime: rt, Incumbent: incumbent, Policy: p, Space: space,
+		Dir:      t.TempDir(),
+		Interval: 120 * time.Millisecond,
+		CanaryFrac: 0.9, RollbackSLO: 0.25,
+		TrainRounds: 2, MinShadow: 4, ShadowWinFrac: 0.5, MinCanary: 2,
+		RollbackWindows: 3, MaxRollbacks: 4,
+		Log: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+// runDriftTrace replays tr against one real remote daemon. With adaptive
+// false, the frozen remote-min decider serves the whole trace; with true, an
+// adaptation controller wraps it and must promote its way off the degraded
+// link. Returns the scored report with the v7 gateway section attached.
+func runDriftTrace(t *testing.T, tr *scenario.Trace, seed int64, adaptive bool) *scenario.Report {
+	t.Helper()
+	a := supernet.TinyArch(4)
+	net := supernet.New(a, seed)
+
+	srv, addr := startDaemon(t, net, "127.0.0.1:0")
+	defer srv.Close()
+	sh := netem.NewShaper(0, 2*time.Millisecond)
+	data := dialData(t, addr, sh)
+	defer data.Close()
+
+	sched := runtime.NewScheduler(net, []*rpcx.Client{data})
+	sched.RemoteTimeout = 10 * time.Second
+	frozen := remoteMinDecider(a)
+	rt := runtime.New(sched, frozen, runtime.NewStrategyCache(64, 25, 5, 10), nil)
+	rt.SetLinkState(0, 100, 2)
+
+	g := serve.New(rt, serve.Options{
+		Workers: 2, MaxBatch: 4, MaxLinger: time.Millisecond, QueueDepth: 128,
+		MaxRung: -1,
+	})
+
+	var ctl *adapt.Controller
+	name := "adapt-drift-frozen"
+	if adaptive {
+		name = "adapt-drift-adaptive"
+		ctl = adaptController(t, rt, a, frozen, seed)
+		rt.SwapDecider(ctl)
+		ctl.AttachGateway(g)
+		ctl.Start()
+	}
+
+	// The orchestrator mirrors link drift into the runtime's constraint view
+	// the way the production monitor loop does — the policy can only react to
+	// drift it can see.
+	orch := scenario.NewOrchestrator([]scenario.Target{{Shaper: sh}})
+	orch.OnApply = func(ev scenario.Event) {
+		if ev.Kind == scenario.EvSetDelay {
+			rt.SetLinkState(ev.Device, 100, ev.Value)
+		}
+	}
+
+	before := g.Stats()
+	sc := scenario.NewScorer()
+	res, err := scenario.Run(tr, scenario.RunOptions{Submitter: g, Orchestrator: orch}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != uint64(tr.Requests()) {
+		t.Fatalf("runner dispatched %d of %d trace requests", res.Requests, tr.Requests())
+	}
+	g.Close(30 * time.Second)
+	if ctl != nil {
+		ctl.Close()
+	}
+	after := g.Stats()
+
+	if after.Admitted != after.Served+after.Dropped+after.Failed {
+		t.Fatalf("ledger broken: %+v", after)
+	}
+	var met, missed uint64
+	for c := 0; c < serve.NumClasses; c++ {
+		met += after.ClassMet[c]
+		missed += after.ClassMissed[c]
+	}
+	if met+missed != after.Admitted {
+		t.Fatalf("per-class ledger broken: met %d + missed %d != admitted %d", met, missed, after.Admitted)
+	}
+
+	report := sc.Report(name, scenario.GatewayDelta(before, after))
+	report.StatsWireVersion = serve.StatsWireVersion
+	report.PolicyVersion = after.PolicyVersion
+	if js, err := report.JSON(); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	} else {
+		t.Logf("scenario %s report:\n%s", name, js)
+	}
+	return report
+}
+
+// TestScenarioAdaptDrift replays the same seeded drift trace twice — frozen
+// decider vs closed-loop adaptation — and asserts the adaptive run promoted
+// at least one candidate and attained at least as well per class (with a
+// small tolerance), strictly better on the latency class the drift punishes.
+func TestScenarioAdaptDrift(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	tr := driftTrace(t, 501)
+
+	frozen := runDriftTrace(t, tr, 501, false)
+	adapted := runDriftTrace(t, tr, 501, true)
+
+	if adapted.Gateway.Promotions < 1 {
+		t.Fatalf("adaptive run never promoted a candidate: %+v", adapted.Gateway)
+	}
+	for _, class := range []string{"latency", "accuracy"} {
+		fa, aa := frozen.Attainment(class), adapted.Attainment(class)
+		if aa < fa-0.05 {
+			t.Errorf("%s attainment regressed under adaptation: frozen %.3f, adapted %.3f", class, fa, aa)
+		}
+	}
+	if fa, aa := frozen.Attainment("latency"), adapted.Attainment("latency"); aa < fa+0.05 {
+		t.Errorf("adaptation did not beat the frozen policy on the drifted class: frozen %.3f, adapted %.3f", fa, aa)
+	}
+}
+
+// TestScenarioAdaptRollback forces a canary that routes everything over a
+// 150ms-shaped link under 200ms deadlines, with promotion made unreachable.
+// The guarded rollout must detect the bad canary from live windows (served
+// misses or shed starvation), roll back to the incumbent, reset the poisoned
+// wait estimates, and keep both ledgers exact — rollback costs latency, never
+// accounting.
+func TestScenarioAdaptRollback(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a := supernet.TinyArch(4)
+	net := supernet.New(a, 502)
+
+	srv, addr := startDaemon(t, net, "127.0.0.1:0")
+	defer srv.Close()
+	sh := netem.NewShaper(0, 150*time.Millisecond)
+	data := dialData(t, addr, sh)
+	defer data.Close()
+
+	sched := runtime.NewScheduler(net, []*rpcx.Client{data})
+	sched.RemoteTimeout = 10 * time.Second
+	local := runtime.DeciderFunc(func(c env.Constraint) (*env.Decision, error) {
+		cfg := a.MinConfig()
+		costs, _ := a.Costs(cfg)
+		return &env.Decision{Config: cfg, Placement: supernet.LocalPlacement(costs)}, nil
+	})
+	rt := runtime.New(sched, local, runtime.NewStrategyCache(64, 25, 5, 10), nil)
+	rt.SetLinkState(0, 100, 150)
+
+	// Routing-only controller (no trainable policy): promotion is unreachable
+	// (MinCanary is effectively infinite), so automatic rollback is the only
+	// way out of canary.
+	ctl, err := adapt.New(adapt.Config{
+		Runtime: rt, Incumbent: local,
+		CanaryFrac: 1.0, RollbackSLO: 0.7,
+		RollbackWindows: 2, MinCanary: 1 << 30, MaxRollbacks: 3,
+		Interval: 100 * time.Millisecond,
+		Log:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SwapDecider(ctl)
+
+	g := serve.New(rt, serve.Options{
+		Workers: 2, MaxBatch: 4, MaxLinger: time.Millisecond, QueueDepth: 128,
+		MaxRung: -1,
+	})
+	ctl.AttachGateway(g)
+	ctl.ForceCandidate(remoteMinDecider(a))
+	ctl.ForceCanary()
+	ctl.Start()
+
+	tr, err := scenario.Synthesize(scenario.GenOptions{
+		Name: "adapt-rollback", Seed: 502, Duration: 2500 * time.Millisecond,
+		Process: scenario.Poisson{Rate: 40},
+		Mix: scenario.Mix{
+			Classes: []scenario.ClassShare{
+				{SLOType: env.LatencySLO, SLOValue: 200, Weight: 0.8},
+				{SLOType: env.LatencySLO, SLOValue: 0, Weight: 0.2}, // best-effort
+			},
+			Resolutions: []int{32},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := g.Stats()
+	sc := scenario.NewScorer()
+	res, err := scenario.Run(tr, scenario.RunOptions{Submitter: g}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != uint64(tr.Requests()) {
+		t.Fatalf("runner dispatched %d of %d trace requests", res.Requests, tr.Requests())
+	}
+	g.Close(30 * time.Second)
+	ctl.Close()
+	after := g.Stats()
+
+	if after.Admitted != after.Served+after.Dropped+after.Failed {
+		t.Fatalf("ledger broken across rollback: %+v", after)
+	}
+	var met, missed uint64
+	for c := 0; c < serve.NumClasses; c++ {
+		met += after.ClassMet[c]
+		missed += after.ClassMissed[c]
+	}
+	if met+missed != after.Admitted {
+		t.Fatalf("per-class ledger broken across rollback: met %d + missed %d != admitted %d", met, missed, after.Admitted)
+	}
+
+	report := sc.Report("adapt-rollback", scenario.GatewayDelta(before, after))
+	report.StatsWireVersion = serve.StatsWireVersion
+	report.PolicyVersion = after.PolicyVersion
+	if js, err := report.JSON(); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	} else {
+		t.Logf("scenario adapt-rollback report:\n%s", js)
+	}
+
+	gw := report.Gateway
+	if gw.Rollbacks < 1 {
+		t.Fatalf("bad canary never rolled back: %+v", gw)
+	}
+	if gw.Promotions != 0 {
+		t.Fatalf("bad canary was promoted %d times: %+v", gw.Promotions, gw)
+	}
+	if gw.CanaryServed == 0 {
+		t.Fatalf("canary never served a request before rollback: %+v", gw)
+	}
+	if m := ctl.Mode(); m != adapt.ModeIncumbent {
+		t.Fatalf("mode after rollback = %v, want incumbent", m)
+	}
+	if ctl.Pinned() {
+		t.Fatal("a single rollback pinned the controller (circuit breaker too eager)")
+	}
+	// Post-rollback the incumbent serves locally and the reset wait estimates
+	// let deadlines admit again. A wedged canary attains ~0 (every request
+	// over the 150ms link misses its 200ms deadline); the floor only needs to
+	// separate recovery from that, with slack for the race detector's slowdown.
+	if att := report.Attainment("latency"); att < 0.25 {
+		t.Fatalf("latency attainment %.3f after rollback, want >= 0.25 (recovery)", att)
+	}
+}

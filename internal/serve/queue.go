@@ -64,6 +64,12 @@ type Gateway struct {
 	brownout bool
 	wd       *watchdog.Watchdog
 
+	// tap receives outcome events for the adaptation loop (nil until
+	// SetOutcomeTap); adapter is the adaptation controller whose counters are
+	// folded into Stats (nil until AttachAdapter). Both guarded by mu.
+	tap     OutcomeTap
+	adapter AdaptSource
+
 	stats Stats
 
 	workers sync.WaitGroup
@@ -90,8 +96,15 @@ func New(rt *runtime.Runtime, opts Options) *Gateway {
 func (g *Gateway) admit(req *request) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	// A shed is still a demand signal: the tap sees it so the adaptation loop
+	// keeps observing the live constraint cells even when admission collapses
+	// and the decide path starves.
+	shed := func() {
+		g.offerLocked(OutcomeEvent{Kind: KindShed, Class: req.class, SLO: req.slo})
+	}
 	if g.closing {
 		g.stats.Shed++
+		shed()
 		return ErrShuttingDown
 	}
 	q := req.class
@@ -103,6 +116,7 @@ func (g *Gateway) admit(req *request) error {
 		if q == ClassBestEffort {
 			g.stats.Shed++
 			g.stats.Overloads++
+			shed()
 			return ErrOverloaded
 		}
 		if depth /= 2; depth < 1 {
@@ -111,6 +125,7 @@ func (g *Gateway) admit(req *request) error {
 	}
 	if len(g.queues[q]) >= depth {
 		g.stats.Shed++
+		shed()
 		return ErrQueueFull
 	}
 	if q == ClassLatency && g.emaBatchSec[q] > 0 {
@@ -129,6 +144,7 @@ func (g *Gateway) admit(req *request) error {
 		}
 		if time.Now().Add(wait + exec).After(req.deadline) {
 			g.stats.Shed++
+			shed()
 			return ErrDeadlineUnattainable
 		}
 	}
@@ -201,6 +217,7 @@ func (g *Gateway) failLocked(req *request, err error) {
 	if req.class == ClassLatency {
 		g.stats.DeadlineMissed++
 	}
+	g.offerLocked(OutcomeEvent{Kind: KindDropped, Class: req.class, SLO: req.slo})
 	req.done <- Outcome{Err: err}
 }
 
@@ -291,6 +308,13 @@ func (g *Gateway) Stats() Stats {
 	if g.wd != nil {
 		s.Goroutines = uint64(g.wd.Goroutines())
 		s.HeapBytes = g.wd.HeapBytes()
+	}
+	if g.adapter != nil {
+		as := g.adapter.AdaptStats()
+		s.PolicyVersion = as.PolicyVersion
+		s.ShadowScored = as.ShadowScored
+		s.Promotions = as.Promotions
+		s.Rollbacks = as.Rollbacks
 	}
 	for c := Class(0); c < numClasses; c++ {
 		s.QueueDepth[c] = len(g.queues[c])

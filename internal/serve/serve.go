@@ -222,6 +222,17 @@ type Stats struct {
 	// no watchdog is attached). Gauges, not counters.
 	Goroutines uint64
 	HeapBytes  uint64
+	// PolicyVersion is the serving policy's version (a gauge, 0 when no
+	// adaptation controller is attached); ShadowScored, Promotions, and
+	// Rollbacks are the attached controller's rollout counters. CanaryServed
+	// counts requests served by a canary-routed candidate decision — these
+	// ride the normal Served/ClassMet ledger, the counter only attributes
+	// them. All five are wire v7.
+	PolicyVersion uint64
+	ShadowScored  uint64
+	CanaryServed  uint64
+	Promotions    uint64
+	Rollbacks     uint64
 	// ClassMet / ClassMissed are the per-SLO-class attainment ledger: every
 	// admitted request lands in exactly one bucket of its class once it gets
 	// its outcome. Met is served within the SLO (for classes without a
@@ -249,7 +260,11 @@ type Outcome struct {
 	// Rung is the degradation-ladder rung the batch executed at (0 = the
 	// resolved strategy unchanged).
 	Rung int
-	Err  error
+	// PolicyVersion / Canary attribute the serving decision to its policy
+	// snapshot (see runtime.Resolution). Zero when the decider is unversioned.
+	PolicyVersion uint64
+	Canary        bool
+	Err           error
 }
 
 // Submit enqueues one inference under slo and blocks until its outcome is

@@ -30,7 +30,7 @@ const (
 //	                f64 sloValue | tensor.Encode(image)
 //	infer response: u8 batchSize | u8 cacheHit | u64 queueWaitµs
 //	                u64 execµs | u64 decideµs | tensor.Encode(logits)
-//	stats response: u8 version | 44 × u64 (see encodeStats)
+//	stats response: u8 version | 49 × u64 (see encodeStats)
 const inferHeaderLen = 1 + 8
 
 // statsWireVersion is the leading byte of the stats frame, bumped whenever
@@ -44,7 +44,13 @@ const inferHeaderLen = 1 + 8
 //	    +Brownouts, +BrownoutActive, +Goroutines, +HeapBytes
 //	v6: +ClassMet[numClasses], +ClassMissed[numClasses] (per-class SLO
 //	    attainment, read by the scenario scorer)
-const statsWireVersion = 6
+//	v7: +PolicyVersion, +ShadowScored, +CanaryServed, +Promotions,
+//	    +Rollbacks (online-adaptation rollout attribution)
+const statsWireVersion = 7
+
+// StatsWireVersion is the exported stats frame version, stamped into load
+// generator reports so offline analysis knows which field set it is reading.
+const StatsWireVersion = statsWireVersion
 
 // WireVersionError is the typed mismatch a client gets when the gateway
 // speaks a different stats frame version.
@@ -129,9 +135,9 @@ func decodeSLO(typ byte, value float64) (runtime.SLO, error) {
 }
 
 // statsFieldCount is the number of u64 fields in the stats wire encoding:
-// 29 counters/gauges + 2×3 per-class attainment counters + 3 queue depths +
+// 34 counters/gauges + 2×3 per-class attainment counters + 3 queue depths +
 // 6 cache fields.
-const statsFieldCount = 44
+const statsFieldCount = 49
 
 // statsFields lists the counter fields in wire order; queue depths and
 // cache stats follow them in encodeStats/decodeStats.
@@ -148,6 +154,8 @@ func statsFields(s *Stats) []*uint64 {
 		&s.LimiterCuts, &s.LimiterLimit,
 		&s.Brownouts, &s.BrownoutActive,
 		&s.Goroutines, &s.HeapBytes,
+		&s.PolicyVersion, &s.ShadowScored, &s.CanaryServed,
+		&s.Promotions, &s.Rollbacks,
 	}
 	for c := range s.ClassMet {
 		fields = append(fields, &s.ClassMet[c])
