@@ -29,6 +29,7 @@ import (
 	"murmuration/internal/adapt"
 	"murmuration/internal/cluster"
 	"murmuration/internal/device"
+	"murmuration/internal/health"
 	"murmuration/internal/monitor"
 	"murmuration/internal/nas"
 	"murmuration/internal/netem"
@@ -81,6 +82,14 @@ func main() {
 	canaryFrac := flag.Float64("canary-frac", 0.2, "fraction of decisions routed to the candidate during canary")
 	rollbackSLO := flag.Float64("rollback-slo", 0.7, "SLO-attainment floor; observation windows below it count toward rollback")
 	adaptDir := flag.String("adapt-dir", "", "directory for versioned policy checkpoints and the rollout manifest (empty = promotions do not survive restarts)")
+	healthWindow := flag.Duration("health-window", time.Second, "SLI window for gray-failure detection (0 disables the health layer)")
+	grayLatencyFactor := flag.Float64("gray-latency-factor", 3, "a device is gray when its window p50 tile latency exceeds this multiple of the fleet median")
+	grayFailureRate := flag.Float64("gray-failure-rate", 0.30, "a device is gray when its window failure rate reaches this fraction")
+	grayWindows := flag.Int("gray-windows", 3, "consecutive gray windows before demotion (Active->Probation, Probation->Quarantined)")
+	reintegrateAfter := flag.Duration("reintegrate-after", 10*time.Second, "minimum quarantine dwell before a clean device starts the reintegration ramp")
+	quarantineProbeEvery := flag.Duration("quarantine-probe-every", 500*time.Millisecond, "synthetic probe period per quarantined/reintegrating device (negative disables probing)")
+	flapSuppress := flag.Float64("flap-suppress", 2500, "flap-damping penalty above which a device's reinstatement is suppressed (each Up/Down flip adds 1000)")
+	flapHalfLife := flag.Duration("flap-half-life", 10*time.Second, "flap-damping penalty half-life")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -189,6 +198,29 @@ func main() {
 			log.Printf("device %d failed a batch (failing over): %v", dev, err)
 		},
 	})
+
+	// Gray-failure immunity: tile-call SLIs feed a per-device health tracker
+	// that quarantines devices whose compute path is sick even while their
+	// heartbeats stay crisp, ramps them back in gradually, and flap-damps
+	// devices that cycle Up/Down faster than placement can follow.
+	if *healthWindow > 0 && len(clients) > 0 {
+		gw.AttachHealth(serve.HealthOptions{
+			Tracker: health.Options{
+				Window:           *healthWindow,
+				LatencyFactor:    *grayLatencyFactor,
+				FailureRate:      *grayFailureRate,
+				GrayWindows:      *grayWindows,
+				ReintegrateAfter: *reintegrateAfter,
+			},
+			Damper: health.DamperOptions{
+				SuppressThreshold: *flapSuppress,
+				HalfLife:          *flapHalfLife,
+			},
+			ProbeEvery: *quarantineProbeEvery,
+		})
+		log.Printf("gray-failure health layer on (window %v, gray at %.1fx fleet median or %.0f%% failures for %d windows, reintegrate after %v)",
+			*healthWindow, *grayLatencyFactor, *grayFailureRate*100, *grayWindows, *reintegrateAfter)
+	}
 
 	// Online adaptation: the controller becomes the runtime's decider, taps
 	// the gateway's outcome stream, retrains a private clone of the policy in

@@ -70,6 +70,12 @@ func main() {
 	degradeFor := flag.Duration("degrade-for", 2*time.Second, "generate: length of each link-degrade window")
 	degradeDelayMs := flag.Float64("degrade-delay-ms", 120, "generate: one-way link delay inside a degrade window, ms")
 	calmDelayMs := flag.Float64("calm-delay-ms", 2, "generate: one-way link delay outside degrade windows, ms")
+	slowEvery := flag.Duration("slow-every", 0, "generate: mean period between slow-compute windows (0 = none)")
+	slowFor := flag.Duration("slow-for", 2*time.Second, "generate: length of each slow-compute window")
+	slowFactor := flag.Float64("slow-factor", 10, "generate: compute-latency multiplier inside a slow-compute window (>1)")
+	cerrEvery := flag.Duration("cerr-every", 0, "generate: mean period between compute-error windows (0 = none)")
+	cerrFor := flag.Duration("cerr-for", 2*time.Second, "generate: length of each compute-error window")
+	cerrRate := flag.Float64("cerr-rate", 0.3, "generate: per-block failure probability inside a compute-error window")
 
 	// Replay.
 	gateway := flag.String("gateway", "", "replay: gateway rpcx address")
@@ -89,6 +95,8 @@ func main() {
 			churnDevices: *churnDevices, churnMeanUp: *churnMeanUp, churnDowntime: *churnDowntime,
 			degradeEvery: *degradeEvery, degradeFor: *degradeFor,
 			degradeDelayMs: *degradeDelayMs, calmDelayMs: *calmDelayMs,
+			slowEvery: *slowEvery, slowFor: *slowFor, slowFactor: *slowFactor,
+			cerrEvery: *cerrEvery, cerrFor: *cerrFor, cerrRate: *cerrRate,
 		})
 		return
 	}
@@ -108,6 +116,10 @@ type genConfig struct {
 	churnMeanUp, churnDowntime        time.Duration
 	degradeEvery, degradeFor          time.Duration
 	degradeDelayMs, calmDelayMs       float64
+	slowEvery, slowFor                time.Duration
+	slowFactor                        float64
+	cerrEvery, cerrFor                time.Duration
+	cerrRate                          float64
 }
 
 func generate(c genConfig) {
@@ -141,6 +153,8 @@ func generate(c genConfig) {
 			MeanUp:  c.churnMeanUp, Downtime: c.churnDowntime,
 			DegradeEvery: c.degradeEvery, DegradeFor: c.degradeFor,
 			DegradeDelayMs: c.degradeDelayMs, CalmDelayMs: c.calmDelayMs,
+			SlowEvery: c.slowEvery, SlowFor: c.slowFor, SlowFactor: c.slowFactor,
+			ComputeErrEvery: c.cerrEvery, ComputeErrFor: c.cerrFor, ComputeErrRate: c.cerrRate,
 		}, c.duration, rand.New(rand.NewSource(c.seed)))
 	}
 

@@ -41,6 +41,9 @@ func main() {
 	connIdleTimeout := flag.Duration("conn-idle-timeout", 5*time.Minute, "evict a connection after this long without a request (0 = never)")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "evict a connection whose client will not drain a response within this window (0 = never)")
 	maxInflight := flag.Int("max-inflight", 256, "max concurrently executing requests before new calls get a retryable overload refusal (0 = unlimited)")
+	injectSlowdown := flag.Float64("inject-slowdown", 1, "FAULT INJECTION: multiply compute latency of every block execution (1 = off; heartbeats are unaffected, for gray-failure testing)")
+	injectErrRate := flag.Float64("inject-error-rate", 0, "FAULT INJECTION: fail each block execution with this probability (0 = off)")
+	injectSeed := flag.Int64("inject-seed", 1, "FAULT INJECTION: rng seed for -inject-error-rate")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -68,7 +71,20 @@ func main() {
 	srv.ConnIdleTimeout = *connIdleTimeout
 	srv.WriteTimeout = *writeTimeout
 	srv.MaxInflight = *maxInflight
-	runtime.NewExecutor(net).Register(srv)
+	exec := runtime.NewExecutor(net)
+	if *injectSlowdown > 1 || *injectErrRate > 0 {
+		// Compute-path fault injection: the handler still answers (and
+		// heartbeats stay crisp), so only SLI-driven gray-failure detection
+		// can see the sickness — exactly the failure mode under test.
+		inj := runtime.NewComputeInjector(exec.ExecBlockHandler())
+		inj.SetSlowdown(*injectSlowdown)
+		inj.SetErrorRate(*injectErrRate, *injectSeed)
+		srv.Handle(runtime.ExecBlockMethod, inj.Handler())
+		log.Printf("FAULT INJECTION armed: slowdown=%.1fx error-rate=%.2f seed=%d",
+			*injectSlowdown, *injectErrRate, *injectSeed)
+	} else {
+		exec.Register(srv)
+	}
 	monitor.RegisterHandlers(srv)
 	// After the monitor handlers: the node's counting ping replaces the echo,
 	// so gateway heartbeats are answered and tallied here.

@@ -102,6 +102,13 @@ type Options struct {
 	// RTTMultiplier scales the smoothed RTT into the adaptive probe timeout
 	// (default 6).
 	RTTMultiplier float64
+	// RTTClampFactor caps a single RTT sample's contribution to the smoothed
+	// RTT at this multiple of the current estimate (default 3). Without the
+	// clamp, one pathological probe — a GC pause, a retransmit — inflates
+	// the EMA and with it the adaptive timeout, masking a genuinely
+	// degrading device behind a self-raised bar. A sustained rise still
+	// tracks: each sample may grow the estimate, just not explode it.
+	RTTClampFactor float64
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +132,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RTTMultiplier <= 0 {
 		o.RTTMultiplier = 6
+	}
+	if o.RTTClampFactor <= 1 {
+		o.RTTClampFactor = 3
 	}
 	return o
 }
@@ -330,7 +340,15 @@ func (m *Manager) ReportSuccess(i int, rtt time.Duration) {
 	}
 	mb := m.members[i]
 	mb.lastSuccess = time.Now()
-	mb.emaRTT.Add(float64(rtt))
+	sample := float64(rtt)
+	if mb.rttSamples > 0 {
+		// Outlier clamp: one slow probe may contribute at most
+		// RTTClampFactor× the current estimate to the EMA.
+		if cap := m.opts.RTTClampFactor * mb.emaRTT.Value(); sample > cap {
+			sample = cap
+		}
+	}
+	mb.emaRTT.Add(sample)
 	mb.rttSamples++
 	ev, ok := m.transitionLocked(i, Up)
 	m.mu.Unlock()

@@ -293,3 +293,50 @@ func TestLifecycleEdges(t *testing.T) {
 	m.ReportFailure(0)
 	m.ReportSuccess(0, time.Millisecond)
 }
+
+// TestAdaptiveTimeoutResistsOutlierPoisoning feeds the detector an
+// adversarial RTT sequence: a steady 1ms baseline salted with 2s outliers.
+// Without the per-sample clamp a single outlier multiplies the EMA by ~600×
+// and the adaptive timeout saturates at ProbeTimeout, masking a genuinely
+// degrading device; with it, the timeout must stay within a small multiple
+// of the honest baseline.
+func TestAdaptiveTimeoutResistsOutlierPoisoning(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	p := &scriptedProbe{rtt: time.Millisecond}
+	m := NewManager([]ProbeFunc{p.fn}, Options{
+		HeartbeatInterval: 10 * time.Millisecond,
+		ProbeTimeout:      2 * time.Second,
+	})
+	// Prime the estimate with an honest baseline.
+	for i := 0; i < 20; i++ {
+		m.ReportSuccess(0, time.Millisecond)
+	}
+	base := m.adaptiveTimeout(0)
+
+	// One pathological probe.
+	m.ReportSuccess(0, 2*time.Second)
+	if got := m.adaptiveTimeout(0); got > 4*base {
+		t.Fatalf("single outlier inflated timeout %v -> %v (>4x)", base, got)
+	}
+
+	// An adversarial alternation: every other sample is a 2s outlier. The
+	// clamp bounds each outlier's contribution, and the interleaved honest
+	// samples keep pulling the estimate back down, so the timeout stays far
+	// below what an unclamped EMA would reach (~RTTMultiplier x 1s cap).
+	for i := 0; i < 10; i++ {
+		m.ReportSuccess(0, 2*time.Second)
+		m.ReportSuccess(0, time.Millisecond)
+	}
+	if got := m.adaptiveTimeout(0); got > 100*time.Millisecond {
+		t.Fatalf("alternating outliers poisoned timeout to %v, want <= 100ms", got)
+	}
+
+	// A sustained, genuine rise must still track: the clamp slows the climb
+	// but cannot freeze it.
+	for i := 0; i < 50; i++ {
+		m.ReportSuccess(0, 100*time.Millisecond)
+	}
+	if got := m.adaptiveTimeout(0); got < 300*time.Millisecond {
+		t.Fatalf("clamp froze adaptation: timeout %v after sustained 100ms RTTs", got)
+	}
+}

@@ -205,6 +205,20 @@ func (l *AIMD) cutLocked() {
 	l.cuts++
 }
 
+// Reset restores the limit to its starting value and clears the cut
+// cooldown, waking any blocked acquirers. The serving layer calls it when a
+// device is reinstated after an outage or completes health reintegration:
+// the old limit was learned against a failing device, and making the
+// recovered one climb back additively from a collapsed limit would throttle
+// it for no reason. Lifetime counters and in-flight slots are preserved.
+func (l *AIMD) Reset() {
+	l.mu.Lock()
+	l.limit = float64(l.opts.Start)
+	l.lastCut = time.Time{}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
 // Limit returns the current integer limit.
 func (l *AIMD) Limit() int {
 	l.mu.Lock()

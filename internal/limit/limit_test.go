@@ -116,3 +116,35 @@ func TestDefaults(t *testing.T) {
 		t.Fatal("acquisition beyond default start")
 	}
 }
+
+func TestResetRestoresStartLimit(t *testing.T) {
+	l := New(Options{Start: 10, Min: 2, Max: 16, Backoff: 0.5, CutCooldown: time.Nanosecond})
+	l.TryAcquire()
+	l.Release(Congested)
+	time.Sleep(time.Microsecond)
+	l.Cut()
+	if got := l.Limit(); got >= 10 {
+		t.Fatalf("setup: limit not cut, got %d", got)
+	}
+	cutsBefore := l.Snapshot().Cuts
+	if !l.TryAcquire() {
+		t.Fatal("acquire refused below limit")
+	}
+	l.Reset()
+	s := l.Snapshot()
+	if s.Limit != 10 {
+		t.Fatalf("limit after Reset = %d, want Start=10", s.Limit)
+	}
+	if s.Inflight != 1 {
+		t.Fatalf("Reset must preserve in-flight slots, got %d", s.Inflight)
+	}
+	if s.Cuts != cutsBefore {
+		t.Fatalf("Reset must preserve lifetime counters: cuts %d -> %d", cutsBefore, s.Cuts)
+	}
+	// Reset also clears the cut cooldown, so the next congestion signal
+	// lands immediately.
+	l.Release(Congested)
+	if got := l.Limit(); got != 5 {
+		t.Fatalf("limit after post-reset cut = %d, want 5", got)
+	}
+}

@@ -1,0 +1,94 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ComputeInjector wraps a daemon's exec.block handler with seeded compute
+// faults — the compute-path mirror of netem's link shaping. A slowdown
+// multiplier stretches each block execution's wall time (the handler runs,
+// then sleeps (mult−1)× its real elapsed time, so "10× compute latency"
+// means exactly that regardless of tile size), and an error rate makes a
+// seeded fraction of calls fail outright. Heartbeats are untouched: the
+// monitor and cluster endpoints are registered separately, which is the
+// whole point — an injected device limps while still answering pings, the
+// gray-failure regime the health tracker exists to catch.
+type ComputeInjector struct {
+	inner func([]byte) ([]byte, error)
+
+	mu       sync.Mutex
+	slowdown float64
+	errRate  float64
+	rng      *rand.Rand
+
+	injectedSlow uint64
+	injectedErr  uint64
+}
+
+// NewComputeInjector wraps inner (typically Executor.ExecBlockHandler()).
+// With no faults configured the wrapper is pass-through.
+func NewComputeInjector(inner func([]byte) ([]byte, error)) *ComputeInjector {
+	return &ComputeInjector{inner: inner}
+}
+
+// SetSlowdown sets the compute-latency multiplier; mult <= 1 clears it.
+func (ci *ComputeInjector) SetSlowdown(mult float64) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if mult <= 1 {
+		ci.slowdown = 0
+		return
+	}
+	ci.slowdown = mult
+}
+
+// SetErrorRate makes each call fail with probability rate, drawn from a
+// generator seeded with seed (so a replayed trace injects the same failure
+// pattern); rate <= 0 clears injection.
+func (ci *ComputeInjector) SetErrorRate(rate float64, seed int64) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if rate <= 0 {
+		ci.errRate = 0
+		ci.rng = nil
+		return
+	}
+	ci.errRate = rate
+	ci.rng = rand.New(rand.NewSource(seed))
+}
+
+// Counters returns how many calls were slowed and how many were failed by
+// injection.
+func (ci *ComputeInjector) Counters() (slowed, errored uint64) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return ci.injectedSlow, ci.injectedErr
+}
+
+// Handler returns the wrapped handler to register under ExecBlockMethod.
+func (ci *ComputeInjector) Handler() func([]byte) ([]byte, error) {
+	return func(payload []byte) ([]byte, error) {
+		ci.mu.Lock()
+		slow := ci.slowdown
+		fail := ci.errRate > 0 && ci.rng.Float64() < ci.errRate
+		if fail {
+			ci.injectedErr++
+		}
+		ci.mu.Unlock()
+		if fail {
+			return nil, fmt.Errorf("runtime: injected compute error")
+		}
+		start := time.Now()
+		out, err := ci.inner(payload)
+		if slow > 1 {
+			time.Sleep(time.Duration(float64(time.Since(start)) * (slow - 1)))
+			ci.mu.Lock()
+			ci.injectedSlow++
+			ci.mu.Unlock()
+		}
+		return out, err
+	}
+}

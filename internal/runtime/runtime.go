@@ -102,6 +102,12 @@ type Runtime struct {
 	// healthy[i] tracks remote device i+1; unhealthy devices get degraded
 	// constraints and are stripped from placements until they recover.
 	healthy []bool
+	// quarantined[i] is the health layer's gray-failure mask for remote
+	// device i+1. It composes with healthy: a quarantined device is excluded
+	// from placement and hedging exactly like a down one, but its
+	// connections stay up so synthetic probes (and eventual reintegration)
+	// need no re-dial.
+	quarantined []bool
 
 	// Counters.
 	CacheHits   int
@@ -115,11 +121,12 @@ func New(s *Scheduler, d Decider, cache *StrategyCache, monitors []*monitor.Link
 		healthy[i] = true
 	}
 	r := &Runtime{
-		Scheduler:  s,
-		Cache:      cache,
-		Monitors:   monitors,
-		manualLink: make([]monitor.Sample, len(s.Remotes)),
-		healthy:    healthy,
+		Scheduler:   s,
+		Cache:       cache,
+		Monitors:    monitors,
+		manualLink:  make([]monitor.Sample, len(s.Remotes)),
+		healthy:     healthy,
+		quarantined: make([]bool, len(s.Remotes)),
 	}
 	r.decider.Store(&deciderBox{d: d})
 	// Wire the scheduler's hedged-RPC alternate-device choice to the
@@ -172,13 +179,15 @@ func (r *Runtime) InvalidateStrategies() int {
 func (r *Runtime) AlternateFor(primary int) int {
 	r.mu.Lock()
 	healthy := append([]bool(nil), r.healthy...)
+	quarantined := append([]bool(nil), r.quarantined...)
 	manual := append([]monitor.Sample(nil), r.manualLink...)
 	r.mu.Unlock()
 
 	best, bestDelay := 0, math.Inf(1)
 	for i := range r.Scheduler.Remotes {
 		dev := i + 1
-		if dev == primary || (i < len(healthy) && !healthy[i]) {
+		if dev == primary || (i < len(healthy) && !healthy[i]) ||
+			(i < len(quarantined) && quarantined[i]) {
 			continue
 		}
 		var s monitor.Sample
@@ -213,6 +222,30 @@ func (r *Runtime) HealthyDevices() []bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]bool(nil), r.healthy...)
+}
+
+// SetDeviceQuarantined marks remote device i+1 quarantined or not. The
+// quarantine mask composes with the health mask: while either is set the
+// device is presented to the decider as a dead link, sanitization strips it
+// from placements, and hedging skips it — but unlike SetDeviceHealth(false),
+// quarantine is the gray-failure layer's verdict, so the cluster detector's
+// Up/Down reports never clear it.
+func (r *Runtime) SetDeviceQuarantined(i int, q bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.quarantined) {
+		return fmt.Errorf("runtime: device index %d out of range", i)
+	}
+	r.quarantined[i] = q
+	return nil
+}
+
+// QuarantinedDevices returns a copy of the quarantine mask (index i is
+// remote device i+1).
+func (r *Runtime) QuarantinedDevices() []bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]bool(nil), r.quarantined...)
 }
 
 // SetSLO sets the active objective.
@@ -254,6 +287,7 @@ func (r *Runtime) ConstraintFor(slo SLO) env.Constraint {
 	r.mu.Lock()
 	manual := append([]monitor.Sample(nil), r.manualLink...)
 	healthy := append([]bool(nil), r.healthy...)
+	quarantined := append([]bool(nil), r.quarantined...)
 	r.mu.Unlock()
 
 	c := env.Constraint{Type: slo.Type}
@@ -265,9 +299,9 @@ func (r *Runtime) ConstraintFor(slo SLO) env.Constraint {
 	for i := 0; i < len(r.Scheduler.Remotes); i++ {
 		var s monitor.Sample
 		switch {
-		case i < len(healthy) && !healthy[i]:
-			// Down device: present a dead link so the decider avoids it and
-			// the cache keys this regime separately.
+		case (i < len(healthy) && !healthy[i]) || (i < len(quarantined) && quarantined[i]):
+			// Down or quarantined device: present a dead link so the decider
+			// avoids it and the cache keys this regime separately.
 			s = monitor.Sample{BandwidthMbps: downBandwidthMbps, DelayMs: downDelayMs}
 		case i < len(r.Monitors) && r.Monitors[i] != nil && r.Monitors[i].Samples() > 0:
 			if r.PredictAhead > 0 {
@@ -285,17 +319,18 @@ func (r *Runtime) ConstraintFor(slo SLO) env.Constraint {
 }
 
 // sanitizeDecision returns a decision whose placement assigns no tile to an
-// unhealthy device, remapping stray tiles to device 0 (local). It is the hard
+// unhealthy or quarantined device, remapping stray tiles to device 0 (local). It is the hard
 // guarantee behind constraint degradation: even if the decider or a cached
 // entry still points at a lost device, execution never will. The input is not
 // mutated — cached decisions are shared.
 func (r *Runtime) sanitizeDecision(d *env.Decision) *env.Decision {
 	r.mu.Lock()
 	healthy := append([]bool(nil), r.healthy...)
+	quarantined := append([]bool(nil), r.quarantined...)
 	r.mu.Unlock()
 
 	bad := func(dev int) bool {
-		return dev > 0 && (dev-1 >= len(healthy) || !healthy[dev-1])
+		return dev > 0 && (dev-1 >= len(healthy) || !healthy[dev-1] || quarantined[dev-1])
 	}
 	dirty := false
 	if d != nil && d.Placement != nil {

@@ -63,6 +63,21 @@ type Scheduler struct {
 	// this to its device-health mask and the monitors' delay estimates.
 	PickAlternate func(primary int) int
 
+	// Gate, when non-nil, is consulted before every remote dispatch —
+	// primary and hedge alternate alike. Returning false redirects a primary
+	// tile to local execution and vetoes a hedge target. The serving layer
+	// wires it to the health tracker's weighted reintegration ramp, so a
+	// recovering device takes a controlled fraction of traffic instead of a
+	// full blast. Must be cheap and non-blocking; set before serving starts.
+	Gate func(dev int) bool
+	// OnTileOutcome, when non-nil, observes every remote tile call's
+	// completion (primary and hedge): the placement device, the call's wall
+	// time, and its error (nil on success). The serving layer wires it to
+	// the health tracker's SLI ledger — this is the data-path evidence the
+	// gray-failure detector scores, as opposed to the control-plane
+	// heartbeats. Must be cheap and non-blocking; set before serving starts.
+	OnTileOutcome func(dev int, elapsed time.Duration, err error)
+
 	// P95 source for hedge-delay derivation: the last N successful remote
 	// tile-call latencies.
 	latMu  sync.Mutex
@@ -193,6 +208,27 @@ func (s *Scheduler) noteSuccess(dev int) {
 		return
 	}
 	s.panicStreaks[dev-1].Store(0)
+}
+
+// noteOutcome feeds a remote tile call's completion to the health observer.
+func (s *Scheduler) noteOutcome(dev int, elapsed time.Duration, err error) {
+	if s.OnTileOutcome != nil {
+		s.OnTileOutcome(dev, elapsed, err)
+	}
+}
+
+// ResetDevice clears device dev's adaptive dispatch state: the AIMD limit
+// back to its starting value and the panic streak to zero. The serving layer
+// calls it when a device is reinstated after an outage or completes health
+// reintegration — the old limit was learned against a failing device, and a
+// stale panic streak would misclassify the recovered one's first hiccup.
+func (s *Scheduler) ResetDevice(dev int) {
+	if l := s.Limiter(dev); l != nil {
+		l.Reset()
+	}
+	if dev >= 1 && dev <= len(s.panicStreaks) {
+		s.panicStreaks[dev-1].Store(0)
+	}
 }
 
 // panicStreak returns the current consecutive-panic count for device dev.
@@ -327,12 +363,24 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 	var wg sync.WaitGroup
 	errs := make([]error, len(assign))
 	tiles := make([]*tensor.Tensor, len(assign))
+	// eff[t] is the device tile t actually ran on: the health gate may
+	// redirect an assigned remote tile to local execution, and fault
+	// attribution below must follow the call that really happened.
+	eff := make([]int, len(assign))
 	for t := range assign {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
 			tile := tensor.CropSpatial(x, y0s[t], x0s[t], ths[t], tws[t])
-			if assign[t] == 0 {
+			dev := assign[t]
+			if dev != 0 && s.Gate != nil && !s.Gate(dev) {
+				// Health-gate redirect: the device is quarantined or still
+				// ramping through reintegration, so it must not take this
+				// tile — run it locally instead of failing the layer.
+				dev = 0
+			}
+			eff[t] = dev
+			if dev == 0 {
 				// Local execution still simulates the quantization the
 				// training saw (straight-through in stage 1).
 				if ls.Quant != tensor.Bits32 {
@@ -349,7 +397,7 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 				errs[t] = err
 				return
 			}
-			resp, err := s.callTile(assign[t], payload, deadline)
+			resp, err := s.callTile(dev, payload, deadline)
 			if err != nil {
 				errs[t] = err
 				return
@@ -390,19 +438,19 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 			// A lone handler panic is a request fault — the input (or a bug it
 			// tickled) killed one call, the daemon recovered. Only a streak of
 			// consecutive panics marks the device itself as wedged.
-			if errors.Is(err, rpcx.ErrPanic) && assign[t] > 0 &&
-				s.panicStreak(assign[t]) < PanicFaultThreshold {
-				return nil, fmt.Errorf("runtime: tile %d on device %d: %w", t, assign[t], err)
+			if errors.Is(err, rpcx.ErrPanic) && eff[t] > 0 &&
+				s.panicStreak(eff[t]) < PanicFaultThreshold {
+				return nil, fmt.Errorf("runtime: tile %d on device %d: %w", t, eff[t], err)
 			}
-			if assign[t] > 0 {
-				return nil, &DeviceError{Device: assign[t], Tile: t, Err: err}
+			if eff[t] > 0 {
+				return nil, &DeviceError{Device: eff[t], Tile: t, Err: err}
 			}
-			return nil, fmt.Errorf("runtime: tile %d on device %d: %w", t, assign[t], err)
+			return nil, fmt.Errorf("runtime: tile %d on device %d: %w", t, eff[t], err)
 		}
 	}
 	for t := range tiles {
 		tensor.PasteSpatial(out, tiles[t], y0s[t]/stride, x0s[t]/stride)
-		if assign[t] == 0 {
+		if eff[t] == 0 {
 			report.LocalTiles++
 		} else {
 			report.RemoteTiles++
@@ -525,10 +573,16 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 			alt = s.PickAlternate(dev)
 		}
 	}
+	// The health gate vetoes a hedge target the same way it vetoes a
+	// primary: a quarantined or ramping device must not absorb hedges.
+	if alt > 0 && s.Gate != nil && !s.Gate(alt) {
+		alt = 0
+	}
 	if alt <= 0 || alt == dev || alt > len(s.Remotes) {
 		start := time.Now()
 		resp, err := primary.CallBudget(ExecBlockMethod, payload, timeout, budget)
 		finishPrimary(err)
+		s.noteOutcome(dev, time.Since(start), err)
 		if err == nil {
 			s.observeTileLatency(time.Since(start))
 		}
@@ -543,8 +597,10 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 	results := make(chan tileResult, 2)
 	start := time.Now()
 	go func() {
+		t0 := time.Now()
 		resp, err := primary.CallBudget(ExecBlockMethod, payload, timeout, budget)
 		finishPrimary(err)
+		s.noteOutcome(dev, time.Since(t0), err)
 		results <- tileResult{resp, err, false}
 	}()
 
@@ -598,6 +654,7 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 					results <- tileResult{nil, err, true}
 					return
 				}
+				t0 := time.Now()
 				resp, err := s.Remotes[alt-1].CallBudget(ExecBlockMethod, payload, t2, b2)
 				if altLim != nil {
 					altLim.Release(releaseOutcome(err))
@@ -607,9 +664,38 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 				} else if errors.Is(err, rpcx.ErrPanic) {
 					s.notePanic(alt)
 				}
+				s.noteOutcome(alt, time.Since(t0), err)
 				results <- tileResult{resp, err, true}
 			}()
 		}
 	}
 	return nil, classifyTileErr(primaryErr, deadline)
+}
+
+// ProbeDevice issues one synthetic exec.block call against placement device
+// dev — a minimal tile through the supernet's first block — bounded by
+// timeout, and returns the observed wall time. The health layer uses it to
+// keep quarantined devices warm and their SLI ledgers fed while no real
+// traffic flows there: the same code path, handler, and codec as a data-path
+// tile, so a daemon that serves probes but would fail traffic still gets
+// caught by the reintegration ramp. The probe deliberately bypasses the
+// limiter, hedging, and the health gate — it must observe the device as-is.
+func (s *Scheduler) ProbeDevice(dev int, timeout time.Duration) (time.Duration, error) {
+	if dev < 1 || dev > len(s.Remotes) || s.Remotes[dev-1] == nil {
+		return 0, fmt.Errorf("runtime: probe device %d out of range", dev)
+	}
+	cfg := s.Local.Arch.MinConfig()
+	stage, index, _, err := s.Local.Arch.BlockAt(cfg, 0)
+	if err != nil {
+		return 0, err
+	}
+	// A tiny input through the stem yields a correctly-shaped block tile.
+	tile := s.Local.ExecStem(tensor.New(1, 3, 8, 8))
+	payload, err := encodeBlockRequest(stage, index, cfg.Layers[0], tensor.Bits32, tile)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	_, err = s.Remotes[dev-1].CallTimeout(ExecBlockMethod, payload, timeout)
+	return time.Since(start), err
 }

@@ -8,6 +8,7 @@ import (
 
 	"murmuration/internal/cluster"
 	"murmuration/internal/netem"
+	"murmuration/internal/runtime"
 )
 
 // ErrNotEnvironment is returned when a request event is handed to the
@@ -29,6 +30,10 @@ type Target struct {
 	// Join is called on EvDeviceJoin (e.g. restart the daemon). When nil,
 	// any active blackhole on the shaper is cleared.
 	Join func()
+	// Compute is the device's compute-fault hook: slow-compute and
+	// compute-error transitions apply here (the daemon-side injector
+	// wrapping Executor.ExecBlockHandler).
+	Compute *runtime.ComputeInjector
 }
 
 // leaveBlackhole is the outage window a hook-less EvDeviceLeave opens; long
@@ -120,6 +125,16 @@ func (o *Orchestrator) Apply(ev Event) error {
 			return err
 		}
 		sh.Blackhole(time.Duration(ev.Value * float64(time.Millisecond)))
+	case EvSlowCompute:
+		if tgt.Compute == nil {
+			return fmt.Errorf("scenario: %v event for device %d, but no compute injector bound", ev.Kind, ev.Device)
+		}
+		tgt.Compute.SetSlowdown(ev.Value)
+	case EvComputeError:
+		if tgt.Compute == nil {
+			return fmt.Errorf("scenario: %v event for device %d, but no compute injector bound", ev.Kind, ev.Device)
+		}
+		tgt.Compute.SetErrorRate(ev.Value, ev.Seed)
 	case EvDeviceLeave:
 		switch {
 		case tgt.Leave != nil:

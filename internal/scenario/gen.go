@@ -343,6 +343,16 @@ type ChurnOptions struct {
 	// DegradeDelayMs / CalmDelayMs are the one-way delays inside and
 	// outside a degrade window.
 	DegradeDelayMs, CalmDelayMs float64
+	// SlowEvery is the mean period between slow-compute windows per device
+	// (exponential; 0 disables); SlowFor is the window length and SlowFactor
+	// the compute-latency multiplier inside it (must be > 1 to emit).
+	SlowEvery, SlowFor time.Duration
+	SlowFactor         float64
+	// ComputeErrEvery / ComputeErrFor / ComputeErrRate likewise synthesize
+	// compute-error windows, inside which each block execution fails with
+	// probability ComputeErrRate (seeded per window from the trace rng).
+	ComputeErrEvery, ComputeErrFor time.Duration
+	ComputeErrRate                 float64
 }
 
 // Churn synthesizes a seeded environment timeline: per device, exponential
@@ -374,6 +384,33 @@ func Churn(o ChurnOptions, d time.Duration, rng *rand.Rand) []Event {
 				}
 				events = append(events, Event{At: clear, Kind: EvSetDelay, Device: dev, Value: o.CalmDelayMs})
 				t = clear + expAfter(o.DegradeEvery, rng)
+			}
+		}
+		if o.SlowEvery > 0 && o.SlowFor > 0 && o.SlowFactor > 1 {
+			t := expAfter(o.SlowEvery, rng)
+			for t < d {
+				events = append(events, Event{At: t, Kind: EvSlowCompute, Device: dev, Value: o.SlowFactor})
+				clear := t + o.SlowFor
+				if clear >= d {
+					clear = d - 1
+				}
+				events = append(events, Event{At: clear, Kind: EvSlowCompute, Device: dev, Value: 1})
+				t = clear + expAfter(o.SlowEvery, rng)
+			}
+		}
+		if o.ComputeErrEvery > 0 && o.ComputeErrFor > 0 && o.ComputeErrRate > 0 {
+			t := expAfter(o.ComputeErrEvery, rng)
+			for t < d {
+				events = append(events, Event{
+					At: t, Kind: EvComputeError, Device: dev,
+					Value: o.ComputeErrRate, Seed: rng.Int63(),
+				})
+				clear := t + o.ComputeErrFor
+				if clear >= d {
+					clear = d - 1
+				}
+				events = append(events, Event{At: clear, Kind: EvComputeError, Device: dev})
+				t = clear + expAfter(o.ComputeErrEvery, rng)
 			}
 		}
 	}

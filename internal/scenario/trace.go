@@ -56,12 +56,22 @@ const (
 	// EvBlackhole opens an outage window of Value milliseconds on a device
 	// link (<= 0 clears an active window).
 	EvBlackhole
+	// EvSlowCompute sets a device's compute-latency slowdown multiplier to
+	// Value (the daemon-side injector stretches every block execution's wall
+	// time by that factor; Value <= 1 clears). The compute-path mirror of
+	// EvSetDelay: the link is honest, the silicon limps.
+	EvSlowCompute
+	// EvComputeError sets a device's compute error-injection rate to Value
+	// (each block execution fails with that probability, seeded by Seed for
+	// reproducible injection; Value <= 0 clears).
+	EvComputeError
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"request", "device-leave", "device-join", "set-delay",
 	"set-rate", "set-loss", "set-corrupt", "blackhole",
+	"slow-compute", "compute-error",
 }
 
 // String names the kind for logs and the JSON trace form.

@@ -31,7 +31,11 @@ func sampleTrace() *Trace {
 			{At: 9 * time.Millisecond, Kind: EvSetRate, Device: 1, Value: 1e6},
 			{At: 10 * time.Millisecond, Kind: EvDeviceLeave, Device: 1},
 			{At: 12 * time.Millisecond, Kind: EvRequest, SLOType: env.AccuracySLO, SLOValue: 70, Resolution: 28, Model: "mobilenetv3-large"},
+			{At: 13 * time.Millisecond, Kind: EvSlowCompute, Device: 0, Value: 10},
+			{At: 14 * time.Millisecond, Kind: EvComputeError, Device: 0, Value: 0.3, Seed: 7},
 			{At: 15 * time.Millisecond, Kind: EvBlackhole, Device: 0, Value: 50},
+			{At: 18 * time.Millisecond, Kind: EvSlowCompute, Device: 0, Value: 1},
+			{At: 19 * time.Millisecond, Kind: EvComputeError, Device: 0},
 			{At: 20 * time.Millisecond, Kind: EvDeviceJoin, Device: 1},
 		},
 	}

@@ -53,8 +53,19 @@ func (g *Gateway) AttachCluster(m *cluster.Manager) {
 	events := m.Subscribe()
 	go func() {
 		for ev := range events {
+			g.mu.Lock()
+			tr, dmp := g.health, g.damper
+			g.mu.Unlock()
 			switch ev.To {
 			case cluster.Down:
+				// A Down is always honored (safety first); it also charges
+				// one membership flip to the damper.
+				if dmp != nil {
+					dmp.RecordFlip(ev.Member, ev.At)
+				}
+				if tr != nil {
+					tr.SetUp(ev.Member, false)
+				}
 				g.rt.SetDeviceHealth(ev.Member, false)
 				if g.rt.Cache != nil {
 					g.rt.Cache.InvalidateDevice(ev.Member + 1)
@@ -62,7 +73,31 @@ func (g *Gateway) AttachCluster(m *cluster.Manager) {
 				g.ResetWaitEstimates()
 				g.rewarm()
 			case cluster.Up:
+				if tr != nil {
+					tr.SetUp(ev.Member, true)
+				}
+				if dmp != nil {
+					// A recovery from Down is the other half of a flap.
+					if ev.From == cluster.Down {
+						dmp.RecordFlip(ev.Member, ev.At)
+					}
+					if dmp.Suppressed(ev.Member, ev.At) {
+						// Flap damping: refuse the reinstatement. The health
+						// tick loop (health.go) releases the device once the
+						// penalty decays below the reuse threshold.
+						g.mu.Lock()
+						if ev.Member < len(g.suppressHeld) {
+							g.suppressHeld[ev.Member] = true
+						}
+						g.mu.Unlock()
+						continue
+					}
+				}
 				g.rt.SetDeviceHealth(ev.Member, true)
+				// The device's old AIMD limit and panic streak were learned
+				// against its failing incarnation; start the recovered one
+				// fresh (the reintegration path in health.go does the same).
+				g.rt.Scheduler.ResetDevice(ev.Member + 1)
 				g.ResetWaitEstimates()
 				g.rewarm()
 			case cluster.Suspect:

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"murmuration/internal/cluster"
+	"murmuration/internal/health"
 	"murmuration/internal/runtime"
 	"murmuration/internal/tensor"
 	"murmuration/internal/watchdog"
@@ -69,6 +70,17 @@ type Gateway struct {
 	// folded into Stats (nil until AttachAdapter). Both guarded by mu.
 	tap     OutcomeTap
 	adapter AdaptSource
+
+	// health is the gray-failure tracker; damper is the flap damper fed by
+	// cluster transitions. Both are nil until AttachHealth (see health.go).
+	// suppressHeld[i] marks a device whose reinstatement the damper refused;
+	// the health tick loop reinstates it once the penalty decays. All
+	// guarded by mu; healthStop/healthDone bound the tick-loop goroutine.
+	health       *health.Tracker
+	damper       *health.Damper
+	suppressHeld []bool
+	healthStop   chan struct{}
+	healthDone   chan struct{}
 
 	stats Stats
 
@@ -316,6 +328,16 @@ func (g *Gateway) Stats() Stats {
 		s.Promotions = as.Promotions
 		s.Rollbacks = as.Rollbacks
 	}
+	if g.health != nil {
+		hc := g.health.Counters()
+		s.GraySuspects = hc.GraySuspects
+		s.Probations = hc.Probations
+		s.Quarantines = hc.Quarantines
+		s.Reintegrations = hc.Reintegrations
+	}
+	if g.damper != nil {
+		s.FlapSuppressed = g.damper.Suppressions()
+	}
 	for c := Class(0); c < numClasses; c++ {
 		s.QueueDepth[c] = len(g.queues[c])
 	}
@@ -348,8 +370,16 @@ func (g *Gateway) Stats() Stats {
 func (g *Gateway) Close(grace time.Duration) {
 	g.mu.Lock()
 	g.closing = true
+	hstop, hdone := g.healthStop, g.healthDone
+	g.healthStop = nil
 	g.cond.Broadcast()
 	g.mu.Unlock()
+	if hstop != nil {
+		close(hstop)
+		// The tick loop exits promptly; a probe in flight is bounded by its
+		// own ProbeTimeout.
+		<-hdone
+	}
 
 	done := make(chan struct{})
 	go func() {

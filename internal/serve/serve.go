@@ -233,6 +233,19 @@ type Stats struct {
 	CanaryServed  uint64
 	Promotions    uint64
 	Rollbacks     uint64
+	// GraySuspects counts gray-window detections by the health tracker (a
+	// device's data-path SLIs breached the fleet-relative thresholds while
+	// its heartbeats stayed Up); Probations, Quarantines, and Reintegrations
+	// count the health machine's transitions into Probation, into
+	// Quarantined, and completed reintegration ramps back to Active.
+	// FlapSuppressed counts devices crossing into flap-damping suppression
+	// (reinstatement refused until the flip penalty decays). All five are
+	// wire v8, zero when no health tracker is attached (AttachHealth).
+	GraySuspects   uint64
+	Quarantines    uint64
+	Probations     uint64
+	Reintegrations uint64
+	FlapSuppressed uint64
 	// ClassMet / ClassMissed are the per-SLO-class attainment ledger: every
 	// admitted request lands in exactly one bucket of its class once it gets
 	// its outcome. Met is served within the SLO (for classes without a

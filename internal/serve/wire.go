@@ -30,7 +30,7 @@ const (
 //	                f64 sloValue | tensor.Encode(image)
 //	infer response: u8 batchSize | u8 cacheHit | u64 queueWaitµs
 //	                u64 execµs | u64 decideµs | tensor.Encode(logits)
-//	stats response: u8 version | 49 × u64 (see encodeStats)
+//	stats response: u8 version | 54 × u64 (see encodeStats)
 const inferHeaderLen = 1 + 8
 
 // statsWireVersion is the leading byte of the stats frame, bumped whenever
@@ -46,7 +46,9 @@ const inferHeaderLen = 1 + 8
 //	    attainment, read by the scenario scorer)
 //	v7: +PolicyVersion, +ShadowScored, +CanaryServed, +Promotions,
 //	    +Rollbacks (online-adaptation rollout attribution)
-const statsWireVersion = 7
+//	v8: +GraySuspects, +Quarantines, +Probations, +Reintegrations,
+//	    +FlapSuppressed (gray-failure health machine and flap damping)
+const statsWireVersion = 8
 
 // StatsWireVersion is the exported stats frame version, stamped into load
 // generator reports so offline analysis knows which field set it is reading.
@@ -135,9 +137,9 @@ func decodeSLO(typ byte, value float64) (runtime.SLO, error) {
 }
 
 // statsFieldCount is the number of u64 fields in the stats wire encoding:
-// 34 counters/gauges + 2×3 per-class attainment counters + 3 queue depths +
+// 39 counters/gauges + 2×3 per-class attainment counters + 3 queue depths +
 // 6 cache fields.
-const statsFieldCount = 49
+const statsFieldCount = 54
 
 // statsFields lists the counter fields in wire order; queue depths and
 // cache stats follow them in encodeStats/decodeStats.
@@ -156,6 +158,8 @@ func statsFields(s *Stats) []*uint64 {
 		&s.Goroutines, &s.HeapBytes,
 		&s.PolicyVersion, &s.ShadowScored, &s.CanaryServed,
 		&s.Promotions, &s.Rollbacks,
+		&s.GraySuspects, &s.Quarantines, &s.Probations,
+		&s.Reintegrations, &s.FlapSuppressed,
 	}
 	for c := range s.ClassMet {
 		fields = append(fields, &s.ClassMet[c])
