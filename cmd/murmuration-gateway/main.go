@@ -90,6 +90,8 @@ func main() {
 	quarantineProbeEvery := flag.Duration("quarantine-probe-every", 500*time.Millisecond, "synthetic probe period per quarantined/reintegrating device (negative disables probing)")
 	flapSuppress := flag.Float64("flap-suppress", 2500, "flap-damping penalty above which a device's reinstatement is suppressed (each Up/Down flip adds 1000)")
 	flapHalfLife := flag.Duration("flap-half-life", 10*time.Second, "flap-damping penalty half-life")
+	progressTick := flag.Duration("progress-tick", 100*time.Millisecond, "in-flight progress deadline: a device RPC's frame I/O must advance every two ticks or the call fails as stalled (0 disables the watchdog)")
+	progressMinBytes := flag.Int64("progress-min-bytes", 1, "minimum bytes of frame progress per watchdog tick")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -131,6 +133,18 @@ func main() {
 		cl.MarkIdempotent(runtime.ExecBlockMethod, monitor.PingMethod, monitor.BulkMethod)
 		cl.SetChecksum(*frameChecksum)
 		cl.SetMaxFrameSize(*maxFrameMB << 20)
+		if *progressTick > 0 {
+			// A half-open link must fail in bounded time: frame reads and
+			// writes that stop advancing abort the call with a typed stall
+			// instead of riding out the full -remote-timeout.
+			cl.SetProgressPolicy(rpcx.ProgressPolicy{Tick: *progressTick, MinBytes: *progressMinBytes})
+		}
+		// Learn the device's incarnation up front so the very first data-path
+		// responses are fence-checkable; a failure is not fatal (the device
+		// may still be starting — the heartbeat path re-handshakes).
+		if _, err := cl.Handshake(*remoteTimeout); err != nil {
+			log.Printf("handshake %s: %v (incarnation learned on first heartbeat instead)", addr, err)
+		}
 		clients = append(clients, cl)
 		monitors = append(monitors, monitor.NewLinkMonitor(cl))
 		kinds = append(kinds, device.RaspberryPi4)
@@ -196,6 +210,19 @@ func main() {
 		LadderHysteresis: *ladderHysteresis,
 		OnDeviceError: func(dev int, err error) {
 			log.Printf("device %d failed a batch (failing over): %v", dev, err)
+		},
+		OnRestart: func(dev int, incarnation uint64) {
+			log.Printf("device %d restarted (incarnation %#x, restart #%d): re-probing link",
+				dev, incarnation, rpcx.IncarnationSeq(incarnation))
+			// Capability re-negotiation: the replacement process may sit on a
+			// different link (or host); measure it before traffic returns.
+			if i := dev - 1; i >= 0 && i < len(monitors) {
+				if s, err := monitors[i].Probe(); err == nil {
+					rt.SetLinkState(i, s.BandwidthMbps, s.DelayMs)
+				} else {
+					log.Printf("re-probe device %d: %v (keeping previous link state)", dev, err)
+				}
+			}
 		},
 	})
 

@@ -76,6 +76,10 @@ func main() {
 	cerrEvery := flag.Duration("cerr-every", 0, "generate: mean period between compute-error windows (0 = none)")
 	cerrFor := flag.Duration("cerr-for", 2*time.Second, "generate: length of each compute-error window")
 	cerrRate := flag.Float64("cerr-rate", 0.3, "generate: per-block failure probability inside a compute-error window")
+	restartEvery := flag.Duration("restart-every", 0, "generate: mean period between in-place daemon restarts (0 = none)")
+	asymEvery := flag.Duration("asym-every", 0, "generate: mean period between asymmetric stall windows (0 = none)")
+	asymFor := flag.Duration("asym-for", 2*time.Second, "generate: length of each asymmetric stall window")
+	asymMinBytes := flag.Int("asym-min-bytes", 0, "generate: frame size that wedges inside a stall window (0 = 4096)")
 
 	// Replay.
 	gateway := flag.String("gateway", "", "replay: gateway rpcx address")
@@ -97,6 +101,8 @@ func main() {
 			degradeDelayMs: *degradeDelayMs, calmDelayMs: *calmDelayMs,
 			slowEvery: *slowEvery, slowFor: *slowFor, slowFactor: *slowFactor,
 			cerrEvery: *cerrEvery, cerrFor: *cerrFor, cerrRate: *cerrRate,
+			restartEvery: *restartEvery,
+			asymEvery:    *asymEvery, asymFor: *asymFor, asymMinBytes: *asymMinBytes,
 		})
 		return
 	}
@@ -120,6 +126,9 @@ type genConfig struct {
 	slowFactor                        float64
 	cerrEvery, cerrFor                time.Duration
 	cerrRate                          float64
+	restartEvery                      time.Duration
+	asymEvery, asymFor                time.Duration
+	asymMinBytes                      int
 }
 
 func generate(c genConfig) {
@@ -155,6 +164,8 @@ func generate(c genConfig) {
 			DegradeDelayMs: c.degradeDelayMs, CalmDelayMs: c.calmDelayMs,
 			SlowEvery: c.slowEvery, SlowFor: c.slowFor, SlowFactor: c.slowFactor,
 			ComputeErrEvery: c.cerrEvery, ComputeErrFor: c.cerrFor, ComputeErrRate: c.cerrRate,
+			RestartEvery:    c.restartEvery,
+			AsymEvery:       c.asymEvery, AsymFor: c.asymFor, AsymMinBytes: c.asymMinBytes,
 		}, c.duration, rand.New(rand.NewSource(c.seed)))
 	}
 

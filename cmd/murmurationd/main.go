@@ -44,6 +44,7 @@ func main() {
 	injectSlowdown := flag.Float64("inject-slowdown", 1, "FAULT INJECTION: multiply compute latency of every block execution (1 = off; heartbeats are unaffected, for gray-failure testing)")
 	injectErrRate := flag.Float64("inject-error-rate", 0, "FAULT INJECTION: fail each block execution with this probability (0 = off)")
 	injectSeed := flag.Int64("inject-seed", 1, "FAULT INJECTION: rng seed for -inject-error-rate")
+	incState := flag.String("incarnation-state", "", "path persisting the restart counter; each start mints a fresh incarnation gateways use to fence stale responses (empty = ephemeral, counter restarts at 1)")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -71,6 +72,12 @@ func main() {
 	srv.ConnIdleTimeout = *connIdleTimeout
 	srv.WriteTimeout = *writeTimeout
 	srv.MaxInflight = *maxInflight
+	inc, err := rpcx.MintIncarnation(*incState)
+	if err != nil {
+		log.Fatalf("mint incarnation: %v", err)
+	}
+	srv.SetIncarnation(inc)
+	log.Printf("incarnation %#x (restart #%d)", inc, rpcx.IncarnationSeq(inc))
 	exec := runtime.NewExecutor(net)
 	if *injectSlowdown > 1 || *injectErrRate > 0 {
 		// Compute-path fault injection: the handler still answers (and

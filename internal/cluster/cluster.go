@@ -59,25 +59,46 @@ type Event struct {
 	From   State
 	To     State
 	At     time.Time
+	// Restart marks an incarnation change: the process answering heartbeats
+	// is not the one that answered before, even if no heartbeat was ever
+	// missed. Consumers must treat it as an atomic Down→Up — caches, wait
+	// estimates, and negotiated capabilities for the member are stale.
+	Restart bool
+	// Incarnation is the member's current incarnation (0 when unknown or on
+	// plain liveness transitions from probes that do not carry identity).
+	Incarnation uint64
 }
 
 // ProbeFunc performs one heartbeat against a device, bounded by timeout, and
-// returns the observed round-trip time.
-type ProbeFunc func(timeout time.Duration) (time.Duration, error)
+// returns the observed round-trip time plus the device's incarnation
+// (0 when the probe path cannot learn identity — the member is then tracked
+// for liveness only and restarts go undetected).
+type ProbeFunc func(timeout time.Duration) (rtt time.Duration, incarnation uint64, err error)
 
 // PingProbe adapts an rpcx client into a heartbeat probe against the
-// device's monitor ping endpoint. The client should be dedicated to
-// heartbeating (calls serialize per client, so sharing one with the data
-// path would let a long inference inflate — or block — the heartbeat) and
-// should have a retry policy installed so it re-dials a device that comes
-// back after an outage.
+// device's monitor ping endpoint. The first probe performs the rpcx hello
+// handshake — learning the peer's incarnation and arming automatic
+// re-handshake on every re-dial — so each subsequent ping reports the
+// incarnation of the process behind the live connection. The client should
+// be dedicated to heartbeating (calls serialize per client, so sharing one
+// with the data path would let a long inference inflate — or block — the
+// heartbeat) and should have a retry policy installed so it re-dials a
+// device that comes back after an outage.
 func PingProbe(c *rpcx.Client) ProbeFunc {
-	return func(timeout time.Duration) (time.Duration, error) {
+	handshaken := false // probes for one member run serially in one goroutine
+	return func(timeout time.Duration) (time.Duration, uint64, error) {
 		start := time.Now()
-		if _, err := c.CallTimeout(monitor.PingMethod, []byte{0xB}, timeout); err != nil {
-			return 0, err
+		if !handshaken {
+			if _, err := c.Handshake(timeout); err != nil {
+				return 0, 0, err
+			}
+			handshaken = true
+			return time.Since(start), c.RemoteIncarnation(), nil
 		}
-		return time.Since(start), nil
+		if _, err := c.CallTimeout(monitor.PingMethod, []byte{0xB}, timeout); err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start), c.RemoteIncarnation(), nil
 	}
 }
 
@@ -149,6 +170,7 @@ type member struct {
 	lastSuccess time.Time
 	emaRTT      *stats.EMA
 	rttSamples  int
+	incarnation uint64 // last incarnation seen (0 = never learned)
 }
 
 // Counters is a snapshot of the manager's lifetime transition counts.
@@ -156,6 +178,7 @@ type Counters struct {
 	Transitions uint64 // every state change
 	Downs       uint64 // transitions into Down
 	Recoveries  uint64 // transitions out of Down back to Up
+	Restarts    uint64 // incarnation changes (silent restarts detected)
 }
 
 // Manager probes a set of devices and publishes health transitions.
@@ -300,11 +323,11 @@ func (m *Manager) run(i int) {
 			return
 		case <-t.C:
 		}
-		rtt, err := m.members[i].probe(m.adaptiveTimeout(i))
+		rtt, inc, err := m.members[i].probe(m.adaptiveTimeout(i))
 		if err != nil {
 			m.ReportFailure(i)
 		} else {
-			m.ReportSuccess(i, rtt)
+			m.ReportHeartbeat(i, rtt, inc)
 		}
 	}
 }
@@ -331,8 +354,20 @@ func (m *Manager) adaptiveTimeout(i int) time.Duration {
 
 // ReportSuccess folds in an answered heartbeat (or a passive success the
 // data path observed) for member i: the member returns to Up if it was
-// suspected or down.
+// suspected or down. Identity-free — a success carrying an incarnation
+// should go through ReportHeartbeat so restarts are detected.
 func (m *Manager) ReportSuccess(i int, rtt time.Duration) {
+	m.ReportHeartbeat(i, rtt, 0)
+}
+
+// ReportHeartbeat folds in an answered heartbeat that also carries the
+// member's incarnation. A changed incarnation means the answering process is
+// a different one than before — a silent restart — and is published as a
+// restart event (atomically: the event's To is Up, and Restart is set, so a
+// consumer performs its full Down→Up reconfiguration in one step). An
+// incarnation of 0 means the probe path cannot learn identity; liveness is
+// still folded in, restarts are simply not detectable on that path.
+func (m *Manager) ReportHeartbeat(i int, rtt time.Duration, incarnation uint64) {
 	m.mu.Lock()
 	if i < 0 || i >= len(m.members) {
 		m.mu.Unlock()
@@ -350,11 +385,46 @@ func (m *Manager) ReportSuccess(i int, rtt time.Duration) {
 	}
 	mb.emaRTT.Add(sample)
 	mb.rttSamples++
+
+	restarted := incarnation != 0 && mb.incarnation != 0 && incarnation != mb.incarnation
+	if incarnation != 0 {
+		mb.incarnation = incarnation
+	}
+	if restarted {
+		// Publish exactly one event for the whole episode, whatever liveness
+		// state the member was in: the consumer's restart handling subsumes a
+		// plain recovery (it demotes, invalidates, and reinstates).
+		ev := Event{Member: i, From: mb.state, To: Up, At: time.Now(),
+			Restart: true, Incarnation: incarnation}
+		m.counters.Restarts++
+		m.counters.Transitions++
+		if mb.state == Down {
+			m.counters.Recoveries++
+		}
+		mb.state = Up
+		m.mu.Unlock()
+		m.publish(ev)
+		return
+	}
 	ev, ok := m.transitionLocked(i, Up)
+	if ok && incarnation != 0 {
+		ev.Incarnation = incarnation
+	}
 	m.mu.Unlock()
 	if ok {
 		m.publish(ev)
 	}
+}
+
+// IncarnationOf returns the last incarnation learned for member i (0 when
+// never learned or out of range).
+func (m *Manager) IncarnationOf(i int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.members) {
+		return 0
+	}
+	return m.members[i].incarnation
 }
 
 // ReportFailure folds in a failed heartbeat — or a failure the data path

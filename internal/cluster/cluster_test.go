@@ -15,13 +15,14 @@ import (
 type scriptedProbe struct {
 	fail atomic.Bool
 	rtt  time.Duration
+	inc  atomic.Uint64
 }
 
-func (p *scriptedProbe) fn(timeout time.Duration) (time.Duration, error) {
+func (p *scriptedProbe) fn(timeout time.Duration) (time.Duration, uint64, error) {
 	if p.fail.Load() {
-		return 0, errors.New("probe: scripted failure")
+		return 0, 0, errors.New("probe: scripted failure")
 	}
-	return p.rtt, nil
+	return p.rtt, p.inc.Load(), nil
 }
 
 // waitState polls until member i reaches want or the deadline passes.
@@ -237,6 +238,55 @@ func TestPingProbeAgainstRealDaemon(t *testing.T) {
 	}
 }
 
+// TestIncarnationChangePublishesRestart: a changed incarnation on an
+// otherwise-healthy member (no heartbeat ever missed) must surface as a
+// Restart event with the new incarnation, and bump the Restarts counter.
+func TestIncarnationChangePublishesRestart(t *testing.T) {
+	p := &scriptedProbe{rtt: time.Millisecond}
+	first := uint64(1)<<48 | 5
+	p.inc.Store(first)
+	m := NewManager([]ProbeFunc{p.fn}, fastOpts())
+	events := m.Subscribe()
+	m.Start()
+	defer m.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.IncarnationOf(0) != first {
+		if time.Now().After(deadline) {
+			t.Fatal("incarnation never learned")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	second := uint64(2)<<48 | 9
+	p.inc.Store(second) // silent restart: probes keep succeeding
+
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if !ev.Restart {
+				continue // ignore plain liveness transitions
+			}
+			if ev.Member != 0 || ev.To != Up || ev.Incarnation != second {
+				t.Fatalf("bad restart event: %+v", ev)
+			}
+			if c := m.CountersSnapshot(); c.Restarts == 0 {
+				t.Fatal("Restarts counter not bumped")
+			}
+			if m.StateOf(0) != Up {
+				t.Fatalf("member should stay Up, got %v", m.StateOf(0))
+			}
+			if m.IncarnationOf(0) != second {
+				t.Fatalf("IncarnationOf = %#x, want %#x", m.IncarnationOf(0), second)
+			}
+			return
+		case <-timeout:
+			t.Fatal("no restart event published")
+		}
+	}
+}
+
 // TestNodeInfo: the daemon-side node counts heartbeats and serves uptime.
 func TestNodeInfo(t *testing.T) {
 	srv := rpcx.NewServer()
@@ -256,8 +306,10 @@ func TestNodeInfo(t *testing.T) {
 	defer cl.Close()
 
 	probe := PingProbe(cl)
-	for i := 0; i < 3; i++ {
-		if _, err := probe(time.Second); err != nil {
+	// First probe is the hello handshake (not a ping); the node's heartbeat
+	// counter only sees the three pings that follow.
+	for i := 0; i < 4; i++ {
+		if _, _, err := probe(time.Second); err != nil {
 			t.Fatal(err)
 		}
 	}

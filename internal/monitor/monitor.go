@@ -78,7 +78,8 @@ type LinkMonitor struct {
 	mu sync.Mutex
 
 	client *rpcx.Client
-	// BulkBytes is the probe size for bandwidth estimation.
+	// BulkBytes is the larger of the two probe sizes for bandwidth
+	// estimation; the smaller transfer is BulkBytes/4 (see Probe).
 	BulkBytes int
 	// ProbeTimeout bounds each probe RPC (default DefaultProbeTimeout); a
 	// device that stops answering fails the probe with a *ProbeError instead
@@ -109,9 +110,15 @@ func NewLinkMonitor(client *rpcx.Client) *LinkMonitor {
 }
 
 // Probe performs one active measurement round: a small ping for delay, then
-// a bulk transfer for bandwidth (with the measured delay subtracted). Both
-// RPCs are bounded by ProbeTimeout; a dead or hung device yields a typed
-// *ProbeError fast instead of stalling the monitor loop.
+// two bulk transfers of different sizes for bandwidth. The bandwidth estimate
+// is taken from the *difference* between the two bulk timings, so every fixed
+// per-call cost — propagation delay, handler time, framing — cancels out
+// instead of being approximated by subtracting the ping RTT. That separation
+// matters under asymmetric faults: a link that wedges only large tensor
+// frames moves the bandwidth estimate while the ping-derived delay stays
+// flat, which is exactly the signature the health layer classifies as
+// link-gray. All RPCs are bounded by ProbeTimeout; a dead or hung device
+// yields a typed *ProbeError fast instead of stalling the monitor loop.
 func (m *LinkMonitor) Probe() (Sample, error) {
 	// Delay: RTT/2 of a tiny payload.
 	start := time.Now()
@@ -121,18 +128,30 @@ func (m *LinkMonitor) Probe() (Sample, error) {
 	rtt := time.Since(start)
 	delayMs := rtt.Seconds() * 1000 / 2
 
-	// Bandwidth: time a bulk payload, net of propagation.
+	// Bandwidth: time two payload sizes; the per-byte cost is the slope
+	// between them. BulkBytes/4 and BulkBytes keep the size gap large enough
+	// that timer noise in the two fixed-cost terms stays small relative to
+	// the serialization difference.
 	payload := make([]byte, m.BulkBytes)
+	small := m.BulkBytes / 4
+	if small < 1 {
+		small = 1
+	}
+	start = time.Now()
+	if _, err := m.client.CallTimeout(BulkMethod, payload[:small], m.probeTimeout()); err != nil {
+		return Sample{}, &ProbeError{Op: "bulk", Err: err}
+	}
+	smallT := time.Since(start)
 	start = time.Now()
 	if _, err := m.client.CallTimeout(BulkMethod, payload, m.probeTimeout()); err != nil {
 		return Sample{}, &ProbeError{Op: "bulk", Err: err}
 	}
-	bulk := time.Since(start)
-	serialize := bulk.Seconds() - rtt.Seconds()
+	largeT := time.Since(start)
+	serialize := (largeT - smallT).Seconds()
 	if serialize <= 0 {
 		serialize = 1e-6
 	}
-	bwMbps := float64(m.BulkBytes) * 8 / serialize / 1e6
+	bwMbps := float64(m.BulkBytes-small) * 8 / serialize / 1e6
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -49,6 +49,67 @@ func TestProbeMeasuresShapedLink(t *testing.T) {
 	}
 }
 
+// TestTwoSizeProbeSeparatesDelayFromBandwidth: the bandwidth estimate comes
+// from the timing *difference* between two bulk sizes, so an asymmetric
+// degradation of the bulk direction must move bandwidth sharply while the
+// ping-derived delay stays flat — the signature the health layer relies on
+// to tell a link-gray path from a slow device.
+func TestTwoSizeProbeSeparatesDelayFromBandwidth(t *testing.T) {
+	sh := netem.NewShaper(80, 2*time.Millisecond) // 10 MB/s, 2ms each way
+	srv := rpcx.NewServer()
+	RegisterHandlers(srv)
+	srv.WrapConn = func(c net.Conn) net.Conn { return netem.NewConnDir(c, sh, netem.Downstream) }
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := rpcx.NewClient(netem.NewConnDir(raw, sh, netem.Upstream), nil)
+	defer cl.Close()
+
+	m := NewLinkMonitor(cl)
+	m.BulkBytes = 128 * 1024
+
+	probe := func() (bw, delay float64) {
+		t.Helper()
+		var bwSum, dlSum float64
+		const n = 3
+		for i := 0; i < n; i++ {
+			s, err := m.Probe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bwSum += s.BandwidthMbps
+			dlSum += s.DelayMs
+		}
+		return bwSum / n, dlSum / n
+	}
+
+	healthyBw, healthyDl := probe()
+	if healthyBw < 25 || healthyBw > 250 {
+		t.Fatalf("healthy bandwidth estimate %.1f Mb/s far from shaped 80", healthyBw)
+	}
+
+	// Asymmetric fault: the direction carrying bulk payloads collapses 10×;
+	// the shaped propagation delay — what pings measure — is untouched.
+	sh.SetRateDir(netem.Upstream, 8)
+	degradedBw, degradedDl := probe()
+
+	if degradedBw >= healthyBw/3 {
+		t.Fatalf("bandwidth did not track the asymmetric degrade: healthy %.1f, degraded %.1f Mb/s",
+			healthyBw, degradedBw)
+	}
+	// Delay must stay flat: 1-byte pings are insensitive to the rate change.
+	if degradedDl > healthyDl*4+5 {
+		t.Fatalf("delay estimate moved with a bandwidth-only fault: healthy %.2f ms, degraded %.2f ms",
+			healthyDl, degradedDl)
+	}
+}
+
 func TestProbeFailsOnDeadServer(t *testing.T) {
 	addr, stop := startServer(t)
 	cl, err := rpcx.Dial(addr, nil)

@@ -191,17 +191,17 @@ func TestBlackholeClear(t *testing.T) {
 func TestLossRateDropsWrites(t *testing.T) {
 	sh := NewShaper(0, 0)
 	sh.SetLoss(1.0, 7)
-	if !sh.drop() {
+	if !sh.drop(Upstream) {
 		t.Fatal("rate 1.0 must drop every write")
 	}
 	sh.SetLoss(0, 0)
-	if sh.drop() {
+	if sh.drop(Upstream) {
 		t.Fatal("rate 0 must drop nothing")
 	}
 	sh.SetLoss(0.5, 7)
 	dropped := 0
 	for i := 0; i < 1000; i++ {
-		if sh.drop() {
+		if sh.drop(Upstream) {
 			dropped++
 		}
 	}

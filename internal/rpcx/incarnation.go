@@ -1,0 +1,146 @@
+package rpcx
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Incarnation identity: every daemon process start mints a fresh 64-bit
+// incarnation. The high 16 bits are a monotonic restart counter persisted
+// across process lifetimes (crash-safe: temp file + fsync + rename, the same
+// discipline as nn checkpoints), the low 48 bits are random. The counter
+// gives restarts a total order — IncarnationSeq(new) > IncarnationSeq(old)
+// for any two starts sharing a state file — so the gateway can fence
+// responses from a dead incarnation without ever fencing a fresh one; the
+// random bits disambiguate daemons that share no state file (ephemeral
+// mints) or whose state file was lost.
+//
+// The wire contract: a server announces its incarnation through the builtin
+// hello method (HelloMethod); clients learn it at handshake and re-learn it
+// automatically on every re-dial. 0 is reserved for "unknown" — a minted
+// incarnation is never 0.
+
+// incarnationSeqBits is how many low bits carry the random component; the
+// remaining high bits carry the persisted monotonic restart counter.
+const incarnationSeqBits = 48
+
+// ErrIncarnationCorrupt is the target for errors.Is when a persisted
+// incarnation state file fails its integrity check. The file is tiny and
+// rewritten atomically, so corruption means torn storage — the caller decides
+// whether to fatal or re-mint from scratch.
+var ErrIncarnationCorrupt = errors.New("rpcx: incarnation state corrupt")
+
+// incarnation state file layout: magic "MIN1" | u64 counter | u32 crc32c
+// (Castagnoli, over magic+counter).
+var incMagic = [4]byte{'M', 'I', 'N', '1'}
+
+const incStateSize = 4 + 8 + 4
+
+// IncarnationSeq extracts the monotonic restart counter from an incarnation.
+// Fencing compares sequences, not raw incarnations: a response is stale iff
+// its incarnation's sequence is below the expected one, so the random low
+// bits never order two incarnations that share a counter value.
+func IncarnationSeq(inc uint64) uint64 { return inc >> incarnationSeqBits }
+
+// MintIncarnation mints the incarnation for this process start. With a state
+// path, the persisted restart counter is loaded, incremented, and written
+// back atomically before the incarnation is returned — a crash between mint
+// and first use can only skip a counter value, never reuse one. With an empty
+// path the counter is 1 (ephemeral: ordering across restarts then rests on
+// the random bits being distinct, which is enough to *detect* a restart, just
+// not to order one).
+func MintIncarnation(statePath string) (uint64, error) {
+	var seq uint64 = 1
+	if statePath != "" {
+		prev, err := readIncarnationState(statePath)
+		if err != nil {
+			return 0, err
+		}
+		seq = prev + 1
+		if seq >= 1<<(64-incarnationSeqBits) {
+			// Counter exhausted (65k restarts): wrap to 1 rather than refuse
+			// to start; fencing degrades to restart *detection* via the
+			// random bits, exactly the ephemeral behavior.
+			seq = 1
+		}
+		if err := writeIncarnationState(statePath, seq); err != nil {
+			return 0, err
+		}
+	}
+	var rnd [8]byte
+	if _, err := rand.Read(rnd[:6]); err != nil {
+		return 0, fmt.Errorf("rpcx: mint incarnation: %w", err)
+	}
+	low := binary.LittleEndian.Uint64(rnd[:]) & (1<<incarnationSeqBits - 1)
+	if low == 0 {
+		low = 1 // reserve 0 so a minted incarnation is never the "unknown" value
+	}
+	return seq<<incarnationSeqBits | low, nil
+}
+
+// readIncarnationState loads the persisted restart counter (0 when the file
+// does not exist yet — the first mint then uses sequence 1).
+func readIncarnationState(path string) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != incStateSize || [4]byte(b[:4]) != incMagic {
+		return 0, fmt.Errorf("%w: %s: bad size or magic", ErrIncarnationCorrupt, path)
+	}
+	want := binary.LittleEndian.Uint32(b[12:])
+	if got := crc32.Checksum(b[:12], castagnoli); got != want {
+		return 0, fmt.Errorf("%w: %s: checksum mismatch (got %08x, want %08x)",
+			ErrIncarnationCorrupt, path, got, want)
+	}
+	return binary.LittleEndian.Uint64(b[4:]), nil
+}
+
+// writeIncarnationState persists the restart counter with the checkpoint
+// machinery's atomicity discipline: write a temp file in the same directory,
+// fsync it, rename over the target, fsync the directory. A crash at any point
+// leaves either the old counter or the new one — never a torn file.
+func writeIncarnationState(path string, seq uint64) error {
+	var b [incStateSize]byte
+	copy(b[:4], incMagic[:])
+	binary.LittleEndian.PutUint64(b[4:], seq)
+	binary.LittleEndian.PutUint32(b[12:], crc32.Checksum(b[:12], castagnoli))
+
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".inc-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(b[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

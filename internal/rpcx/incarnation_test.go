@@ -1,0 +1,248 @@
+package rpcx
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"murmuration/internal/netem"
+)
+
+func TestMintIncarnationPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incarnation")
+
+	first, err := MintIncarnation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IncarnationSeq(first) != 1 {
+		t.Fatalf("first mint seq = %d, want 1", IncarnationSeq(first))
+	}
+	if first == 0 {
+		t.Fatal("minted incarnation must never be 0")
+	}
+
+	second, err := MintIncarnation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IncarnationSeq(second) != 2 {
+		t.Fatalf("second mint seq = %d, want 2", IncarnationSeq(second))
+	}
+	if second == first {
+		t.Fatal("two mints returned the same incarnation")
+	}
+}
+
+func TestMintIncarnationEphemeral(t *testing.T) {
+	a, err := MintIncarnation("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MintIncarnation("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IncarnationSeq(a) != 1 || IncarnationSeq(b) != 1 {
+		t.Fatalf("ephemeral mints should both have seq 1, got %d and %d",
+			IncarnationSeq(a), IncarnationSeq(b))
+	}
+	if a == b {
+		t.Fatal("ephemeral mints collided (random bits)")
+	}
+}
+
+func TestMintIncarnationCorruptState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incarnation")
+	if _, err := MintIncarnation(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[5] ^= 0xFF // flip a counter byte without fixing the checksum
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MintIncarnation(path); !errors.Is(err, ErrIncarnationCorrupt) {
+		t.Fatalf("want ErrIncarnationCorrupt, got %v", err)
+	}
+}
+
+func TestHandshakeLearnsIncarnation(t *testing.T) {
+	s := NewServer()
+	s.SetIncarnation(42<<incarnationSeqBits | 7)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if got := c.RemoteIncarnation(); got != 0 {
+		t.Fatalf("RemoteIncarnation before handshake = %d, want 0", got)
+	}
+	inc, err := c.Handshake(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(42<<incarnationSeqBits | 7); inc != want {
+		t.Fatalf("handshake incarnation = %#x, want %#x", inc, want)
+	}
+	if c.RemoteIncarnation() != inc {
+		t.Fatal("RemoteIncarnation disagrees with Handshake return")
+	}
+}
+
+func TestHandshakeRepeatsAcrossRedial(t *testing.T) {
+	s1 := NewServer()
+	s1.SetIncarnation(1<<incarnationSeqBits | 11)
+	s1.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr1, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewServer()
+	s2.SetIncarnation(2<<incarnationSeqBits | 22)
+	s2.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr2, err := s2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	var target atomic.Value
+	target.Store(addr1)
+	c, err := Dial(addr1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3})
+	c.MarkIdempotent("echo")
+	c.SetDialer(func() (net.Conn, error) {
+		return net.Dial("tcp", target.Load().(string))
+	})
+
+	if inc, err := c.Handshake(2 * time.Second); err != nil || IncarnationSeq(inc) != 1 {
+		t.Fatalf("initial handshake = (%#x, %v), want seq 1", inc, err)
+	}
+
+	// "Restart": the old process dies, the replacement listens elsewhere.
+	s1.Close()
+	target.Store(addr2)
+	c.ForceRedial()
+
+	// The next call must transparently re-dial AND re-handshake, so the
+	// remembered incarnation describes the new process.
+	if _, err := c.Call("echo", []byte("hi")); err != nil {
+		t.Fatalf("call after redial: %v", err)
+	}
+	if got := c.RemoteIncarnation(); IncarnationSeq(got) != 2 {
+		t.Fatalf("RemoteIncarnation after redial = %#x, want seq 2", got)
+	}
+}
+
+func TestProgressWatchdogStallsLargeFrame(t *testing.T) {
+	sh := netem.NewShaper(0, 0)
+	s := NewServer()
+	// Wrap daemon-side conns so only the server->client direction stalls:
+	// small frames (hello, ping echoes) pass, large tensor frames freeze.
+	s.WrapConn = func(c net.Conn) net.Conn {
+		return netem.NewConnDir(c, sh, netem.Downstream)
+	}
+	big := bytes.Repeat([]byte{0xAB}, 1<<20)
+	s.Handle("bulk", func(p []byte) ([]byte, error) { return big, nil })
+	s.Handle("ping", func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetProgressPolicy(ProgressPolicy{Tick: 30 * time.Millisecond, MinBytes: 1})
+
+	// Healthy link: both small and large frames flow under the watchdog.
+	if _, err := c.CallTimeout("ping", []byte{1}, 2*time.Second); err != nil {
+		t.Fatalf("ping under watchdog: %v", err)
+	}
+	if resp, err := c.CallTimeout("bulk", nil, 5*time.Second); err != nil || len(resp) != len(big) {
+		t.Fatalf("bulk under watchdog: %d bytes, %v", len(resp), err)
+	}
+
+	// Half-open link: large frames stall for far longer than the call
+	// deadline. The progress watchdog must fail the call in bounded time —
+	// well before the 10s overall deadline would.
+	sh.SetStallLarge(netem.Downstream, 4096, 30*time.Second)
+	defer sh.SetStallLarge(netem.Downstream, 0, 0)
+
+	start := time.Now()
+	_, err = c.CallTimeout("bulk", nil, 10*time.Second)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("want ErrStalled, got %v", err)
+	}
+	var se *StallError
+	if !errors.As(err, &se) || se.Method != "bulk" {
+		t.Fatalf("want typed *StallError for bulk, got %#v", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("stall detection took %v, want bounded well under the deadline", elapsed)
+	}
+	if got := c.StalledCalls(); got != 1 {
+		t.Fatalf("StalledCalls = %d, want 1", got)
+	}
+
+	// The stalled connection is poisoned: without a retry policy the client
+	// refuses to reuse the desynced stream.
+	if _, err := c.Call("ping", []byte{1}); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("want ErrClientBroken after stall, got %v", err)
+	}
+}
+
+func TestProgressWatchdogExemptsCompute(t *testing.T) {
+	s := NewServer()
+	s.Handle("slow", func(p []byte) ([]byte, error) {
+		time.Sleep(400 * time.Millisecond) // server compute: no bytes flow
+		return []byte("done"), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetProgressPolicy(ProgressPolicy{Tick: 50 * time.Millisecond, MinBytes: 1})
+
+	// Many dead ticks elapse between request flush and first response byte;
+	// the watchdog must not count them — compute time is the call deadline's
+	// job, not the progress deadline's.
+	if _, err := c.CallTimeout("slow", nil, 5*time.Second); err != nil {
+		t.Fatalf("slow compute under watchdog: %v", err)
+	}
+	if got := c.StalledCalls(); got != 0 {
+		t.Fatalf("StalledCalls = %d, want 0", got)
+	}
+}

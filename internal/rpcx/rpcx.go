@@ -71,7 +71,68 @@ var (
 	// server declined work it could not finish. It is retryable (backoff
 	// gives the server room) and must never count as a link or device fault.
 	ErrOverloaded = errors.New("rpcx: server overloaded")
+	// ErrStalled is the target for errors.Is when a call's in-flight progress
+	// watchdog fired (*StallError): the frame transfer stopped advancing for
+	// the configured window even though the connection is nominally alive —
+	// the half-open-link signature. Like a timeout it poisons the connection
+	// so the next call re-dials; like overload it is a link condition, never
+	// a device fault.
+	ErrStalled = errors.New("rpcx: call stalled")
 )
+
+// StallError reports that an in-flight call's progress watchdog fired: the
+// connection stopped moving frame bytes for MinBytes-per-Tick purposes while
+// a frame transfer was in flight. It unwraps to ErrStalled. The connection is
+// poisoned (the frame is torn mid-stream) and the call is retryable on a
+// fresh dial for idempotent methods.
+type StallError struct {
+	Method string
+	// Tick and MinBytes echo the violated policy; After is roughly how long
+	// the call ran before the watchdog fired.
+	Tick     time.Duration
+	MinBytes int64
+	After    time.Duration
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("rpcx: call %q stalled after %v (< %d bytes progress per %v)",
+		e.Method, e.After.Round(time.Millisecond), e.MinBytes, e.Tick)
+}
+
+// Unwrap lets errors.Is(err, ErrStalled) match.
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// ProgressPolicy is a client's per-call in-flight progress deadline: while a
+// frame is being written, and once the first response byte has arrived, the
+// connection must move at least MinBytes every Tick. Two consecutive ticks
+// without progress abort the call with a typed *StallError — a hung transfer
+// fails in ~2×Tick instead of burning the whole request budget. The window
+// between "request flushed" and "first response byte" is exempt: that is
+// server compute time, bounded by the call's own deadline, not a transfer.
+type ProgressPolicy struct {
+	// Tick is the progress check period (default 100ms).
+	Tick time.Duration
+	// MinBytes is the minimum connection I/O advance per tick (default 1).
+	MinBytes int64
+}
+
+func (p ProgressPolicy) withDefaults() ProgressPolicy {
+	if p.Tick <= 0 {
+		p.Tick = 100 * time.Millisecond
+	}
+	if p.MinBytes <= 0 {
+		p.MinBytes = 1
+	}
+	return p
+}
+
+// HelloMethod is the reserved builtin handshake method every Server answers:
+// the response is the server's 8-byte little-endian incarnation (0 until
+// SetIncarnation). Clients call it via Handshake; the cluster layer's
+// HelloProbe rides it as a heartbeat so every probe re-reads the peer's
+// identity. A user handler registered under this name takes precedence.
+const HelloMethod = "rpcx.hello"
 
 // maxPanicStack caps how much of a recovered panic's stack trace travels in
 // the response payload; stacks are for operators, not for 64KiB frames.
@@ -207,6 +268,16 @@ type Server struct {
 	ConnIdleTimeout time.Duration
 	WriteTimeout    time.Duration
 
+	// WrapConn, when set, wraps every accepted connection before it is
+	// served — chaos tests use it to interpose a netem fault injector on the
+	// server's write path (response traffic), which is how a one-direction
+	// partition is reproduced on real sockets. Set before Listen.
+	WrapConn func(net.Conn) net.Conn
+
+	// incarnation is the identity this server announces through the builtin
+	// hello method (see SetIncarnation / MintIncarnation).
+	incarnation atomic.Uint64
+
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	ln       net.Listener
@@ -278,6 +349,23 @@ func (s *Server) Handle(method string, h Handler) {
 	s.handlers[method] = h
 }
 
+// SetIncarnation installs the identity this server announces through the
+// builtin hello method. Daemons mint one per process start (MintIncarnation)
+// so gateways can detect a silent restart and fence the dead incarnation's
+// late responses. Safe to call at any time; 0 (the default) means "unknown".
+func (s *Server) SetIncarnation(inc uint64) { s.incarnation.Store(inc) }
+
+// Incarnation returns the identity this server announces (0 = unset).
+func (s *Server) Incarnation() uint64 { return s.incarnation.Load() }
+
+// helloHandler answers the builtin handshake: 8 bytes of little-endian
+// incarnation.
+func (s *Server) helloHandler([]byte) ([]byte, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], s.incarnation.Load())
+	return b[:], nil
+}
+
 // SetChecksum controls whether responses to checksummed requests carry a
 // CRC32C trailer of their own (the echo behavior; on by default). Incoming
 // checksummed requests are verified regardless — disabling only changes
@@ -346,6 +434,9 @@ func (s *Server) Serve(ln net.Listener) {
 				continue
 			}
 			backoff = 5 * time.Millisecond
+			if s.WrapConn != nil {
+				conn = s.WrapConn(conn)
+			}
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
@@ -480,6 +571,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.RLock()
 		h := s.handlers[method]
 		s.mu.RUnlock()
+		if h == nil && method == HelloMethod {
+			h = s.helloHandler
+		}
 		var status byte
 		var resp []byte
 		ok, overloaded := false, false
@@ -792,6 +886,17 @@ func writeRequest(w io.Writer, method string, payload []byte, budget time.Durati
 	return nil
 }
 
+// flusher is satisfied by *bufio.Writer; writeResponse uses it to push the
+// tiny response header onto the wire ahead of a large payload.
+type flusher interface{ Flush() error }
+
+// largeFlushThreshold: payloads at least this big get the header flushed
+// first. The payload then bypasses the bufio copy entirely (direct write),
+// and — critically for stall detection — the header reaches the client even
+// when a half-open link stalls only large frames, so the client's progress
+// watchdog sees the response start and can fail the call in bounded time.
+const largeFlushThreshold = 64 * 1024
+
 func writeResponse(w io.Writer, status byte, payload []byte, checksum bool) error {
 	head := status
 	tail := 0
@@ -807,6 +912,13 @@ func writeResponse(w io.Writer, status byte, payload []byte, checksum bool) erro
 	}
 	if _, err := w.Write([]byte{head}); err != nil {
 		return err
+	}
+	if len(payload) >= largeFlushThreshold {
+		if f, ok := w.(flusher); ok {
+			if err := f.Flush(); err != nil {
+				return err
+			}
+		}
 	}
 	if _, err := w.Write(payload); err != nil {
 		return err
@@ -860,16 +972,49 @@ type Client struct {
 	checksum bool
 	maxFrame int
 
+	// In-flight progress deadline (see SetProgressPolicy). pc is the
+	// byte-counting wrapper installed around conn while a policy is active.
+	progress    ProgressPolicy
+	progressSet bool
+	pc          *progressConn
+
+	// Incarnation handshake state (see Handshake): once handshaken, every
+	// re-dial re-runs the hello exchange so remoteInc always names the
+	// incarnation living behind the *current* connection.
+	handshaken bool
+	remoteInc  atomic.Uint64
+
 	// corruptFrames counts integrity violations observed on this client's
 	// calls: response frames that failed their checksum or cap locally, plus
 	// typed statusCorrupt refusals from the server. redials counts successful
 	// connection replacements after poisoning. panics counts statusPanic
 	// responses (the peer's handler panicked); overloads counts statusOverload
-	// refusals (the peer's in-flight cap).
+	// refusals (the peer's in-flight cap); stalledCalls counts calls aborted
+	// by the progress watchdog.
 	corruptFrames atomic.Uint64
 	redials       atomic.Uint64
 	panics        atomic.Uint64
 	overloads     atomic.Uint64
+	stalledCalls  atomic.Uint64
+}
+
+// progressConn counts bytes crossing a connection so the progress watchdog
+// can observe transfer advance without hooking bufio internals.
+type progressConn struct {
+	net.Conn
+	bytes atomic.Int64
+}
+
+func (p *progressConn) Read(b []byte) (int, error) {
+	n, err := p.Conn.Read(b)
+	p.bytes.Add(int64(n))
+	return n, err
+}
+
+func (p *progressConn) Write(b []byte) (int, error) {
+	n, err := p.Conn.Write(b)
+	p.bytes.Add(int64(n))
+	return n, err
 }
 
 // Dial connects to addr. If shaper is non-nil, outbound traffic is
@@ -920,6 +1065,104 @@ func (c *Client) SetMaxFrameSize(n int) { c.maxFrame = n }
 // wrapped connection — e.g. one wrapped in a netem fault injector — gains
 // re-dial recovery. Not safe to call concurrently with in-flight calls.
 func (c *Client) SetDialer(dial func() (net.Conn, error)) { c.dialer = dial }
+
+// SetProgressPolicy installs a per-call in-flight progress deadline (see
+// ProgressPolicy). The zero policy's fields select the defaults; progress
+// watching stays off entirely until this is called, so clients that never
+// opt in keep the historical single-deadline behavior and pay nothing on the
+// hot path. Not safe to call concurrently with in-flight calls.
+func (c *Client) SetProgressPolicy(p ProgressPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.progress = p.withDefaults()
+	c.progressSet = true
+	c.wrapProgressLocked()
+}
+
+// wrapProgressLocked interposes the byte-counting wrapper on the current
+// connection and rebuilds the buffered reader/writer over it, so every frame
+// byte in either direction moves the progress counter. Caller holds c.mu and
+// has set progressSet.
+func (c *Client) wrapProgressLocked() {
+	c.pc = &progressConn{Conn: c.conn}
+	c.conn = c.pc
+	c.r = bufio.NewReaderSize(c.conn, 64*1024)
+	c.w = bufio.NewWriterSize(c.conn, 64*1024)
+}
+
+// Handshake performs the builtin hello exchange: it asks the peer for its
+// incarnation, remembers it (RemoteIncarnation), and arms automatic
+// re-handshake — every future re-dial repeats the exchange so the remembered
+// incarnation always describes the process behind the current connection.
+// d bounds the exchange (<= 0 means no deadline).
+func (c *Client) Handshake(d time.Duration) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		if !c.retrySet || (c.addr == "" && c.dialer == nil) {
+			return 0, ErrClientBroken
+		}
+		// redialLocked re-runs the hello itself once handshaken; arm first so
+		// a successful re-dial leaves remoteInc fresh either way.
+		c.handshaken = true
+		if err := c.redialLocked(); err != nil {
+			return 0, err
+		}
+		return c.remoteInc.Load(), nil
+	}
+	if err := c.helloLocked(d); err != nil {
+		return 0, err
+	}
+	c.handshaken = true
+	return c.remoteInc.Load(), nil
+}
+
+// RemoteIncarnation returns the peer incarnation learned by the most recent
+// handshake on the current connection (0 before any Handshake, or when the
+// peer never called SetIncarnation).
+func (c *Client) RemoteIncarnation() uint64 { return c.remoteInc.Load() }
+
+// ForceRedial poisons the current connection so the next call (or Handshake)
+// replaces it through the dialer. The cluster layer uses it when a restart is
+// detected on another path: the data connection may still terminate at the
+// dead incarnation's socket, and re-dialing is the only way to reach the new
+// process.
+func (c *Client) ForceRedial() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broken = true
+	c.conn.Close()
+}
+
+// helloLocked runs one hello request/response on the current connection and
+// records the peer's incarnation. Caller holds c.mu.
+func (c *Client) helloLocked(d time.Duration) error {
+	if d > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(d)); err != nil {
+			return err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := writeRequest(c.w, HelloMethod, nil, 0, c.checksum); err != nil {
+		return c.callErr(HelloMethod, d, err, nil)
+	}
+	if err := c.w.Flush(); err != nil {
+		return c.callErr(HelloMethod, d, err, nil)
+	}
+	status, resp, err := readResponse(c.r, frameCap(c.maxFrame))
+	if err != nil {
+		return c.callErr(HelloMethod, d, err, nil)
+	}
+	if status != statusOK || len(resp) < 8 {
+		return &RemoteError{Msg: fmt.Sprintf("hello failed (status %d, %d bytes)", status, len(resp))}
+	}
+	c.remoteInc.Store(binary.LittleEndian.Uint64(resp))
+	return nil
+}
+
+// StalledCalls returns how many calls the progress watchdog aborted with a
+// typed *StallError.
+func (c *Client) StalledCalls() uint64 { return c.stalledCalls.Load() }
 
 // CorruptFrames returns how many integrity violations this client observed:
 // locally failed response checksums/caps plus typed corrupt-request
@@ -1067,19 +1310,36 @@ func (c *Client) redialLocked() error {
 	}
 	c.conn.Close()
 	c.conn = conn
-	c.r = bufio.NewReaderSize(conn, 64*1024)
-	c.w = bufio.NewWriterSize(conn, 64*1024)
+	if c.progressSet {
+		c.wrapProgressLocked() // rebuilds c.r/c.w over the counting wrapper
+	} else {
+		c.r = bufio.NewReaderSize(c.conn, 64*1024)
+		c.w = bufio.NewWriterSize(c.conn, 64*1024)
+	}
 	c.broken = false
 	c.redials.Add(1)
+	if c.handshaken {
+		// Re-learn the peer's identity before the connection serves a call:
+		// a silent restart must surface as a changed incarnation here, never
+		// as a stale response attributed to the new process.
+		if herr := c.helloLocked(5 * time.Second); herr != nil {
+			c.broken = true
+			c.conn.Close()
+			return fmt.Errorf("rpcx: re-handshake: %w", herr)
+		}
+	}
 	return nil
 }
 
 // callOnceLocked performs a single request/response exchange. Caller holds
 // c.mu and has ensured the connection is not broken.
 func (c *Client) callOnceLocked(method string, payload []byte, d, budget time.Duration) ([]byte, error) {
-	if d > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(d)); err != nil {
-			return nil, err
+	watching := c.progressSet && c.pc != nil
+	if d > 0 || watching {
+		if d > 0 {
+			if err := c.conn.SetDeadline(time.Now().Add(d)); err != nil {
+				return nil, err
+			}
 		}
 		defer c.conn.SetDeadline(time.Time{})
 	}
@@ -1089,15 +1349,29 @@ func (c *Client) callOnceLocked(method string, payload []byte, d, budget time.Du
 			time.Sleep(sd)
 		}
 	}
+	// Progress watchdog: started after the shaper's modelled sleeps so only
+	// real connection I/O is on the clock. The call thread publishes the
+	// write→wait phase edge (writeDone); the watchdog aborts a stalled
+	// transfer by expiring the connection deadline, and the stalled flag
+	// tells the error path to type the failure as a stall, not a timeout.
+	var sf *stallFlag
+	var writeDone atomic.Bool
+	if watching {
+		sf = &stallFlag{start: time.Now()}
+		stop, done := make(chan struct{}), make(chan struct{})
+		go progressWatch(c.conn, c.pc, c.progress, sf, &writeDone, stop, done)
+		defer func() { close(stop); <-done }()
+	}
 	if err := writeRequest(c.w, method, payload, budget, c.checksum); err != nil {
-		return nil, c.callErr(method, d, err)
+		return nil, c.callErr(method, d, err, sf)
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, c.callErr(method, d, err)
+		return nil, c.callErr(method, d, err, sf)
 	}
+	writeDone.Store(true)
 	status, resp, err := readResponse(c.r, frameCap(c.maxFrame))
 	if err != nil {
-		return nil, c.callErr(method, d, err)
+		return nil, c.callErr(method, d, err, sf)
 	}
 	if c.shaper != nil {
 		// Response pays the downlink: serialize + propagate.
@@ -1132,19 +1406,74 @@ func (c *Client) callOnceLocked(method string, payload []byte, d, budget time.Du
 	}
 }
 
+// stallFlag is the progress watchdog's verdict channel: the watchdog sets the
+// flag before aborting the connection, so the error path can tell a stall
+// (progress deadline) apart from an ordinary timeout (overall deadline).
+type stallFlag struct {
+	atomic.Bool
+	start time.Time
+}
+
+// progressWatch is the per-call watchdog goroutine: every Tick it requires
+// MinBytes of connection advance while a frame transfer is in flight (the
+// request is still being written, or the response has started arriving). Two
+// consecutive dead ticks abort the call by expiring the connection deadline.
+// The wait for the server's compute (write done, no response byte yet) is
+// exempt — it is bounded by the call's own deadline.
+func progressWatch(conn net.Conn, pc *progressConn, p ProgressPolicy,
+	sf *stallFlag, writeDone *atomic.Bool, stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.Tick)
+	defer t.Stop()
+	last := pc.bytes.Load()
+	readStarted := false
+	strikes := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			cur := pc.bytes.Load()
+			advance := cur - last
+			last = cur
+			if writeDone.Load() && advance > 0 {
+				readStarted = true
+			}
+			enforcing := !writeDone.Load() || readStarted
+			if !enforcing || advance >= p.MinBytes {
+				strikes = 0
+				continue
+			}
+			if strikes++; strikes < 2 {
+				continue
+			}
+			sf.Store(true)
+			// Abort the in-flight I/O: the blocked read/write returns a
+			// timeout, which callErr re-types as a *StallError via sf.
+			conn.SetDeadline(time.Now().Add(-time.Second))
+			return
+		}
+	}
+}
+
 // callErr converts a transport error into a *TimeoutError when it was caused
-// by the per-call deadline, poisoning the client so the desynced stream is
-// never reused. A *FrameError (failed checksum or over-cap length) always
-// poisons too — the stream's framing can no longer be trusted — and counts
-// toward the corruption counter. With a retry policy installed, any other
-// transport error also poisons the connection (the peer likely tore it
-// down) so the next attempt or call re-dials instead of reusing a dead
-// stream.
-func (c *Client) callErr(method string, d time.Duration, err error) error {
+// by the per-call deadline — or a *StallError when the progress watchdog
+// aborted the call — poisoning the client so the desynced stream is never
+// reused. A *FrameError (failed checksum or over-cap length) always poisons
+// too — the stream's framing can no longer be trusted — and counts toward
+// the corruption counter. With a retry policy installed, any other transport
+// error also poisons the connection (the peer likely tore it down) so the
+// next attempt or call re-dials instead of reusing a dead stream.
+func (c *Client) callErr(method string, d time.Duration, err error, sf *stallFlag) error {
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		c.broken = true
 		c.conn.Close()
+		if sf != nil && sf.Load() {
+			c.stalledCalls.Add(1)
+			return &StallError{Method: method, Tick: c.progress.Tick,
+				MinBytes: c.progress.MinBytes, After: time.Since(sf.start)}
+		}
 		return &TimeoutError{Method: method, After: d}
 	}
 	var fe *FrameError

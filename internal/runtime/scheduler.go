@@ -89,10 +89,17 @@ type Scheduler struct {
 	limiters     []*limit.AIMD
 	panicStreaks []atomic.Int32
 
-	remoteCalls atomic.Uint64
-	hedges      atomic.Uint64
-	hedgeWins   atomic.Uint64
-	overloads   atomic.Uint64
+	// expectedInc[i] is the incarnation the scheduler expects device i+1's
+	// responses to carry (0 = not yet learned). A response whose connection
+	// handshook with an *older* incarnation is fenced: the bytes were computed
+	// by a process that no longer owns the device's state. See fenceCheck.
+	expectedInc []atomic.Uint64
+
+	remoteCalls     atomic.Uint64
+	hedges          atomic.Uint64
+	hedgeWins       atomic.Uint64
+	overloads       atomic.Uint64
+	fencedResponses atomic.Uint64
 }
 
 // PanicFaultThreshold is how many consecutive panic responses from one
@@ -147,6 +154,14 @@ type SchedStats struct {
 	// limiters; LimiterLimit is the summed current limit (a gauge).
 	LimiterCuts  uint64
 	LimiterLimit uint64
+	// FencedResponses counts tile responses dropped because they were
+	// produced by a dead incarnation of a device (a pre-restart process); none
+	// of them reached a caller or fed adaptive state.
+	FencedResponses uint64
+	// StalledCalls counts remote calls aborted by the per-call progress
+	// watchdog (typed rpcx.ErrStalled) across all remote clients — the
+	// signature of a half-open link that passes small frames but not tensors.
+	StalledCalls uint64
 }
 
 // NewScheduler creates a scheduler for a local supernet and remote clients.
@@ -157,16 +172,18 @@ func NewScheduler(local *supernet.Supernet, remotes []*rpcx.Client) *Scheduler {
 		s.limiters[i] = limit.New(limit.Options{})
 	}
 	s.panicStreaks = make([]atomic.Int32, len(remotes))
+	s.expectedInc = make([]atomic.Uint64, len(remotes))
 	return s
 }
 
 // Stats returns a snapshot of the remote-dispatch counters.
 func (s *Scheduler) Stats() SchedStats {
 	st := SchedStats{
-		RemoteCalls: s.remoteCalls.Load(),
-		Hedges:      s.hedges.Load(),
-		HedgeWins:   s.hedgeWins.Load(),
-		Overloads:   s.overloads.Load(),
+		RemoteCalls:     s.remoteCalls.Load(),
+		Hedges:          s.hedges.Load(),
+		HedgeWins:       s.hedgeWins.Load(),
+		Overloads:       s.overloads.Load(),
+		FencedResponses: s.fencedResponses.Load(),
 	}
 	for _, c := range s.Remotes {
 		if c == nil {
@@ -176,6 +193,7 @@ func (s *Scheduler) Stats() SchedStats {
 		st.Redials += c.Redials()
 		st.Panics += c.Panics()
 		st.Overloads += c.Overloads()
+		st.StalledCalls += c.StalledCalls()
 	}
 	for _, l := range s.limiters {
 		snap := l.Snapshot()
@@ -242,7 +260,10 @@ func (s *Scheduler) panicStreak(dev int) int32 {
 // releaseOutcome maps a tile call's result onto the limiter dynamics:
 // success grows the limit, load signals (timeout, budget refusal, overload,
 // panic — a wedged daemon should see fewer concurrent calls, not more) cut
-// it, anything else is neutral.
+// it, anything else is neutral. A stall is congestion-shaped too: the link
+// is not moving bytes, so fewer concurrent transfers should be attempted.
+// A fenced response is deliberately Neutral — the call itself completed; the
+// outcome just must not teach the limiter anything about a dead process.
 func releaseOutcome(err error) limit.Outcome {
 	switch {
 	case err == nil:
@@ -250,11 +271,90 @@ func releaseOutcome(err error) limit.Outcome {
 	case errors.Is(err, rpcx.ErrTimeout),
 		errors.Is(err, rpcx.ErrBudgetExhausted),
 		errors.Is(err, rpcx.ErrOverloaded),
+		errors.Is(err, rpcx.ErrStalled),
 		errors.Is(err, rpcx.ErrPanic):
 		return limit.Congested
 	default:
 		return limit.Neutral
 	}
+}
+
+// ErrFenced is the target for errors.Is when a tile response was fenced: it
+// was produced by a dead incarnation of the device (the process that answered
+// is not the one the cluster currently trusts). Fenced responses are dropped,
+// never delivered or fed into adaptive state; the failure is retryable — the
+// client has been poisoned, so the retry lands on the live incarnation.
+var ErrFenced = errors.New("runtime: response from dead incarnation fenced")
+
+// FencedError reports one fenced tile response.
+type FencedError struct {
+	// Device is the placement device whose response was fenced.
+	Device int
+	// Got is the incarnation the response's connection handshook with; Want
+	// is the incarnation the scheduler currently expects.
+	Got, Want uint64
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("runtime: device %d response fenced (incarnation %#x, expected %#x)",
+		e.Device, e.Got, e.Want)
+}
+
+func (e *FencedError) Unwrap() error { return ErrFenced }
+
+// SetDeviceIncarnation installs the incarnation the scheduler should expect
+// device dev's responses to carry. The serving layer calls it when the
+// cluster detects a restart; responses still in flight from the previous
+// process then fail fenceCheck and are dropped.
+func (s *Scheduler) SetDeviceIncarnation(dev int, inc uint64) {
+	if dev < 1 || dev > len(s.expectedInc) {
+		return
+	}
+	s.expectedInc[dev-1].Store(inc)
+}
+
+// DeviceIncarnation returns the currently expected incarnation for device
+// dev (0 = never learned).
+func (s *Scheduler) DeviceIncarnation(dev int) uint64 {
+	if dev < 1 || dev > len(s.expectedInc) {
+		return 0
+	}
+	return s.expectedInc[dev-1].Load()
+}
+
+// fenceCheck validates a successful tile response against device dev's
+// expected incarnation. The response's provenance is the incarnation its
+// client's connection handshook with: if that sequence is *older* than the
+// expected one, the bytes were computed by a pre-restart process and are
+// dropped — counted, the connection force-redialed (so the retry reaches the
+// live process), and a typed, retryable error returned. A *newer* sequence is
+// adopted: the data path may legitimately learn of a restart before the
+// heartbeat does, and fencing fresh responses would turn every restart into
+// an outage. Comparison is by monotonic sequence, not raw value, so random
+// low bits never order two incarnations.
+func (s *Scheduler) fenceCheck(dev int, err error) error {
+	if err != nil || dev < 1 || dev > len(s.expectedInc) {
+		return err
+	}
+	c := s.Remotes[dev-1]
+	callInc := c.RemoteIncarnation()
+	if callInc == 0 {
+		return nil // identity-less peer: nothing to fence against
+	}
+	exp := s.expectedInc[dev-1].Load()
+	if exp == 0 {
+		s.expectedInc[dev-1].CompareAndSwap(0, callInc)
+		return nil
+	}
+	if rpcx.IncarnationSeq(callInc) < rpcx.IncarnationSeq(exp) {
+		s.fencedResponses.Add(1)
+		c.ForceRedial()
+		return &FencedError{Device: dev, Got: callInc, Want: exp}
+	}
+	if callInc != exp {
+		s.expectedInc[dev-1].Store(callInc)
+	}
+	return nil
 }
 
 // DeviceError is an inference failure attributable to one device: a remote
@@ -435,6 +535,22 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 			if errors.Is(err, limit.ErrLimited) || errors.Is(err, rpcx.ErrOverloaded) {
 				return nil, fmt.Errorf("runtime: tile %d: %w", t, err)
 			}
+			// A fenced response means the device *restarted* — the live
+			// process is presumed healthy, the dead one's answer just cannot
+			// be used. Surfaced typed (retryable: the connection was already
+			// poisoned toward the live incarnation), never as a device fault.
+			if errors.Is(err, ErrFenced) {
+				return nil, fmt.Errorf("runtime: tile %d: %w", t, err)
+			}
+			// A stalled transfer is a *link* gray failure: heartbeats and
+			// small frames still pass, only bulk tensor traffic is wedged.
+			// The health tracker quarantines the device from data-path
+			// evidence (the stall still reaches OnTileOutcome as a failure);
+			// classifying it as a device fault here would instead demote the
+			// detector's view of a device whose process is perfectly live.
+			if errors.Is(err, rpcx.ErrStalled) {
+				return nil, fmt.Errorf("runtime: tile %d on device %d: %w", t, eff[t], err)
+			}
 			// A lone handler panic is a request fault — the input (or a bug it
 			// tickled) killed one call, the daemon recovered. Only a streak of
 			// consecutive panics marks the device itself as wedged.
@@ -581,8 +697,13 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 	if alt <= 0 || alt == dev || alt > len(s.Remotes) {
 		start := time.Now()
 		resp, err := primary.CallBudget(ExecBlockMethod, payload, timeout, budget)
+		err = s.fenceCheck(dev, err)
 		finishPrimary(err)
-		s.noteOutcome(dev, time.Since(start), err)
+		if !errors.Is(err, ErrFenced) {
+			// A fenced outcome is evidence about a dead process; the health
+			// ledger must only score the live one.
+			s.noteOutcome(dev, time.Since(start), err)
+		}
 		if err == nil {
 			s.observeTileLatency(time.Since(start))
 		}
@@ -599,8 +720,11 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 	go func() {
 		t0 := time.Now()
 		resp, err := primary.CallBudget(ExecBlockMethod, payload, timeout, budget)
+		err = s.fenceCheck(dev, err)
 		finishPrimary(err)
-		s.noteOutcome(dev, time.Since(t0), err)
+		if !errors.Is(err, ErrFenced) {
+			s.noteOutcome(dev, time.Since(t0), err)
+		}
 		results <- tileResult{resp, err, false}
 	}()
 
@@ -656,6 +780,7 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 				}
 				t0 := time.Now()
 				resp, err := s.Remotes[alt-1].CallBudget(ExecBlockMethod, payload, t2, b2)
+				err = s.fenceCheck(alt, err)
 				if altLim != nil {
 					altLim.Release(releaseOutcome(err))
 				}
@@ -664,7 +789,9 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 				} else if errors.Is(err, rpcx.ErrPanic) {
 					s.notePanic(alt)
 				}
-				s.noteOutcome(alt, time.Since(t0), err)
+				if !errors.Is(err, ErrFenced) {
+					s.noteOutcome(alt, time.Since(t0), err)
+				}
 				results <- tileResult{resp, err, true}
 			}()
 		}

@@ -34,11 +34,26 @@ type Target struct {
 	// compute-error transitions apply here (the daemon-side injector
 	// wrapping Executor.ExecBlockHandler).
 	Compute *runtime.ComputeInjector
+	// Restart is called on EvRestart (replace the daemon process so it
+	// comes back under a fresh incarnation). There is no shaper fallback:
+	// a restart is a process identity change, not a link condition, so a
+	// restart event without a hook is a mis-wired scenario.
+	Restart func()
+	// Asym is called on EvAsymDegrade with the stall threshold in bytes and
+	// the window duration (d <= 0 clears). When nil, the shaper's
+	// large-frame stall is opened on the Downstream direction instead —
+	// the direction tensor responses ride.
+	Asym func(minBytes int, d time.Duration)
 }
 
 // leaveBlackhole is the outage window a hook-less EvDeviceLeave opens; long
 // enough that the device stays dark until an explicit EvDeviceJoin clears it.
 const leaveBlackhole = 24 * time.Hour
+
+// DefaultAsymMinBytes is the stall threshold an EvAsymDegrade with Seed <= 0
+// selects: large enough that pings, heartbeats, and hello frames pass, small
+// enough that every tensor frame wedges.
+const DefaultAsymMinBytes = 4096
 
 // Orchestrator replays a trace's environment events against live daemons:
 // netem transitions go to each device's shaper, leave/join churn goes to the
@@ -135,6 +150,25 @@ func (o *Orchestrator) Apply(ev Event) error {
 			return fmt.Errorf("scenario: %v event for device %d, but no compute injector bound", ev.Kind, ev.Device)
 		}
 		tgt.Compute.SetErrorRate(ev.Value, ev.Seed)
+	case EvRestart:
+		if tgt.Restart == nil {
+			return fmt.Errorf("scenario: restart event for device %d, but no restart hook bound", ev.Device)
+		}
+		tgt.Restart()
+	case EvAsymDegrade:
+		minBytes := int(ev.Seed)
+		if minBytes <= 0 {
+			minBytes = DefaultAsymMinBytes
+		}
+		dur := time.Duration(ev.Value * float64(time.Millisecond))
+		switch {
+		case tgt.Asym != nil:
+			tgt.Asym(minBytes, dur)
+		case sh != nil:
+			sh.SetStallLarge(netem.Downstream, minBytes, dur)
+		default:
+			return fmt.Errorf("scenario: asym-degrade for device %d, but no asym hook or shaper bound", ev.Device)
+		}
 	case EvDeviceLeave:
 		switch {
 		case tgt.Leave != nil:

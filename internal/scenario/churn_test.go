@@ -77,6 +77,58 @@ func TestOrchestratorLeaveJoin(t *testing.T) {
 	}
 }
 
+func TestOrchestratorRestartAsym(t *testing.T) {
+	var restarts int
+	var gotMin int
+	var gotDur time.Duration
+	o := NewOrchestrator([]Target{{
+		Restart: func() { restarts++ },
+		Asym:    func(minBytes int, d time.Duration) { gotMin, gotDur = minBytes, d },
+	}})
+	if err := o.Apply(Event{Kind: EvRestart, Device: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", restarts)
+	}
+	if err := o.Apply(Event{Kind: EvAsymDegrade, Device: 0, Value: 150, Seed: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	if gotMin != 8192 || gotDur != 150*time.Millisecond {
+		t.Fatalf("asym hook got (%d, %v), want (8192, 150ms)", gotMin, gotDur)
+	}
+	// Seed <= 0 selects the default stall threshold.
+	if err := o.Apply(Event{Kind: EvAsymDegrade, Device: 0, Value: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if gotMin != DefaultAsymMinBytes {
+		t.Fatalf("default threshold = %d, want %d", gotMin, DefaultAsymMinBytes)
+	}
+
+	// Without a hook, asym-degrade opens the shaper's Downstream stall window.
+	sh := netem.NewShaper(0, 0)
+	o2 := NewOrchestrator([]Target{{Shaper: sh}})
+	if err := o2.Apply(Event{Kind: EvAsymDegrade, Device: 0, Value: 1e7}); err != nil {
+		t.Fatal(err)
+	}
+	if !sh.StallActive(netem.Downstream) {
+		t.Fatal("asym-degrade without hook should open the downstream stall")
+	}
+	if sh.StallActive(netem.Upstream) {
+		t.Fatal("asym-degrade must be one-directional")
+	}
+	if err := o2.Apply(Event{Kind: EvAsymDegrade, Device: 0, Value: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if sh.StallActive(netem.Downstream) {
+		t.Fatal("asym-degrade with Value <= 0 should clear the stall")
+	}
+	// A restart is a process identity change; a shaper cannot emulate it.
+	if err := o2.Apply(Event{Kind: EvRestart, Device: 0}); err == nil {
+		t.Fatal("want error for restart event without a restart hook")
+	}
+}
+
 func TestOrchestratorErrors(t *testing.T) {
 	o := NewOrchestrator([]Target{{}})
 	if err := o.Apply(Event{Kind: EvRequest, SLOType: env.LatencySLO, Resolution: 32}); err != ErrNotEnvironment {

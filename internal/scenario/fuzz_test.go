@@ -21,6 +21,18 @@ func FuzzDecodeTrace(f *testing.F) {
 	f.Add([]byte("MTRC"))
 	f.Add(buf.Bytes()[:buf.Len()/2])
 
+	// A restart/asym-degrade-only trace seeds the corpus with the newest
+	// kinds so mutation explores their field encodings too.
+	robust := &Trace{Name: "robust", Events: []Event{
+		{Kind: EvRestart, Device: 0},
+		{Kind: EvAsymDegrade, Device: 1, Value: 150, Seed: 4096},
+	}}
+	var rbuf bytes.Buffer
+	if err := robust.EncodeBinary(&rbuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rbuf.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := DecodeBinary(bytes.NewReader(data))
 		if err != nil {

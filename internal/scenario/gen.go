@@ -353,6 +353,17 @@ type ChurnOptions struct {
 	// probability ComputeErrRate (seeded per window from the trace rng).
 	ComputeErrEvery, ComputeErrFor time.Duration
 	ComputeErrRate                 float64
+	// RestartEvery is the mean period between in-place daemon restarts per
+	// device (exponential; 0 disables restart churn). A restart is a single
+	// event: the replacement process is live immediately, under a new
+	// incarnation.
+	RestartEvery time.Duration
+	// AsymEvery / AsymFor synthesize asymmetric stall windows per device
+	// (exponential period; 0 disables): inside a window, frames of at least
+	// AsymMinBytes bytes wedge on the bulk direction while small frames
+	// pass. AsymMinBytes <= 0 selects DefaultAsymMinBytes.
+	AsymEvery, AsymFor time.Duration
+	AsymMinBytes       int
 }
 
 // Churn synthesizes a seeded environment timeline: per device, exponential
@@ -396,6 +407,24 @@ func Churn(o ChurnOptions, d time.Duration, rng *rand.Rand) []Event {
 				}
 				events = append(events, Event{At: clear, Kind: EvSlowCompute, Device: dev, Value: 1})
 				t = clear + expAfter(o.SlowEvery, rng)
+			}
+		}
+		if o.RestartEvery > 0 {
+			t := expAfter(o.RestartEvery, rng)
+			for t < d {
+				events = append(events, Event{At: t, Kind: EvRestart, Device: dev})
+				t += expAfter(o.RestartEvery, rng)
+			}
+		}
+		if o.AsymEvery > 0 && o.AsymFor > 0 {
+			t := expAfter(o.AsymEvery, rng)
+			for t < d {
+				events = append(events, Event{
+					At: t, Kind: EvAsymDegrade, Device: dev,
+					Value: o.AsymFor.Seconds() * 1000,
+					Seed:  int64(o.AsymMinBytes),
+				})
+				t = t + o.AsymFor + expAfter(o.AsymEvery, rng)
 			}
 		}
 		if o.ComputeErrEvery > 0 && o.ComputeErrFor > 0 && o.ComputeErrRate > 0 {

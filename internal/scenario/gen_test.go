@@ -168,3 +168,47 @@ func TestChurnEventsPaired(t *testing.T) {
 		}
 	}
 }
+
+func TestChurnRestartAsymWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	evs := Churn(ChurnOptions{
+		Devices: 2, RestartEvery: 200 * time.Millisecond,
+		AsymEvery: 300 * time.Millisecond, AsymFor: 80 * time.Millisecond,
+		AsymMinBytes: 8192,
+	}, 3*time.Second, rng)
+	var restarts, asyms int
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvRestart:
+			restarts++
+		case EvAsymDegrade:
+			asyms++
+			if ev.Value != 80 {
+				t.Fatalf("asym window = %v ms, want 80", ev.Value)
+			}
+			if ev.Seed != 8192 {
+				t.Fatalf("asym threshold = %d, want 8192", ev.Seed)
+			}
+		default:
+			t.Fatalf("unexpected kind %v", ev.Kind)
+		}
+	}
+	if restarts == 0 || asyms == 0 {
+		t.Fatalf("restarts=%d asyms=%d, want both > 0", restarts, asyms)
+	}
+	// The timeline must merge into a valid, codable trace.
+	tr, err := Synthesize(GenOptions{
+		Name: "robust", Seed: 11, Duration: 3 * time.Second,
+		Process: Poisson{Rate: 5}, Env: evs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -65,13 +65,24 @@ const (
 	// (each block execution fails with that probability, seeded by Seed for
 	// reproducible injection; Value <= 0 clears).
 	EvComputeError
+	// EvRestart restarts a device's daemon process in place: the replacement
+	// answers heartbeats under a fresh incarnation, exercising the gateway's
+	// incarnation fence and restart reconfiguration. Unlike a leave/join
+	// pair there is no Down window — the restart is only visible through the
+	// incarnation change.
+	EvRestart
+	// EvAsymDegrade opens an asymmetric stall window of Value milliseconds
+	// on a device link's bulk direction: frames of at least Seed bytes
+	// (<= 0 selects the 4096-byte default) wedge while small frames — pings,
+	// heartbeats — pass. Value <= 0 clears an active window.
+	EvAsymDegrade
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"request", "device-leave", "device-join", "set-delay",
 	"set-rate", "set-loss", "set-corrupt", "blackhole",
-	"slow-compute", "compute-error",
+	"slow-compute", "compute-error", "restart", "asym-degrade",
 }
 
 // String names the kind for logs and the JSON trace form.

@@ -34,6 +34,8 @@ func sampleTrace() *Trace {
 			{At: 13 * time.Millisecond, Kind: EvSlowCompute, Device: 0, Value: 10},
 			{At: 14 * time.Millisecond, Kind: EvComputeError, Device: 0, Value: 0.3, Seed: 7},
 			{At: 15 * time.Millisecond, Kind: EvBlackhole, Device: 0, Value: 50},
+			{At: 16 * time.Millisecond, Kind: EvRestart, Device: 1},
+			{At: 17 * time.Millisecond, Kind: EvAsymDegrade, Device: 0, Value: 200, Seed: 8192},
 			{At: 18 * time.Millisecond, Kind: EvSlowCompute, Device: 0, Value: 1},
 			{At: 19 * time.Millisecond, Kind: EvComputeError, Device: 0},
 			{At: 20 * time.Millisecond, Kind: EvDeviceJoin, Device: 1},

@@ -56,6 +56,10 @@ func (g *Gateway) AttachCluster(m *cluster.Manager) {
 			g.mu.Lock()
 			tr, dmp := g.health, g.damper
 			g.mu.Unlock()
+			if ev.Restart {
+				g.handleRestart(ev)
+				continue
+			}
 			switch ev.To {
 			case cluster.Down:
 				// A Down is always honored (safety first); it also charges
@@ -106,6 +110,51 @@ func (g *Gateway) AttachCluster(m *cluster.Manager) {
 			}
 		}
 	}()
+}
+
+// handleRestart reconfigures around a detected incarnation change — an
+// atomic Down→Up. The device never answered "dead", but the process behind it
+// is new: every piece of state learned against the old process is stale, and
+// every response still in flight from it must be fenced, not delivered.
+// Order matters: the expected incarnation is raised *first*, so a stale
+// response racing this handler fails the scheduler's fence check rather than
+// slipping through mid-reconfiguration.
+func (g *Gateway) handleRestart(ev cluster.Event) {
+	sched := g.rt.Scheduler
+	dev := ev.Member + 1
+	// 1. Fence: responses handshaken with the old incarnation are now dropped.
+	if ev.Incarnation != 0 {
+		sched.SetDeviceIncarnation(dev, ev.Incarnation)
+	}
+	// 2. Demote while reconfiguring: strategies placing work there are stale
+	// (the new process has cold caches and possibly different capabilities).
+	g.rt.SetDeviceHealth(ev.Member, false)
+	if g.rt.Cache != nil {
+		g.rt.Cache.InvalidateDevice(dev)
+	}
+	// 3. The data connection may still terminate at the dead process's socket
+	// (a zombie that keeps its listener): poison it so the next dispatch
+	// re-dials — and re-handshakes — to the live incarnation. Asynchronous
+	// because ForceRedial serializes behind any in-flight call (that call's
+	// response will be fenced on completion, which poisons the client too).
+	if ev.Member >= 0 && ev.Member < len(sched.Remotes) && sched.Remotes[ev.Member] != nil {
+		go sched.Remotes[ev.Member].ForceRedial()
+	}
+	// 4. Adaptive state learned against the old process does not transfer.
+	sched.ResetDevice(dev)
+	g.mu.Lock()
+	g.stats.Restarts++
+	hook := g.opts.OnRestart
+	g.mu.Unlock()
+	// 5. Re-negotiate capabilities (link probe, monitor refresh) before the
+	// device takes traffic again.
+	if hook != nil {
+		hook(dev, ev.Incarnation)
+	}
+	// 6. Reinstate and rewarm: the new incarnation serves from here on.
+	g.rt.SetDeviceHealth(ev.Member, true)
+	g.ResetWaitEstimates()
+	g.rewarm()
 }
 
 // rewarm re-resolves the strategy for the gateway's global SLO under the

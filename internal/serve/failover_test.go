@@ -121,11 +121,11 @@ func TestAttachClusterFailoverEvents(t *testing.T) {
 
 	ok := atomic.Bool{}
 	ok.Store(true)
-	probe := func(timeout time.Duration) (time.Duration, error) {
+	probe := func(timeout time.Duration) (time.Duration, uint64, error) {
 		if !ok.Load() {
-			return 0, rpcx.ErrTimeout
+			return 0, 0, rpcx.ErrTimeout
 		}
-		return time.Millisecond, nil
+		return time.Millisecond, 0, nil
 	}
 	m := cluster.NewManager([]cluster.ProbeFunc{probe}, cluster.Options{
 		HeartbeatInterval: 5 * time.Millisecond,

@@ -8,6 +8,7 @@ import (
 	"murmuration/internal/health"
 	"murmuration/internal/limit"
 	"murmuration/internal/rpcx"
+	"murmuration/internal/runtime"
 )
 
 // Gray-failure glue between the gateway and the health layer.
@@ -82,6 +83,7 @@ func (g *Gateway) AttachHealth(opts HealthOptions) *health.Tracker {
 	g.health = tr
 	g.damper = health.NewDamper(n, opts.Damper)
 	g.suppressHeld = make([]bool, n)
+	g.stallEvidence = make([]uint64, n)
 	g.healthStop = make(chan struct{})
 	g.healthDone = make(chan struct{})
 	stop, done := g.healthStop, g.healthDone
@@ -108,9 +110,14 @@ func (g *Gateway) Health() *health.Tracker {
 // observeTile classifies one remote tile call's outcome into the tracker's
 // SLI ledger. The taxonomy mirrors the scheduler's fault classification:
 // overload refusals are backpressure (recorded but never gray), budget
-// exhaustion and corrupt frames say nothing about the device (deadline
-// pressure and link damage respectively), everything else that failed is
-// device-attributable.
+// exhaustion, corrupt frames, and fenced responses say nothing about the
+// live device (deadline pressure, link damage, and a dead process's answer
+// respectively), everything else that failed is device-attributable. A
+// stalled call is deliberately a *failure*, not an overload: the link is
+// gray — it passes heartbeats and small frames while wedging tensor
+// transfers — and repeated stalls must quarantine the path even though the
+// liveness detector keeps seeing the device Up. The stall evidence is also
+// remembered so the eventual quarantine is attributed as asymmetric.
 func (g *Gateway) observeTile(tr *health.Tracker, dev int, elapsed time.Duration, err error) {
 	i := dev - 1
 	now := time.Now()
@@ -119,8 +126,16 @@ func (g *Gateway) observeTile(tr *health.Tracker, dev int, elapsed time.Duration
 		tr.ObserveOK(i, elapsed, now)
 	case errors.Is(err, rpcx.ErrOverloaded), errors.Is(err, limit.ErrLimited):
 		tr.ObserveOverload(i, now)
-	case errors.Is(err, rpcx.ErrBudgetExhausted), errors.Is(err, rpcx.ErrCorruptFrame):
+	case errors.Is(err, rpcx.ErrBudgetExhausted), errors.Is(err, rpcx.ErrCorruptFrame),
+		errors.Is(err, runtime.ErrFenced):
 		// Not the device's fault; keep it out of the ledger entirely.
+	case errors.Is(err, rpcx.ErrStalled):
+		g.mu.Lock()
+		if i >= 0 && i < len(g.stallEvidence) {
+			g.stallEvidence[i]++
+		}
+		g.mu.Unlock()
+		tr.ObserveFailure(i, now)
 	default:
 		tr.ObserveFailure(i, now)
 	}
@@ -137,6 +152,15 @@ func (g *Gateway) onHealthTransition(tr health.Transition) {
 		if g.rt.Cache != nil {
 			g.rt.Cache.InvalidateDevice(i + 1)
 		}
+		// Attribution: if stall evidence accrued since the last quarantine,
+		// this is the asymmetric-partition signature — the device stayed Up
+		// on the liveness detector while its bulk transfers wedged.
+		g.mu.Lock()
+		if i >= 0 && i < len(g.stallEvidence) && g.stallEvidence[i] > 0 {
+			g.stats.AsymmetricQuarantines++
+			g.stallEvidence[i] = 0
+		}
+		g.mu.Unlock()
 	case health.Reintegrating:
 		// Placement-eligible again; the scheduler's Gate admits only the
 		// ramp fraction, redirecting the rest to local execution.

@@ -30,7 +30,7 @@ func resetGateway(t *testing.T) (*serve.Gateway, *runtime.Runtime, *runtime.Sche
 	rt := runtime.New(sched, liveSpreadDecider(a), runtime.NewStrategyCache(8, 25, 5, 10), nil)
 	rt.SetLinkState(0, 100, 5)
 	rt.SetLinkState(1, 100, 5)
-	probe := cluster.ProbeFunc(func(time.Duration) (time.Duration, error) { return time.Millisecond, nil })
+	probe := cluster.ProbeFunc(func(time.Duration) (time.Duration, uint64, error) { return time.Millisecond, 0, nil })
 	// Never Started: the tests drive transitions via MarkDown/ReportSuccess,
 	// which publish events to the gateway's cluster glue directly.
 	m := cluster.NewManager([]cluster.ProbeFunc{probe, probe}, cluster.Options{})

@@ -81,6 +81,11 @@ type Gateway struct {
 	suppressHeld []bool
 	healthStop   chan struct{}
 	healthDone   chan struct{}
+	// stallEvidence[i] counts rpcx.ErrStalled observations for device i+1
+	// since its last quarantine — the attribution trail that marks a
+	// quarantine as asymmetric (link-gray) rather than compute-gray. Guarded
+	// by mu; sized by AttachHealth.
+	stallEvidence []uint64
 
 	stats Stats
 
@@ -314,6 +319,7 @@ func (g *Gateway) Stats() Stats {
 	s.CorruptFrames, s.Redials = ss.CorruptFrames, ss.Redials
 	s.RemotePanics = ss.Panics
 	s.LimiterCuts, s.LimiterLimit = ss.LimiterCuts, ss.LimiterLimit
+	s.FencedResponses, s.StalledCalls = ss.FencedResponses, ss.StalledCalls
 	if g.brownout {
 		s.BrownoutActive = 1
 	}

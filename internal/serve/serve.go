@@ -112,6 +112,14 @@ type Options struct {
 	// device-attributed error, before the failover retry. Daemons use it to
 	// log which device is dying.
 	OnDeviceError func(device int, err error)
+	// OnRestart, when set, is called from the cluster event loop when a
+	// device's incarnation changes (a silent restart was detected), after the
+	// gateway has fenced the old incarnation and reset the device's adaptive
+	// state, and before the device is reinstated. The gateway command wires
+	// it to capability re-negotiation: re-probing the link monitor and
+	// refreshing the runtime's link state, because the restarted process may
+	// have different performance than the one the estimates were learned on.
+	OnRestart func(device int, incarnation uint64)
 	// MaxRung is the deepest degradation-ladder rung workers may descend to
 	// when the remaining deadline budget is below the strategy's observed
 	// cost: 0 selects runtime.DefaultMaxRung, a negative value disables
@@ -246,6 +254,19 @@ type Stats struct {
 	Probations     uint64
 	Reintegrations uint64
 	FlapSuppressed uint64
+	// Restarts counts detected device restarts (incarnation changes) the
+	// gateway reconfigured around: strategy cache invalidated, adaptive state
+	// reset, capabilities re-negotiated. FencedResponses counts tile responses
+	// produced by a dead incarnation that were dropped before reaching any
+	// caller or adaptive state. StalledCalls counts remote calls the per-call
+	// progress watchdog aborted (typed rpcx.ErrStalled — a half-open link).
+	// AsymmetricQuarantines counts health quarantines attributed to stall
+	// evidence: the link passed heartbeats while wedging tensor transfers.
+	// All four are wire v9.
+	Restarts              uint64
+	FencedResponses       uint64
+	StalledCalls          uint64
+	AsymmetricQuarantines uint64
 	// ClassMet / ClassMissed are the per-SLO-class attainment ledger: every
 	// admitted request lands in exactly one bucket of its class once it gets
 	// its outcome. Met is served within the SLO (for classes without a

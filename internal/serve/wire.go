@@ -48,7 +48,9 @@ const inferHeaderLen = 1 + 8
 //	    +Rollbacks (online-adaptation rollout attribution)
 //	v8: +GraySuspects, +Quarantines, +Probations, +Reintegrations,
 //	    +FlapSuppressed (gray-failure health machine and flap damping)
-const statsWireVersion = 8
+//	v9: +Restarts, +FencedResponses, +StalledCalls, +AsymmetricQuarantines
+//	    (incarnation fencing and asymmetric-partition detection)
+const statsWireVersion = 9
 
 // StatsWireVersion is the exported stats frame version, stamped into load
 // generator reports so offline analysis knows which field set it is reading.
@@ -137,9 +139,9 @@ func decodeSLO(typ byte, value float64) (runtime.SLO, error) {
 }
 
 // statsFieldCount is the number of u64 fields in the stats wire encoding:
-// 39 counters/gauges + 2×3 per-class attainment counters + 3 queue depths +
+// 43 counters/gauges + 2×3 per-class attainment counters + 3 queue depths +
 // 6 cache fields.
-const statsFieldCount = 54
+const statsFieldCount = 58
 
 // statsFields lists the counter fields in wire order; queue depths and
 // cache stats follow them in encodeStats/decodeStats.
@@ -160,6 +162,8 @@ func statsFields(s *Stats) []*uint64 {
 		&s.Promotions, &s.Rollbacks,
 		&s.GraySuspects, &s.Quarantines, &s.Probations,
 		&s.Reintegrations, &s.FlapSuppressed,
+		&s.Restarts, &s.FencedResponses, &s.StalledCalls,
+		&s.AsymmetricQuarantines,
 	}
 	for c := range s.ClassMet {
 		fields = append(fields, &s.ClassMet[c])
@@ -367,4 +371,28 @@ func IsOverloaded(err error) bool {
 	}
 	return errors.Is(err, ErrOverloaded) || errors.Is(err, rpcx.ErrOverloaded) ||
 		strings.Contains(err.Error(), "overloaded")
+}
+
+// IsStalled reports whether err (local or remote) is a call aborted by the
+// rpcx progress watchdog — a frame transfer that stopped advancing, the
+// signature of a half-open link. The connection was poisoned and will be
+// re-dialed; the health layer scores stalls as link-gray evidence.
+func IsStalled(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, rpcx.ErrStalled) ||
+		strings.Contains(err.Error(), "stalled")
+}
+
+// IsFenced reports whether err (local or remote) is a batch failed because a
+// tile response came from a dead incarnation of a device (the daemon
+// restarted mid-flight). The stale response was dropped, never delivered;
+// the retry path re-dials the live incarnation.
+func IsFenced(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, runtime.ErrFenced) ||
+		strings.Contains(err.Error(), "fenced")
 }

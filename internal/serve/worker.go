@@ -287,9 +287,23 @@ func (g *Gateway) runBatch(xs []*tensor.Tensor, res *runtime.Resolution, slo run
 	}
 	decision := g.rt.DegradeDecision(res.Decision, rung)
 	outs, _, err := g.rt.ExecBatchBudget(xs, decision, budget)
+	retry := false
 	var de *runtime.DeviceError
-	if err != nil && errors.As(err, &de) {
+	switch {
+	case err == nil:
+	case errors.As(err, &de):
 		g.noteDeviceError(de)
+		retry = true
+	case errors.Is(err, runtime.ErrFenced), errors.Is(err, rpcx.ErrStalled):
+		// A fenced response (the device restarted mid-batch) or a stalled
+		// transfer (half-open link) fails the attempt but demotes nothing:
+		// the fence has already redirected the connection to the live
+		// incarnation, and a stall is link-gray evidence the health tracker
+		// scores separately. Either way the batch deserves one retry on a
+		// re-resolved strategy before it counts as Failed.
+		retry = true
+	}
+	if retry {
 		g.mu.Lock()
 		g.stats.FailoverAttempts++
 		g.mu.Unlock()
