@@ -30,6 +30,7 @@ import (
 	"murmuration/internal/cluster"
 	"murmuration/internal/device"
 	"murmuration/internal/health"
+	"murmuration/internal/limit"
 	"murmuration/internal/monitor"
 	"murmuration/internal/nas"
 	"murmuration/internal/netem"
@@ -92,6 +93,10 @@ func main() {
 	flapHalfLife := flag.Duration("flap-half-life", 10*time.Second, "flap-damping penalty half-life")
 	progressTick := flag.Duration("progress-tick", 100*time.Millisecond, "in-flight progress deadline: a device RPC's frame I/O must advance every two ticks or the call fails as stalled (0 disables the watchdog)")
 	progressMinBytes := flag.Int64("progress-min-bytes", 1, "minimum bytes of frame progress per watchdog tick")
+	retryBudgetFrac := flag.Float64("retry-budget-frac", 0.1, "shared retry budget: speculative attempts (retries, failovers, hedges) allowed as a fraction of first attempts (0 disables the budget)")
+	correlatedLossK := flag.Int("correlated-loss-k", 2, "devices lost within -correlated-loss-window that count as one correlated event and tighten admission (negative disables the detector)")
+	correlatedLossWindow := flag.Duration("correlated-loss-window", 2*time.Second, "window for counting correlated device losses")
+	rewarmConcurrency := flag.Int("rewarm-concurrency", 2, "max concurrent cache-rewarm resolutions after churn (bounds the recovery-storm resolve burst)")
 	flag.Parse()
 
 	var arch *supernet.Arch
@@ -187,6 +192,14 @@ func main() {
 	if *hedgeBudget > 0 {
 		sched.Hedge = &runtime.HedgePolicy{After: *hedgeAfter, BudgetFrac: *hedgeBudget}
 	}
+	if *retryBudgetFrac > 0 {
+		// One bucket for every speculative mechanism: rpcx retries, scheduler
+		// failovers, and hedges all withdraw from it, so their combined rate
+		// stays bounded at roughly this fraction of primary traffic even when
+		// a correlated failure makes all of them want to fire at once.
+		sched.SetRetryBudget(limit.NewBudget(limit.BudgetOptions{Ratio: *retryBudgetFrac}))
+		log.Printf("retry budget on (%.0f%% of primary attempts)", *retryBudgetFrac*100)
+	}
 	rt := runtime.New(sched, decider, runtime.NewStrategyCache(64, 25, 5, 10), monitors)
 	for i := range addrs {
 		rt.SetLinkState(i, *bw, *delay)
@@ -202,12 +215,15 @@ func main() {
 		maxRung = -1
 	}
 	gw := serve.New(rt, serve.Options{
-		Workers:          *workers,
-		MaxBatch:         *maxBatch,
-		MaxLinger:        *linger,
-		QueueDepth:       *queueDepth,
-		MaxRung:          maxRung,
-		LadderHysteresis: *ladderHysteresis,
+		Workers:              *workers,
+		MaxBatch:             *maxBatch,
+		MaxLinger:            *linger,
+		QueueDepth:           *queueDepth,
+		MaxRung:              maxRung,
+		LadderHysteresis:     *ladderHysteresis,
+		CorrelatedLossK:      *correlatedLossK,
+		CorrelatedLossWindow: *correlatedLossWindow,
+		RewarmConcurrency:    *rewarmConcurrency,
 		OnDeviceError: func(dev int, err error) {
 			log.Printf("device %d failed a batch (failing over): %v", dev, err)
 		},

@@ -81,6 +81,12 @@ func main() {
 	asymFor := flag.Duration("asym-for", 2*time.Second, "generate: length of each asymmetric stall window")
 	asymMinBytes := flag.Int("asym-min-bytes", 0, "generate: frame size that wedges inside a stall window (0 = 4096)")
 
+	// Correlated-failure script: one mass kill and one mass recovery at fixed
+	// offsets, independent of the randomized churn timeline above.
+	massKillAt := flag.Duration("mass-kill-at", 0, "generate: offset of a correlated mass kill (0 = none)")
+	massKillFrac := flag.Float64("mass-kill-frac", 0.5, "generate: fleet fraction the mass kill removes, (0, 1]")
+	recoverAt := flag.Duration("recover-at", 0, "generate: offset of the mass recovery returning every killed device (0 = none)")
+
 	// Replay.
 	gateway := flag.String("gateway", "", "replay: gateway rpcx address")
 	speed := flag.Float64("speed", 1, "replay: trace clock multiplier (>1 compresses time)")
@@ -103,6 +109,7 @@ func main() {
 			cerrEvery: *cerrEvery, cerrFor: *cerrFor, cerrRate: *cerrRate,
 			restartEvery: *restartEvery,
 			asymEvery:    *asymEvery, asymFor: *asymFor, asymMinBytes: *asymMinBytes,
+			massKillAt: *massKillAt, massKillFrac: *massKillFrac, recoverAt: *recoverAt,
 		})
 		return
 	}
@@ -129,6 +136,8 @@ type genConfig struct {
 	restartEvery                      time.Duration
 	asymEvery, asymFor                time.Duration
 	asymMinBytes                      int
+	massKillAt, recoverAt             time.Duration
+	massKillFrac                      float64
 }
 
 func generate(c genConfig) {
@@ -164,9 +173,21 @@ func generate(c genConfig) {
 			DegradeDelayMs: c.degradeDelayMs, CalmDelayMs: c.calmDelayMs,
 			SlowEvery: c.slowEvery, SlowFor: c.slowFor, SlowFactor: c.slowFactor,
 			ComputeErrEvery: c.cerrEvery, ComputeErrFor: c.cerrFor, ComputeErrRate: c.cerrRate,
-			RestartEvery:    c.restartEvery,
-			AsymEvery:       c.asymEvery, AsymFor: c.asymFor, AsymMinBytes: c.asymMinBytes,
+			RestartEvery: c.restartEvery,
+			AsymEvery:    c.asymEvery, AsymFor: c.asymFor, AsymMinBytes: c.asymMinBytes,
 		}, c.duration, rand.New(rand.NewSource(c.seed)))
+	}
+
+	if c.massKillAt > 0 {
+		churn = append(churn, scenario.Event{
+			At: c.massKillAt, Kind: scenario.EvMassKill, Value: c.massKillFrac,
+		})
+	}
+	if c.recoverAt > 0 {
+		if c.massKillAt <= 0 || c.recoverAt <= c.massKillAt {
+			log.Fatal("-recover-at needs an earlier -mass-kill-at to recover from")
+		}
+		churn = append(churn, scenario.Event{At: c.recoverAt, Kind: scenario.EvMassRecover})
 	}
 
 	tr, err := scenario.Synthesize(scenario.GenOptions{

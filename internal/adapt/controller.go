@@ -147,11 +147,11 @@ const (
 // pointer: the serving hot path loads it once per decision and never takes a
 // lock. Transitions install a fresh copy.
 type routing struct {
-	mode          Mode
-	incumbent     runtime.Decider
-	incumbentVer  uint64
-	candidate     runtime.Decider
-	candidateVer  uint64
+	mode           Mode
+	incumbent      runtime.Decider
+	incumbentVer   uint64
+	candidate      runtime.Decider
+	candidateVer   uint64
 	canaryPermille uint64
 }
 
@@ -165,7 +165,7 @@ type Controller struct {
 	feed *Feed
 	gw   *serve.Gateway
 
-	routing  atomic.Pointer[routing]
+	routing   atomic.Pointer[routing]
 	canaryCtr atomic.Uint64
 
 	// Wire-visible counters (serve.AdaptStats); atomics because the gateway

@@ -185,12 +185,13 @@ type Counters struct {
 type Manager struct {
 	opts Options
 
-	mu       sync.Mutex
-	members  []*member
-	subs     []chan Event
-	counters Counters
-	started  bool
-	stopped  bool
+	mu        sync.Mutex
+	members   []*member
+	subs      []chan Event
+	batchSubs []chan []Event
+	counters  Counters
+	started   bool
+	stopped   bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -252,6 +253,10 @@ func (m *Manager) Close() {
 		close(ch)
 	}
 	m.subs = nil
+	for _, ch := range m.batchSubs {
+		close(ch)
+	}
+	m.batchSubs = nil
 	m.mu.Unlock()
 }
 
@@ -264,6 +269,21 @@ func (m *Manager) Subscribe() <-chan Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.subs = append(m.subs, ch)
+	return ch
+}
+
+// SubscribeBatch returns a channel of state-transition event batches: every
+// transition the manager publishes in one call arrives as one slice, so a
+// correlated loss of K members (MarkDownBatch) costs the subscriber one
+// notification and one reconfiguration pass instead of K. Transitions
+// published individually arrive as one-element batches. The channel is
+// buffered (capacity 256) with the same drop-oldest overflow semantics as
+// Subscribe, and is closed by Close.
+func (m *Manager) SubscribeBatch() <-chan []Event {
+	ch := make(chan []Event, 256)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchSubs = append(m.batchSubs, ch)
 	return ch
 }
 
@@ -480,6 +500,69 @@ func (m *Manager) MarkDown(i int) {
 	}
 }
 
+// MarkDownBatch forces every listed member straight to Down in one pass and
+// publishes all resulting transitions as a single batch: the notification a
+// correlated kill produces is one event carrying K members, not K events
+// racing each other through subscribers. Members already Down (or out of
+// range) contribute no transition; an empty batch publishes nothing.
+func (m *Manager) MarkDownBatch(members []int) {
+	m.mu.Lock()
+	var evs []Event
+	for _, i := range members {
+		if i < 0 || i >= len(m.members) {
+			continue
+		}
+		if ev, ok := m.transitionLocked(i, Down); ok {
+			evs = append(evs, ev)
+		}
+	}
+	m.mu.Unlock()
+	if len(evs) == 0 {
+		return
+	}
+	for _, ev := range evs {
+		m.publishSingles(ev)
+	}
+	m.publishBatches(evs)
+}
+
+// MarkUpBatch forces every listed member straight to Up in one pass and
+// publishes all resulting transitions as a single batch — the recovery-storm
+// mirror of MarkDownBatch. It exists for scripted mass recovery (rack power
+// restored, partition healed by an operator): the scenario knows the devices
+// are live the instant it revives them, and delivering the K recoveries as
+// one batch lets the consumer stagger reintegration instead of reacting to K
+// independent Up events trickling in on heartbeat cadence. Organic recovery
+// should keep flowing through heartbeats — this is an override, not the
+// detector. Members already Up (or out of range) contribute no transition.
+func (m *Manager) MarkUpBatch(members []int) {
+	m.mu.Lock()
+	var evs []Event
+	for _, i := range members {
+		if i < 0 || i >= len(m.members) {
+			continue
+		}
+		if ev, ok := m.transitionLocked(i, Up); ok {
+			// The member answered nothing yet; restart the silence clock so
+			// the next probe failure walks Up→Suspect→Down rather than
+			// re-demoting instantly off a stale lastSuccess.
+			m.members[i].lastSuccess = time.Now()
+			if inc := m.members[i].incarnation; inc != 0 {
+				ev.Incarnation = inc
+			}
+			evs = append(evs, ev)
+		}
+	}
+	m.mu.Unlock()
+	if len(evs) == 0 {
+		return
+	}
+	for _, ev := range evs {
+		m.publishSingles(ev)
+	}
+	m.publishBatches(evs)
+}
+
 // transitionLocked moves member i to state next, updating counters, and
 // returns the event to publish. Caller holds m.mu.
 func (m *Manager) transitionLocked(i int, next State) (Event, bool) {
@@ -501,8 +584,15 @@ func (m *Manager) transitionLocked(i int, next State) (Event, bool) {
 
 // publish fans an event out to subscribers without blocking the detector: a
 // full channel sheds its oldest event to make room for the newest, so
-// subscribers always converge on the latest state.
+// subscribers always converge on the latest state. Batch subscribers see the
+// event as a one-element batch.
 func (m *Manager) publish(ev Event) {
+	m.publishSingles(ev)
+	m.publishBatches([]Event{ev})
+}
+
+// publishSingles delivers one event to the per-event subscribers.
+func (m *Manager) publishSingles(ev Event) {
 	m.mu.Lock()
 	subs := append([]chan Event(nil), m.subs...)
 	m.mu.Unlock()
@@ -511,6 +601,28 @@ func (m *Manager) publish(ev Event) {
 		for tries := 0; !sent && tries < 4; tries++ {
 			select {
 			case ch <- ev:
+				sent = true
+			default:
+				select {
+				case <-ch: // drop oldest to make room
+				default:
+				}
+			}
+		}
+	}
+}
+
+// publishBatches delivers one batch of same-tick transitions to the batch
+// subscribers, with the same non-blocking drop-oldest overflow handling.
+func (m *Manager) publishBatches(evs []Event) {
+	m.mu.Lock()
+	subs := append([]chan []Event(nil), m.batchSubs...)
+	m.mu.Unlock()
+	for _, ch := range subs {
+		sent := false
+		for tries := 0; !sent && tries < 4; tries++ {
+			select {
+			case ch <- evs:
 				sent = true
 			default:
 				select {

@@ -1,0 +1,147 @@
+package limit
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// BudgetOptions configures a retry Budget. Zero values select the defaults.
+type BudgetOptions struct {
+	// Ratio is the fraction of primary traffic that may be re-driven as
+	// retries, failovers, or hedges (default 0.1): every Deposit (one per
+	// primary request) accrues Ratio tokens, every speculative attempt
+	// withdraws one whole token.
+	Ratio float64
+	// MinRate is a time-based trickle in tokens per second (default 1) so a
+	// quiet system can still afford its first retry: with no floor, the very
+	// first failure after an idle period would find an empty bucket and a
+	// cold start could never hedge. The trickle also refills the bucket
+	// after a storm drains it, restoring hedging without requiring new
+	// primary traffic first.
+	MinRate float64
+	// Burst caps the balance (default 10 tokens) so a long calm period
+	// cannot bank enough credit to finance a storm later. It is also the
+	// starting balance: the bucket begins full.
+	Burst float64
+	// Now supplies the clock (default time.Now); tests inject a synthetic
+	// one to exercise the trickle without sleeping.
+	Now func() time.Time
+}
+
+func (o BudgetOptions) withDefaults() BudgetOptions {
+	if o.Ratio <= 0 {
+		o.Ratio = 0.1
+	}
+	if o.MinRate <= 0 {
+		o.MinRate = 1
+	}
+	if o.Burst <= 0 {
+		o.Burst = 10
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// BudgetStats is a point-in-time snapshot of a Budget.
+type BudgetStats struct {
+	// Balance is the current token balance (after applying the trickle).
+	Balance float64
+	// Deposits counts primary-request deposits, Withdrawals granted
+	// speculative attempts, Exhausted refused ones.
+	Deposits, Withdrawals, Exhausted uint64
+}
+
+// Budget is a Finagle-style global retry budget: a token bucket that every
+// speculative attempt — rpcx retry, scheduler failover, hedged second call —
+// must withdraw from before firing. Primary requests deposit a fraction of a
+// token each, so the total speculative rate is bounded at roughly
+// Ratio × primary rate regardless of how many independent recovery
+// mechanisms decide to re-drive work at once. That coupling is the point:
+// under a correlated failure each mechanism is locally reasonable, but their
+// sum is a retry storm, and a shared budget is the only place the sum is
+// visible. Safe for concurrent use.
+type Budget struct {
+	mu   sync.Mutex
+	opts BudgetOptions
+
+	balance float64
+	last    time.Time // last trickle accrual
+
+	deposits    uint64
+	withdrawals uint64
+	exhausted   uint64
+}
+
+// NewBudget creates a budget; the bucket starts full (at Burst).
+func NewBudget(opts BudgetOptions) *Budget {
+	b := &Budget{opts: opts.withDefaults()}
+	b.balance = b.opts.Burst
+	b.last = b.opts.Now()
+	return b
+}
+
+// accrueLocked folds the elapsed-time trickle into the balance. Caller holds
+// b.mu.
+func (b *Budget) accrueLocked() {
+	now := b.opts.Now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.balance = math.Min(b.opts.Burst, b.balance+dt*b.opts.MinRate)
+	}
+	b.last = now
+}
+
+// Deposit credits the budget for one primary request (Ratio tokens).
+func (b *Budget) Deposit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.accrueLocked()
+	b.deposits++
+	b.balance = math.Min(b.opts.Burst, b.balance+b.opts.Ratio)
+}
+
+// TryWithdraw takes one whole token for a speculative attempt, reporting
+// false (and counting the refusal) when the bucket cannot cover it. It never
+// blocks: an attempt the budget cannot afford should be shed, not queued.
+func (b *Budget) TryWithdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.accrueLocked()
+	if b.balance < 1 {
+		b.exhausted++
+		return false
+	}
+	b.balance--
+	b.withdrawals++
+	return true
+}
+
+// Balance returns the current token balance.
+func (b *Budget) Balance() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.accrueLocked()
+	return b.balance
+}
+
+// Snapshot returns the budget's counters and balance.
+func (b *Budget) Snapshot() BudgetStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.accrueLocked()
+	return BudgetStats{
+		Balance:     b.balance,
+		Deposits:    b.deposits,
+		Withdrawals: b.withdrawals,
+		Exhausted:   b.exhausted,
+	}
+}
+
+// Exhausted returns how many withdrawals the budget has refused.
+func (b *Budget) Exhausted() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.exhausted
+}

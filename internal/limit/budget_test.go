@@ -1,0 +1,155 @@
+package limit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for exercising the budget's
+// time-based trickle without sleeping.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBudgetStartsFull(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBudget(BudgetOptions{Ratio: 0.1, MinRate: 1, Burst: 5, Now: clk.Now})
+	if got := b.Balance(); got != 5 {
+		t.Fatalf("starting balance %v, want Burst=5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if !b.TryWithdraw() {
+			t.Fatalf("withdrawal %d refused from a full bucket", i)
+		}
+	}
+	if b.TryWithdraw() {
+		t.Fatal("withdrawal granted from an empty bucket")
+	}
+	if st := b.Snapshot(); st.Withdrawals != 5 || st.Exhausted != 1 {
+		t.Fatalf("counters %+v, want 5 withdrawals / 1 exhausted", st)
+	}
+}
+
+// TestBudgetRatioBoundsRetryRate is the Finagle property: across any burst,
+// granted speculative attempts cannot exceed Ratio × primaries plus the
+// initial burst allowance.
+func TestBudgetRatioBoundsRetryRate(t *testing.T) {
+	clk := newFakeClock()
+	const ratio, burst = 0.2, 3.0
+	b := NewBudget(BudgetOptions{Ratio: ratio, MinRate: 0.001, Burst: burst, Now: clk.Now})
+
+	const primaries = 500
+	granted := 0
+	for i := 0; i < primaries; i++ {
+		b.Deposit()
+		// An adversarial caller retries after every single primary.
+		if b.TryWithdraw() {
+			granted++
+		}
+	}
+	max := int(ratio*primaries+burst) + 1
+	if granted > max {
+		t.Fatalf("granted %d speculative attempts for %d primaries, want <= %d", granted, primaries, max)
+	}
+	if granted == 0 {
+		t.Fatal("budget granted nothing — deposits are not crediting")
+	}
+}
+
+// TestBudgetTrickleRefills: after a storm drains the bucket, elapsed time
+// alone (MinRate) restores withdrawals — no new primary traffic required.
+func TestBudgetTrickleRefills(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBudget(BudgetOptions{Ratio: 0.1, MinRate: 2, Burst: 4, Now: clk.Now})
+	for b.TryWithdraw() {
+	}
+	if b.TryWithdraw() {
+		t.Fatal("bucket should be empty")
+	}
+	clk.Advance(time.Second) // 2 tokens of trickle
+	if got := b.Balance(); got < 1.9 || got > 2.1 {
+		t.Fatalf("balance after 1s trickle = %v, want ~2", got)
+	}
+	if !b.TryWithdraw() || !b.TryWithdraw() {
+		t.Fatal("trickle did not restore withdrawals")
+	}
+	if b.TryWithdraw() {
+		t.Fatal("withdrew more than the trickle accrued")
+	}
+}
+
+// TestBudgetBurstCapsBanking: a long calm period cannot bank unlimited
+// credit — the balance is clamped at Burst.
+func TestBudgetBurstCapsBanking(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBudget(BudgetOptions{Ratio: 0.5, MinRate: 10, Burst: 6, Now: clk.Now})
+	clk.Advance(time.Hour)
+	for i := 0; i < 1000; i++ {
+		b.Deposit()
+	}
+	if got := b.Balance(); got != 6 {
+		t.Fatalf("balance %v after an idle hour + 1000 deposits, want Burst=6", got)
+	}
+	granted := 0
+	for b.TryWithdraw() {
+		granted++
+	}
+	if granted != 6 {
+		t.Fatalf("drained %d tokens, want exactly Burst=6", granted)
+	}
+}
+
+func TestBudgetDefaults(t *testing.T) {
+	b := NewBudget(BudgetOptions{})
+	if b.opts.Ratio != 0.1 || b.opts.MinRate != 1 || b.opts.Burst != 10 {
+		t.Fatalf("defaults %+v", b.opts)
+	}
+	if !b.TryWithdraw() {
+		t.Fatal("default bucket should start full")
+	}
+}
+
+func TestBudgetConcurrentAccounting(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBudget(BudgetOptions{Ratio: 0.1, MinRate: 0.001, Burst: 2, Now: clk.Now})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Deposit()
+				b.TryWithdraw()
+			}
+		}()
+	}
+	wg.Wait()
+	st := b.Snapshot()
+	if st.Deposits != 1600 {
+		t.Fatalf("deposits %d, want 1600", st.Deposits)
+	}
+	if st.Withdrawals+st.Exhausted != 1600 {
+		t.Fatalf("withdrawals %d + exhausted %d != 1600 attempts", st.Withdrawals, st.Exhausted)
+	}
+	if st.Balance < 0 {
+		t.Fatalf("balance went negative: %v", st.Balance)
+	}
+}

@@ -1,0 +1,158 @@
+package rpcx
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingGate is a RetryGate with a fixed token allowance; every
+// TryWithdraw is counted whether or not it is granted.
+type countingGate struct {
+	allow   atomic.Int64
+	asked   atomic.Int64
+	refused atomic.Int64
+	granted atomic.Int64
+}
+
+func (g *countingGate) TryWithdraw() bool {
+	g.asked.Add(1)
+	if g.allow.Add(-1) < 0 {
+		g.refused.Add(1)
+		return false
+	}
+	g.granted.Add(1)
+	return true
+}
+
+// flakyServer serves a method whose first attempt exceeds any short deadline
+// and whose later attempts answer instantly — the canonical retryable fault.
+func flakyServer(t *testing.T) (string, *atomic.Int64, func()) {
+	t.Helper()
+	s := NewServer()
+	var calls atomic.Int64
+	s.Handle("flaky", func(p []byte) ([]byte, error) {
+		if calls.Add(1) == 1 {
+			time.Sleep(300 * time.Millisecond)
+		}
+		return []byte("served"), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr, &calls, func() { s.Close() }
+}
+
+// TestRetryGateSuppressesRetry: with an empty budget, the retry the policy
+// would have fired is suppressed and surfaces as a typed *RetryBudgetError
+// that still carries the first attempt's failure for classification.
+func TestRetryGateSuppressesRetry(t *testing.T) {
+	addr, calls, closeSrv := flakyServer(t)
+	defer closeSrv()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond})
+	c.MarkIdempotent("flaky")
+	gate := &countingGate{} // allowance 0: every withdrawal refused
+	c.SetRetryGate(gate)
+
+	_, err = c.CallTimeout("flaky", nil, 100*time.Millisecond)
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("suppressed retry should match ErrRetryBudget, got %v", err)
+	}
+	// The cause rides along: callers classifying the underlying fault still
+	// see the timeout that the suppressed retry would have addressed.
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("suppressed retry should carry the timeout cause, got %v", err)
+	}
+	var rbe *RetryBudgetError
+	if !errors.As(err, &rbe) || rbe.Method != "flaky" {
+		t.Fatalf("want *RetryBudgetError for method flaky, got %#v", err)
+	}
+	// The sentinel must NOT read as deadline-budget exhaustion — the two are
+	// different sheds with different consumers (see IsBudgetExhausted).
+	if errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("retry-budget refusal must not classify as ErrBudgetExhausted: %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("handler ran %d times, want 1 (retry suppressed)", n)
+	}
+	if gate.asked.Load() != 1 || gate.refused.Load() != 1 {
+		t.Fatalf("gate saw %d withdrawals (%d refused), want 1/1", gate.asked.Load(), gate.refused.Load())
+	}
+}
+
+// TestRetryGateAllowsWithinBudget: a funded gate charges exactly one token
+// per fired retry and the call recovers.
+func TestRetryGateAllowsWithinBudget(t *testing.T) {
+	addr, calls, closeSrv := flakyServer(t)
+	defer closeSrv()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond})
+	c.MarkIdempotent("flaky")
+	gate := &countingGate{}
+	gate.allow.Store(2)
+	c.SetRetryGate(gate)
+
+	resp, err := c.CallTimeout("flaky", nil, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("funded retry did not recover: %v", err)
+	}
+	if string(resp) != "served" {
+		t.Fatalf("retried call returned %q", resp)
+	}
+	if n := calls.Load(); n < 2 {
+		t.Fatalf("handler ran %d times, expected a retry", n)
+	}
+	if g := gate.granted.Load(); g < 1 {
+		t.Fatalf("gate granted %d withdrawals, want >= 1 (one per fired retry)", g)
+	}
+	// First attempts are free: withdrawals never exceed attempts-1.
+	if gate.asked.Load() >= calls.Load() {
+		t.Fatalf("gate asked %d times for %d attempts; first attempts must not withdraw",
+			gate.asked.Load(), calls.Load())
+	}
+}
+
+// TestRetryGateClearedRestoresRetry: SetRetryGate(nil) removes the budget
+// and in-place retries fire ungated again.
+func TestRetryGateClearedRestoresRetry(t *testing.T) {
+	addr, calls, closeSrv := flakyServer(t)
+	defer closeSrv()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond})
+	c.MarkIdempotent("flaky")
+	gate := &countingGate{} // empty: would suppress every retry
+	c.SetRetryGate(gate)
+	c.SetRetryGate(nil)
+
+	resp, err := c.CallTimeout("flaky", nil, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("ungated retry did not recover: %v", err)
+	}
+	if string(resp) != "served" {
+		t.Fatalf("retried call returned %q", resp)
+	}
+	if n := calls.Load(); n < 2 {
+		t.Fatalf("handler ran %d times, expected a retry", n)
+	}
+	if gate.asked.Load() != 0 {
+		t.Fatalf("cleared gate was still consulted %d times", gate.asked.Load())
+	}
+}

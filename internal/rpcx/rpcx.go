@@ -78,6 +78,15 @@ var (
 	// so the next call re-dials; like overload it is a link condition, never
 	// a device fault.
 	ErrStalled = errors.New("rpcx: call stalled")
+	// ErrRetryBudget is the target for errors.Is when a retry was suppressed
+	// because the shared retry budget (SetRetryGate) refused the withdrawal
+	// (*RetryBudgetError). It is a storm-control shed, not a fault: the first
+	// attempt's failure stands, but the client declined to amplify a
+	// correlated outage with another attempt. Never a device signal.
+	// The message deliberately says "depleted", not "exhausted": the budget-
+	// exhaustion classifier matches "budget exhausted" on remote error
+	// strings, and a retry-budget shed must never read as a deadline miss.
+	ErrRetryBudget = errors.New("rpcx: retry budget depleted")
 )
 
 // StallError reports that an in-flight call's progress watchdog fired: the
@@ -192,6 +201,31 @@ func (e *BudgetError) Error() string {
 
 // Unwrap lets errors.Is(err, ErrBudgetExhausted) match.
 func (e *BudgetError) Unwrap() error { return ErrBudgetExhausted }
+
+// RetryBudgetError reports that a retry the policy would have fired was
+// suppressed because the shared retry budget refused it. Cause is the
+// failure the suppressed retry would have addressed, preserved so callers
+// can still classify what actually went wrong. Unwrap yields both
+// ErrRetryBudget and Cause, so errors.Is matches either.
+type RetryBudgetError struct {
+	Method string
+	Cause  error
+}
+
+// Error implements error.
+func (e *RetryBudgetError) Error() string {
+	return fmt.Sprintf("rpcx: call %q retry suppressed, retry budget depleted (cause: %v)", e.Method, e.Cause)
+}
+
+// Unwrap lets errors.Is match ErrRetryBudget and the suppressed cause.
+func (e *RetryBudgetError) Unwrap() []error { return []error{ErrRetryBudget, e.Cause} }
+
+// RetryGate is the hook a shared retry budget implements (see
+// limit.Budget): TryWithdraw returns whether one speculative attempt may
+// fire, consuming a token when it does. It must never block.
+type RetryGate interface {
+	TryWithdraw() bool
+}
 
 // RemoteError is an application-level failure reported by the server's
 // handler (response status != 0). It is never retried: the handler ran, so a
@@ -967,6 +1001,7 @@ type Client struct {
 	retrySet   bool
 	idempotent map[string]bool
 	rng        *rand.Rand
+	retryGate  RetryGate
 
 	// Integrity (see SetChecksum / SetMaxFrameSize).
 	checksum bool
@@ -1047,6 +1082,16 @@ func (c *Client) SetRetryPolicy(p RetryPolicy) {
 		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 }
+
+// SetRetryGate installs a shared retry budget: once set, every in-place
+// retry attempt (beyond the first try) must withdraw a token from the gate
+// before firing, and a refused withdrawal surfaces as a typed
+// *RetryBudgetError (errors.Is(err, ErrRetryBudget)) carrying the failure
+// the retry would have addressed. Multiple clients sharing one gate share
+// one budget — that coupling is the point: it bounds the fleet-wide retry
+// rate under a correlated failure. nil removes the gate. Not safe to call
+// concurrently with in-flight calls.
+func (c *Client) SetRetryGate(g RetryGate) { c.retryGate = g }
 
 // SetChecksum controls whether this client's requests carry a CRC32C
 // trailer (default off, keeping frames bit-identical to the historical
@@ -1237,6 +1282,14 @@ func (c *Client) CallBudget(method string, payload []byte, d, budget time.Durati
 	var err error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
+			// The shared retry budget gates every in-place retry: under a
+			// correlated failure, N clients each locally entitled to a retry
+			// sum to a storm, and the budget is where that sum is visible. A
+			// refused withdrawal surfaces typed, carrying the first attempt's
+			// failure so classification still sees what broke.
+			if c.retryGate != nil && !c.retryGate.TryWithdraw() {
+				return nil, &RetryBudgetError{Method: method, Cause: err}
+			}
 			// Backoff holds the client lock by design: the connection is
 			// single-stream, so concurrent callers could not proceed anyway.
 			time.Sleep(c.retry.backoff(attempt-1, c.rng))

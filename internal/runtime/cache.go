@@ -14,6 +14,15 @@ import (
 // store the known constraint ... to strategy ... mapping"). Keys are
 // bucketized network conditions, so nearby conditions share an entry; the
 // cache is LRU-bounded.
+//
+// Invalidation is epoch-based and lazy: losing a device (InvalidateDevice)
+// or changing policy regime (Clear) bumps an epoch counter in O(1) instead
+// of walking every entry under the lock. Each entry is stamped with the
+// global epoch and the epoch of every remote device its decision places
+// work on; a lookup that finds an entry whose stamps are behind the current
+// epochs removes it and reports a miss. A correlated kill of K devices is
+// therefore K integer increments, not K full-cache sweeps serialized
+// against the admission path.
 type StrategyCache struct {
 	mu  sync.Mutex
 	cap int
@@ -25,11 +34,17 @@ type StrategyCache struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recent
 
+	// epoch invalidates every entry when bumped (Clear); devEpochs[dev]
+	// invalidates entries placing work on dev when bumped (InvalidateDevice).
+	epoch     uint64
+	devEpochs map[int]uint64
+
 	// Occupancy / effectiveness counters, see Stats.
-	hits          uint64
-	misses        uint64
-	evictions     uint64
-	invalidations uint64
+	hits               uint64
+	misses             uint64
+	evictions          uint64
+	invalidations      uint64
+	invalidationEpochs uint64
 }
 
 // CacheStats is a point-in-time snapshot of cache occupancy and hit-rate,
@@ -40,10 +55,19 @@ type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
-	// Invalidations counts entries removed because their decision placed
-	// work on a lost device (InvalidateDevice) — distinct from capacity
-	// evictions so failover churn is observable on its own.
+	// Invalidations counts entries removed because an epoch bump made them
+	// stale — their decision placed work on a lost device, or a policy
+	// change cleared the regime. Distinct from capacity evictions so
+	// failover churn is observable on its own. Removal is lazy: the counter
+	// ticks when a lookup (or a capacity eviction) actually encounters the
+	// stale entry, not when the epoch moves.
 	Invalidations uint64
+	// InvalidationEpochs counts invalidation *events* — InvalidateDevice and
+	// Clear calls — each of which is an O(1) epoch bump regardless of how
+	// many entries it strands. This is the storm-visible counter: a
+	// correlated loss of K devices is K epoch bumps on the spot, while the
+	// stranded entries drain into Invalidations lazily.
+	InvalidationEpochs uint64
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -55,9 +79,18 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// devStamp records the epoch one placed device had when the entry was
+// cached; the entry is stale once the device's epoch has moved past it.
+type devStamp struct {
+	dev   int
+	epoch uint64
+}
+
 type cacheEntry struct {
 	key      string
 	decision *env.Decision
+	epoch    uint64 // global epoch at stamping
+	devs     []devStamp
 }
 
 // NewStrategyCache creates a cache with the given capacity. Steps control
@@ -82,6 +115,7 @@ func NewStrategyCache(capacity int, bwStepMbps, delayStepMs, sloStep float64) *S
 		sloStep:    sloStep,
 		entries:    make(map[string]*list.Element),
 		order:      list.New(),
+		devEpochs:  make(map[int]uint64),
 	}
 }
 
@@ -104,11 +138,66 @@ func (c *StrategyCache) Key(ct env.Constraint) string {
 	return key
 }
 
-// Get returns the cached decision for a constraint, if any.
+// staleLocked reports whether an entry's epoch stamps are behind the current
+// epochs. Caller holds c.mu.
+func (c *StrategyCache) staleLocked(e *cacheEntry) bool {
+	if e.epoch != c.epoch {
+		return true
+	}
+	for _, s := range e.devs {
+		if c.devEpochs[s.dev] != s.epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// stampLocked refreshes an entry's epoch stamps to the current epochs for
+// its decision's placement. Caller holds c.mu.
+func (c *StrategyCache) stampLocked(e *cacheEntry) {
+	e.epoch = c.epoch
+	e.devs = e.devs[:0]
+	if e.decision == nil || e.decision.Placement == nil {
+		return
+	}
+	for _, layer := range e.decision.Placement.Devices {
+		for _, dev := range layer {
+			if dev <= 0 {
+				continue
+			}
+			seen := false
+			for _, s := range e.devs {
+				if s.dev == dev {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				e.devs = append(e.devs, devStamp{dev: dev, epoch: c.devEpochs[dev]})
+			}
+		}
+	}
+}
+
+// removeLocked drops an entry from the map and the LRU list. Caller holds
+// c.mu.
+func (c *StrategyCache) removeLocked(el *list.Element) {
+	c.order.Remove(el)
+	delete(c.entries, el.Value.(*cacheEntry).key)
+}
+
+// Get returns the cached decision for a constraint, if any. An entry
+// stranded by an epoch bump is removed here and reported as a miss — this
+// lazy sweep is what lets invalidation itself be O(1).
 func (c *StrategyCache) Get(ct env.Constraint) (*env.Decision, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[c.Key(ct)]
+	if ok && c.staleLocked(el.Value.(*cacheEntry)) {
+		c.removeLocked(el)
+		c.invalidations++
+		ok = false
+	}
 	if !ok {
 		c.misses++
 		return nil, false
@@ -125,57 +214,63 @@ func (c *StrategyCache) Put(ct env.Constraint, d *env.Decision) {
 	defer c.mu.Unlock()
 	key := c.Key(ct)
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).decision = d
+		e := el.Value.(*cacheEntry)
+		e.decision = d
+		c.stampLocked(e)
 		c.order.MoveToFront(el)
 		return
 	}
-	el := c.order.PushFront(&cacheEntry{key: key, decision: d})
+	e := &cacheEntry{key: key, decision: d}
+	c.stampLocked(e)
+	el := c.order.PushFront(e)
 	c.entries[key] = el
 	if c.order.Len() > c.cap {
 		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.entries, last.Value.(*cacheEntry).key)
-		c.evictions++
+		// A stranded entry reclaimed by capacity pressure is an
+		// invalidation finally landing, not a working-set eviction.
+		if c.staleLocked(last.Value.(*cacheEntry)) {
+			c.invalidations++
+		} else {
+			c.evictions++
+		}
+		c.removeLocked(last)
 	}
 }
 
-// InvalidateDevice evicts every cached strategy whose decision places at
+// InvalidateDevice strands every cached strategy whose decision places at
 // least one tile on placement device dev (>= 1; device 0 is local and never
-// invalidated). It returns how many entries were removed. The cluster layer
-// calls this on a Down event so stale placements cannot keep failing
-// requests on a dead device.
-func (c *StrategyCache) InvalidateDevice(dev int) int {
+// invalidated) by bumping the device's epoch — O(1) regardless of cache
+// size; the stranded entries are removed lazily as lookups (or capacity
+// evictions) encounter them. The cluster layer calls this on a Down event
+// so stale placements cannot keep failing requests on a dead device.
+func (c *StrategyCache) InvalidateDevice(dev int) {
 	if dev <= 0 {
-		return 0
+		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	removed := 0
-	for key, el := range c.entries {
-		if decisionPlacesOn(el.Value.(*cacheEntry).decision, dev) {
-			c.order.Remove(el)
-			delete(c.entries, key)
-			c.invalidations++
-			removed++
-		}
-	}
-	return removed
+	c.devEpochs[dev]++
+	c.invalidationEpochs++
 }
 
-// Clear evicts every cached strategy, returning how many entries were
-// removed. The adaptation layer calls it when the decider changes regime
+// Clear strands every cached strategy by bumping the global epoch — O(1)
+// like InvalidateDevice — and returns how many entries were live when it
+// ran. The adaptation layer calls it when the decider changes regime
 // (policy promotion or rollback): every cached decision was produced by the
 // previous policy, so serving it would mis-attribute traffic and dilute the
-// new policy's rollout. Removals count as invalidations, like
-// InvalidateDevice — they are forced, not capacity-driven.
+// new policy's rollout.
 func (c *StrategyCache) Clear() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	removed := c.order.Len()
-	c.entries = make(map[string]*list.Element)
-	c.order.Init()
-	c.invalidations += uint64(removed)
-	return removed
+	n := 0
+	for _, el := range c.entries {
+		if !c.staleLocked(el.Value.(*cacheEntry)) {
+			n++
+		}
+	}
+	c.epoch++
+	c.invalidationEpochs++
+	return n
 }
 
 // decisionPlacesOn reports whether a decision assigns any tile to dev.
@@ -193,11 +288,25 @@ func decisionPlacesOn(d *env.Decision, dev int) bool {
 	return false
 }
 
-// Len returns the number of cached strategies.
+// Len returns the number of cached strategies still valid under the current
+// epochs. Stranded-but-unreclaimed entries are excluded: they can never be
+// served again, so counting them would overstate occupancy.
 func (c *StrategyCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.order.Len()
+	return c.liveLenLocked()
+}
+
+// liveLenLocked counts non-stale entries. Caller holds c.mu. O(n), but only
+// observers (Len, Stats) pay it — never the invalidation or admission path.
+func (c *StrategyCache) liveLenLocked() int {
+	n := 0
+	for _, el := range c.entries {
+		if !c.staleLocked(el.Value.(*cacheEntry)) {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats returns a snapshot of occupancy and hit/miss/eviction counters.
@@ -205,11 +314,12 @@ func (c *StrategyCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Len:           c.order.Len(),
-		Cap:           c.cap,
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
+		Len:                c.liveLenLocked(),
+		Cap:                c.cap,
+		Hits:               c.hits,
+		Misses:             c.misses,
+		Evictions:          c.evictions,
+		Invalidations:      c.invalidations,
+		InvalidationEpochs: c.invalidationEpochs,
 	}
 }

@@ -24,8 +24,14 @@ func TestCacheInvalidateDevice(t *testing.T) {
 	c.Put(latConstraint(200), placedDecision([][]int{{0, 0}})) // local only
 	c.Put(latConstraint(300), placedDecision([][]int{{2, 0}})) // uses device 2
 
-	if n := c.InvalidateDevice(1); n != 1 {
-		t.Fatalf("InvalidateDevice(1) removed %d entries, want 1", n)
+	c.InvalidateDevice(1)
+	// The bump is O(1) and visible immediately as an epoch event; the
+	// stranded entry is swept lazily by the lookup that finds it.
+	if st := c.Stats(); st.InvalidationEpochs != 1 {
+		t.Fatalf("InvalidationEpochs = %d, want 1", st.InvalidationEpochs)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("live length %d after invalidation, want 2", c.Len())
 	}
 	if _, ok := c.Get(latConstraint(100)); ok {
 		t.Fatal("entry placing on the lost device survived invalidation")
@@ -47,16 +53,64 @@ func TestCacheInvalidateDevice(t *testing.T) {
 	}
 
 	// Device 0 (local) and out-of-range devices are never invalidated.
-	if n := c.InvalidateDevice(0); n != 0 {
-		t.Fatalf("InvalidateDevice(0) removed %d entries", n)
+	c.InvalidateDevice(0)
+	c.InvalidateDevice(-3)
+	if got := c.Stats(); got.InvalidationEpochs != 1 {
+		t.Fatalf("no-op invalidations bumped the epoch counter: %d", got.InvalidationEpochs)
 	}
-	if n := c.InvalidateDevice(-3); n != 0 {
-		t.Fatalf("InvalidateDevice(-3) removed %d entries", n)
+	if c.Len() != 2 {
+		t.Fatalf("no-op invalidation changed live length: %d", c.Len())
 	}
 	// Nil placements are tolerated.
 	c.Put(latConstraint(400), &env.Decision{})
-	if n := c.InvalidateDevice(2); n != 1 {
-		t.Fatalf("InvalidateDevice(2) removed %d entries, want 1", n)
+	c.InvalidateDevice(2)
+	if _, ok := c.Get(latConstraint(300)); ok {
+		t.Fatal("entry placing on device 2 survived invalidation")
+	}
+	if _, ok := c.Get(latConstraint(400)); !ok {
+		t.Fatal("placement-less entry was stranded by a device invalidation")
+	}
+	if got := c.Stats(); got.Invalidations != 2 {
+		t.Fatalf("Invalidations = %d after second sweep, want 2", got.Invalidations)
+	}
+}
+
+// TestCacheInvalidationLazyRestamp: an entry re-Put after its device's epoch
+// moved is fresh again — re-resolution repopulates the same key.
+func TestCacheInvalidationLazyRestamp(t *testing.T) {
+	c := NewStrategyCache(8, 25, 5, 10)
+	c.Put(latConstraint(100), placedDecision([][]int{{0, 1}}))
+	c.InvalidateDevice(1)
+	c.Put(latConstraint(100), placedDecision([][]int{{0, 1}}))
+	if _, ok := c.Get(latConstraint(100)); !ok {
+		t.Fatal("re-cached entry should be valid under the new epoch")
+	}
+	if st := c.Stats(); st.Invalidations != 0 {
+		t.Fatalf("re-stamped entry was swept: %+v", st)
+	}
+}
+
+// TestCacheClearIsEpochBump: Clear strands everything in O(1) and lookups
+// sweep lazily.
+func TestCacheClearIsEpochBump(t *testing.T) {
+	c := NewStrategyCache(8, 25, 5, 10)
+	c.Put(latConstraint(100), placedDecision([][]int{{0, 1}}))
+	c.Put(latConstraint(200), placedDecision([][]int{{0, 0}}))
+	if n := c.Clear(); n != 2 {
+		t.Fatalf("Clear reported %d live entries, want 2", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("live length %d after Clear, want 0", c.Len())
+	}
+	if _, ok := c.Get(latConstraint(100)); ok {
+		t.Fatal("entry served after Clear")
+	}
+	if _, ok := c.Get(latConstraint(200)); ok {
+		t.Fatal("entry served after Clear")
+	}
+	st := c.Stats()
+	if st.InvalidationEpochs != 1 || st.Invalidations != 2 {
+		t.Fatalf("counters after Clear + sweeps: %+v", st)
 	}
 }
 

@@ -109,9 +109,28 @@ type Runtime struct {
 	// need no re-dial.
 	quarantined []bool
 
+	// Resolution singleflight: concurrent cache misses for the same strategy
+	// key collapse into one decider call whose result every waiter shares.
+	// Under a correlated invalidation (mass Down, policy promotion) every
+	// worker misses at once; without coalescing each would run the decider —
+	// a re-planning stampede on the admission path exactly when capacity is
+	// scarcest.
+	sfMu             sync.Mutex
+	sfCalls          map[string]*sfCall
+	resolveCoalesced atomic.Uint64
+
 	// Counters.
 	CacheHits   int
 	CacheMisses int
+}
+
+// sfCall is one in-flight shared resolution: the leader closes done after
+// publishing the decision, metadata, and error for every coalesced waiter.
+type sfCall struct {
+	done chan struct{}
+	d    *env.Decision
+	meta DecisionMeta
+	err  error
 }
 
 // New creates a runtime. All remote devices start healthy.
@@ -162,10 +181,11 @@ func (r *Runtime) CurrentDecider() Decider {
 	return nil
 }
 
-// InvalidateStrategies drops every cached strategy, returning how many were
-// removed. The adaptation controller calls it on promotion and rollback: the
-// decider just changed regime, so every cached decision is attributable to
-// the wrong policy version and must be re-resolved.
+// InvalidateStrategies strands every cached strategy with an O(1) epoch
+// bump (removal is lazy — see StrategyCache), returning how many entries
+// were live. The adaptation controller calls it on promotion and rollback:
+// the decider just changed regime, so every cached decision is attributable
+// to the wrong policy version and must be re-resolved.
 func (r *Runtime) InvalidateStrategies() int {
 	if r.Cache == nil {
 		return 0
@@ -426,17 +446,15 @@ func (r *Runtime) ResolveFor(slo SLO) (*Resolution, error) {
 		}
 	}
 	if d == nil {
+		sfKey := key
+		if sfKey == "" {
+			// No cache configured: fall back to an exact-constraint key so
+			// unrelated constraints never coalesce into one flight.
+			sfKey = fmt.Sprintf("%d|%.0f|%.0f|%v|%v", c.Type, c.LatencyMs, c.AccuracyPct, c.BandwidthMbps, c.DelayMs)
+		}
 		var err error
-		if md, ok := dec.(MetaDecider); ok {
-			d, meta, err = md.DecideMeta(c)
-		} else {
-			d, err = dec.Decide(c)
-		}
-		if err != nil {
+		if d, meta, err = r.decideShared(sfKey, c, dec); err != nil {
 			return nil, err
-		}
-		if r.Cache != nil && !meta.NoCache {
-			r.Cache.Put(c, d)
 		}
 		r.mu.Lock()
 		r.CacheMisses++
@@ -453,6 +471,61 @@ func (r *Runtime) ResolveFor(slo SLO) (*Resolution, error) {
 		Choices:       meta.Choices,
 	}, nil
 }
+
+// decideShared runs the decider for a strategy key with singleflight
+// semantics: the first caller for a key becomes the leader, runs the decider
+// and populates the cache; concurrent callers for the same key block on the
+// leader's result instead of stampeding the decider. Errors are shared too —
+// a failing decider fails the whole flight once, not once per waiter.
+func (r *Runtime) decideShared(key string, c env.Constraint, dec Decider) (*env.Decision, DecisionMeta, error) {
+	r.sfMu.Lock()
+	if r.sfCalls == nil {
+		r.sfCalls = make(map[string]*sfCall)
+	}
+	if call, ok := r.sfCalls[key]; ok {
+		r.sfMu.Unlock()
+		<-call.done
+		r.resolveCoalesced.Add(1)
+		return call.d, call.meta, call.err
+	}
+	call := &sfCall{done: make(chan struct{})}
+	r.sfCalls[key] = call
+	r.sfMu.Unlock()
+
+	// The flight must be torn down on every exit — including a decider
+	// panic, which the serving layer recovers per batch. Without this a
+	// panicked leader would strand its followers on done forever and wedge
+	// every future resolution of the key.
+	defer func() {
+		if p := recover(); p != nil {
+			call.err = fmt.Errorf("runtime: decider panicked: %v", p)
+			r.sfMu.Lock()
+			delete(r.sfCalls, key)
+			r.sfMu.Unlock()
+			close(call.done)
+			panic(p)
+		}
+		r.sfMu.Lock()
+		delete(r.sfCalls, key)
+		r.sfMu.Unlock()
+		close(call.done)
+	}()
+
+	if md, ok := dec.(MetaDecider); ok {
+		call.d, call.meta, call.err = md.DecideMeta(c)
+	} else {
+		call.d, call.err = dec.Decide(c)
+	}
+	if call.err == nil && r.Cache != nil && !call.meta.NoCache {
+		r.Cache.Put(c, call.d)
+	}
+	return call.d, call.meta, call.err
+}
+
+// ResolveCoalesced returns how many resolutions were served by another
+// caller's in-flight decider run instead of running their own — each one a
+// re-planning stampede contribution that did not happen.
+func (r *Runtime) ResolveCoalesced() uint64 { return r.resolveCoalesced.Load() }
 
 // Infer performs one inference: resolve strategy (cache → decider), then
 // execute it across the cluster.

@@ -58,6 +58,13 @@ type Scheduler struct {
 
 	// Hedge enables hedged tile RPCs when non-nil.
 	Hedge *HedgePolicy
+	// RetryBudget, when non-nil, is the shared token bucket every speculative
+	// attempt — rpcx in-place retry, serve-layer failover, hedged second call —
+	// must withdraw from (install via SetRetryBudget so the rpcx clients gate
+	// too). Primary dispatches deposit; under a correlated failure the shared
+	// bucket bounds the fleet-wide re-drive rate at roughly Ratio × primary
+	// rate no matter how many recovery mechanisms fire at once.
+	RetryBudget *limit.Budget
 	// PickAlternate returns the placement device (>= 1) a hedged attempt
 	// should go to, or 0 when no healthy alternate exists. The runtime wires
 	// this to its device-health mask and the monitors' delay estimates.
@@ -162,6 +169,10 @@ type SchedStats struct {
 	// watchdog (typed rpcx.ErrStalled) across all remote clients — the
 	// signature of a half-open link that passes small frames but not tensors.
 	StalledCalls uint64
+	// RetryBudgetExhausted counts speculative attempts (rpcx retries,
+	// failovers, hedges) the shared retry budget refused — each one a retry
+	// storm contribution that did not happen. 0 when no budget is installed.
+	RetryBudgetExhausted uint64
 }
 
 // NewScheduler creates a scheduler for a local supernet and remote clients.
@@ -176,6 +187,25 @@ func NewScheduler(local *supernet.Supernet, remotes []*rpcx.Client) *Scheduler {
 	return s
 }
 
+// SetRetryBudget installs the shared retry budget on the scheduler and on
+// every remote client's retry gate, so rpcx in-place retries, serve-layer
+// failovers, and hedges all draw from one bucket. Call before serving
+// starts (client gates are not safe to swap under in-flight calls); nil
+// removes the budget everywhere.
+func (s *Scheduler) SetRetryBudget(b *limit.Budget) {
+	s.RetryBudget = b
+	for _, c := range s.Remotes {
+		if c == nil {
+			continue
+		}
+		if b == nil {
+			c.SetRetryGate(nil)
+		} else {
+			c.SetRetryGate(b)
+		}
+	}
+}
+
 // Stats returns a snapshot of the remote-dispatch counters.
 func (s *Scheduler) Stats() SchedStats {
 	st := SchedStats{
@@ -184,6 +214,9 @@ func (s *Scheduler) Stats() SchedStats {
 		HedgeWins:       s.hedgeWins.Load(),
 		Overloads:       s.overloads.Load(),
 		FencedResponses: s.fencedResponses.Load(),
+	}
+	if s.RetryBudget != nil {
+		st.RetryBudgetExhausted = s.RetryBudget.Exhausted()
 	}
 	for _, c := range s.Remotes {
 		if c == nil {
@@ -513,6 +546,15 @@ func (s *Scheduler) execLayer(x *tensor.Tensor, stage, index, stride int,
 	wg.Wait()
 	for t, err := range errs {
 		if err != nil {
+			// A suppressed retry (the shared retry budget refused the
+			// withdrawal) is a storm-control shed, checked before every other
+			// class because the typed error also carries the underlying cause:
+			// the device did nothing new wrong, the system declined to amplify
+			// a correlated outage. Never a device fault — demotion here would
+			// turn the budget's protection into an outage of its own.
+			if errors.Is(err, rpcx.ErrRetryBudget) {
+				return nil, fmt.Errorf("runtime: tile %d: %w", t, err)
+			}
 			// Budget exhaustion is not a device fault: the device did nothing
 			// wrong, the request just ran out of time. Surfacing it typed
 			// (instead of as a DeviceError) keeps the serving layer from
@@ -667,6 +709,12 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 	}
 	primary := s.Remotes[dev-1]
 	s.remoteCalls.Add(1)
+	// Every primary dispatch credits the retry budget: the speculative rate
+	// (retries + failovers + hedges) is a fraction of real traffic by
+	// construction, not by hope.
+	if s.RetryBudget != nil {
+		s.RetryBudget.Deposit()
+	}
 	// finishPrimary releases the limiter slot with the call's outcome and
 	// maintains the device's panic streak. Runs exactly once per dispatch,
 	// wherever the primary call actually completes.
@@ -763,6 +811,18 @@ func (s *Scheduler) callTile(dev int, payload []byte, deadline time.Time) ([]byt
 				continue
 			}
 			if !s.tryHedgeToken(policy.BudgetFrac) {
+				if altLim != nil {
+					altLim.Release(limit.Neutral)
+				}
+				continue
+			}
+			// A hedge is a speculative attempt like any retry: it must also
+			// clear the shared retry budget, or a correlated slowdown would
+			// let every request hedge at once even while retries are being
+			// suppressed. On refusal the hedge counter is unwound — the hedge
+			// was never issued.
+			if s.RetryBudget != nil && !s.RetryBudget.TryWithdraw() {
+				s.hedges.Add(^uint64(0))
 				if altLim != nil {
 					altLim.Release(limit.Neutral)
 				}

@@ -114,8 +114,8 @@ func adaptController(t *testing.T, rt *runtime.Runtime, a *supernet.Arch, incumb
 	}
 	ctl, err := adapt.New(adapt.Config{
 		Runtime: rt, Incumbent: incumbent, Policy: p, Space: space,
-		Dir:      t.TempDir(),
-		Interval: 120 * time.Millisecond,
+		Dir:        t.TempDir(),
+		Interval:   120 * time.Millisecond,
 		CanaryFrac: 0.9, RollbackSLO: 0.25,
 		TrainRounds: 2, MinShadow: 4, ShadowWinFrac: 0.5, MinCanary: 2,
 		RollbackWindows: 3, MaxRollbacks: 4,

@@ -3,6 +3,7 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -64,6 +65,10 @@ type Orchestrator struct {
 	targets []Target
 	cluster *cluster.Manager
 	applied uint64
+	// massKilled remembers which devices the last EvMassKill removed, so a
+	// following EvMassRecover revives exactly that set — no per-device
+	// bookkeeping in the trace.
+	massKilled []int
 
 	// OnApply, when set, observes every successfully applied event
 	// (called outside the lock, in apply order per caller).
@@ -97,6 +102,15 @@ func (o *Orchestrator) Applied() uint64 {
 func (o *Orchestrator) Apply(ev Event) error {
 	if ev.IsRequest() {
 		return ErrNotEnvironment
+	}
+	switch ev.Kind {
+	case EvMassKill, EvMassRecover, EvRestartStorm:
+		// Fleet-wide events; Device is ignored.
+		if err := o.applyMass(ev); err != nil {
+			return err
+		}
+		o.noteApplied(ev)
+		return nil
 	}
 	o.mu.Lock()
 	if ev.Device < 0 || ev.Device >= len(o.targets) {
@@ -193,12 +207,96 @@ func (o *Orchestrator) Apply(ev Event) error {
 	default:
 		return fmt.Errorf("scenario: unknown event kind %d", ev.Kind)
 	}
+	o.noteApplied(ev)
+	return nil
+}
+
+// noteApplied records a successful apply and fires the observer hook
+// (outside the lock).
+func (o *Orchestrator) noteApplied(ev Event) {
 	o.mu.Lock()
 	o.applied++
 	hook := o.OnApply
 	o.mu.Unlock()
 	if hook != nil {
 		hook(ev)
+	}
+}
+
+// applyMass dispatches one fleet-wide event. Hooks are validated for every
+// affected device before any is touched, so a mis-wired scenario fails
+// without leaving the fleet half-killed.
+func (o *Orchestrator) applyMass(ev Event) error {
+	o.mu.Lock()
+	targets := append([]Target(nil), o.targets...)
+	mgr := o.cluster
+	killed := append([]int(nil), o.massKilled...)
+	o.mu.Unlock()
+
+	// ceil(frac*N): a mass event always claims at least one device.
+	count := func(frac float64) int {
+		n := int(math.Ceil(frac * float64(len(targets))))
+		if n > len(targets) {
+			n = len(targets)
+		}
+		return n
+	}
+
+	switch ev.Kind {
+	case EvMassKill:
+		victims := make([]int, 0, count(ev.Value))
+		for i := 0; i < count(ev.Value); i++ {
+			if targets[i].Leave == nil && targets[i].Shaper == nil {
+				return fmt.Errorf("scenario: mass-kill victim %d has no leave hook or shaper bound", i)
+			}
+			victims = append(victims, i)
+		}
+		for _, i := range victims {
+			if tgt := targets[i]; tgt.Leave != nil {
+				tgt.Leave()
+			} else {
+				tgt.Shaper.Blackhole(leaveBlackhole)
+			}
+		}
+		// One batched Down: subscribers see the correlated loss as a single
+		// K-member notification, not K races.
+		if mgr != nil {
+			mgr.MarkDownBatch(victims)
+		}
+		o.mu.Lock()
+		o.massKilled = victims
+		o.mu.Unlock()
+	case EvMassRecover:
+		for _, i := range killed {
+			if targets[i].Join == nil && targets[i].Shaper == nil {
+				return fmt.Errorf("scenario: mass-recover device %d has no join hook or shaper bound", i)
+			}
+		}
+		for _, i := range killed {
+			if tgt := targets[i]; tgt.Join != nil {
+				tgt.Join()
+			} else {
+				tgt.Shaper.Blackhole(0)
+			}
+		}
+		// The script just revived these devices, so — unlike organic recovery,
+		// which must wait for heartbeat evidence — the batched Up override is
+		// sound, and it is what lets the consumer stagger reintegration.
+		if mgr != nil && len(killed) > 0 {
+			mgr.MarkUpBatch(killed)
+		}
+		o.mu.Lock()
+		o.massKilled = nil
+		o.mu.Unlock()
+	case EvRestartStorm:
+		for i := 0; i < count(ev.Value); i++ {
+			if targets[i].Restart == nil {
+				return fmt.Errorf("scenario: restart-storm device %d has no restart hook bound", i)
+			}
+		}
+		for i := 0; i < count(ev.Value); i++ {
+			targets[i].Restart()
+		}
 	}
 	return nil
 }

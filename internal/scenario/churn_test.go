@@ -4,11 +4,14 @@ import (
 	"testing"
 	"time"
 
+	"murmuration/internal/cluster"
 	"murmuration/internal/netem"
 	"murmuration/internal/rl/env"
+	"murmuration/internal/testutil"
 )
 
 func TestOrchestratorDispatch(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	sh := netem.NewShaper(0, 0)
 	o := NewOrchestrator([]Target{{Shaper: sh}})
 
@@ -45,6 +48,7 @@ func TestOrchestratorDispatch(t *testing.T) {
 }
 
 func TestOrchestratorLeaveJoin(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	var left, joined int
 	o := NewOrchestrator([]Target{{
 		Leave: func() { left++ },
@@ -78,6 +82,7 @@ func TestOrchestratorLeaveJoin(t *testing.T) {
 }
 
 func TestOrchestratorRestartAsym(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	var restarts int
 	var gotMin int
 	var gotDur time.Duration
@@ -129,7 +134,121 @@ func TestOrchestratorRestartAsym(t *testing.T) {
 	}
 }
 
+// TestOrchestratorMassEvents covers the correlated-failure kinds: a mass
+// kill removes ceil(frac*N) devices and delivers their Down transitions as
+// one batch, a mass recover revives exactly that set with one batched Up,
+// and a restart storm restarts ceil(frac*N) devices.
+func TestOrchestratorMassEvents(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const n = 5
+	var left, joined, restarted [n]int
+	targets := make([]Target, n)
+	for i := range targets {
+		i := i
+		targets[i] = Target{
+			Leave:   func() { left[i]++ },
+			Join:    func() { joined[i]++ },
+			Restart: func() { restarted[i]++ },
+		}
+	}
+	o := NewOrchestrator(targets)
+
+	probes := make([]cluster.ProbeFunc, n)
+	for i := range probes {
+		probes[i] = func(timeout time.Duration) (time.Duration, uint64, error) {
+			return time.Millisecond, 0, nil
+		}
+	}
+	m := cluster.NewManager(probes, cluster.Options{})
+	defer m.Close()
+	batches := m.SubscribeBatch()
+	o.AttachCluster(m)
+
+	// 0.5 of 5 devices → ceil = 3 victims, lowest indices first.
+	if err := o.Apply(Event{Kind: EvMassKill, Value: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := 0
+		if i < 3 {
+			want = 1
+		}
+		if left[i] != want {
+			t.Fatalf("device %d left %d times, want %d", i, left[i], want)
+		}
+		wantState := cluster.Up
+		if i < 3 {
+			wantState = cluster.Down
+		}
+		if st := m.StateOf(i); st != wantState {
+			t.Fatalf("device %d state %v, want %v", i, st, wantState)
+		}
+	}
+	if batch := <-batches; len(batch) != 3 {
+		t.Fatalf("down batch carried %d events, want 3", len(batch))
+	}
+
+	// Recovery revives exactly the killed set, again as one batch.
+	if err := o.Apply(Event{Kind: EvMassRecover}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := 0
+		if i < 3 {
+			want = 1
+		}
+		if joined[i] != want {
+			t.Fatalf("device %d joined %d times, want %d", i, joined[i], want)
+		}
+		if st := m.StateOf(i); st != cluster.Up {
+			t.Fatalf("device %d state %v after recovery, want Up", i, st)
+		}
+	}
+	if batch := <-batches; len(batch) != 3 {
+		t.Fatalf("up batch carried %d events, want 3", len(batch))
+	}
+
+	// A second recover with nothing killed is a no-op, not an error.
+	if err := o.Apply(Event{Kind: EvMassRecover}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full-fleet restart storm.
+	if err := o.Apply(Event{Kind: EvRestartStorm, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if restarted[i] != 1 {
+			t.Fatalf("device %d restarted %d times, want 1", i, restarted[i])
+		}
+	}
+	if got := o.Applied(); got != 4 {
+		t.Fatalf("applied = %d, want 4", got)
+	}
+}
+
+// TestOrchestratorMassErrors: a mass event whose victims lack hooks must
+// fail before touching any device.
+func TestOrchestratorMassErrors(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	var left int
+	o := NewOrchestrator([]Target{
+		{Leave: func() { left++ }},
+		{}, // no hooks at all
+	})
+	if err := o.Apply(Event{Kind: EvMassKill, Value: 1}); err == nil {
+		t.Fatal("want error when a victim has no leave hook or shaper")
+	}
+	if left != 0 {
+		t.Fatalf("validation failure still killed %d devices; mass apply must be all-or-nothing", left)
+	}
+	if err := o.Apply(Event{Kind: EvRestartStorm, Value: 0.5}); err == nil {
+		t.Fatal("want error when a storm target has no restart hook")
+	}
+}
+
 func TestOrchestratorErrors(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	o := NewOrchestrator([]Target{{}})
 	if err := o.Apply(Event{Kind: EvRequest, SLOType: env.LatencySLO, Resolution: 32}); err != ErrNotEnvironment {
 		t.Fatalf("want ErrNotEnvironment, got %v", err)
@@ -146,6 +265,7 @@ func TestOrchestratorErrors(t *testing.T) {
 }
 
 func TestPlayerAdvance(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	sh := netem.NewShaper(0, 0)
 	o := NewOrchestrator([]Target{{Shaper: sh}})
 	var order []Kind

@@ -33,6 +33,19 @@ func FuzzDecodeTrace(f *testing.F) {
 	}
 	f.Add(rbuf.Bytes())
 
+	// A correlated-failure trace seeds the mass kinds, including their
+	// fraction-valued Value field and its (0, 1] validation boundary.
+	storm := &Trace{Name: "storm", Events: []Event{
+		{Kind: EvMassKill, Value: 0.5},
+		{Kind: EvRestartStorm, Value: 1},
+		{Kind: EvMassRecover},
+	}}
+	var sbuf bytes.Buffer
+	if err := storm.EncodeBinary(&sbuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sbuf.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := DecodeBinary(bytes.NewReader(data))
 		if err != nil {

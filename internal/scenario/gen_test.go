@@ -5,9 +5,12 @@ import (
 	"math/rand"
 	"testing"
 	"time"
+
+	"murmuration/internal/testutil"
 )
 
 func TestSynthesizeDeterministic(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	opts := GenOptions{
 		Name:     "determinism",
 		Seed:     7,
@@ -46,6 +49,7 @@ func TestSynthesizeDeterministic(t *testing.T) {
 }
 
 func TestArrivalProcessRates(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := rand.New(rand.NewSource(1))
 	d := 10 * time.Second
 
@@ -78,6 +82,7 @@ func TestArrivalProcessRates(t *testing.T) {
 }
 
 func TestFlashCrowdBurstShape(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := rand.New(rand.NewSource(3))
 	p := FlashCrowd{Base: 20, Bursts: []Burst{{At: 2 * time.Second, Duration: time.Second, Multiplier: 20}}}
 	arr := p.Arrivals(4*time.Second, rng)
@@ -97,6 +102,7 @@ func TestFlashCrowdBurstShape(t *testing.T) {
 }
 
 func TestMixCoverage(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tr, err := Synthesize(GenOptions{
 		Name:     "mix",
 		Seed:     11,
@@ -132,6 +138,7 @@ func TestMixCoverage(t *testing.T) {
 }
 
 func TestChurnEventsPaired(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := rand.New(rand.NewSource(5))
 	evs := Churn(ChurnOptions{
 		Devices: 3, MeanUp: 300 * time.Millisecond, Downtime: 50 * time.Millisecond,
@@ -170,6 +177,7 @@ func TestChurnEventsPaired(t *testing.T) {
 }
 
 func TestChurnRestartAsymWindows(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := rand.New(rand.NewSource(7))
 	evs := Churn(ChurnOptions{
 		Devices: 2, RestartEvery: 200 * time.Millisecond,

@@ -11,6 +11,7 @@ import (
 	"murmuration/internal/rpcx"
 	"murmuration/internal/runtime"
 	"murmuration/internal/serve"
+	"murmuration/internal/testutil"
 )
 
 func latency(ms float64) runtime.SLO {
@@ -18,6 +19,7 @@ func latency(ms float64) runtime.SLO {
 }
 
 func TestScorerClassification(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s := NewScorer()
 	// Served on time at rung 0 and rung 2.
 	s.Record(latency(100), 0, 10*time.Millisecond, nil)
@@ -62,6 +64,7 @@ func TestScorerClassification(t *testing.T) {
 }
 
 func TestScorerOverloadedBeforeShed(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// ErrOverloaded carries the "serve: shed" prefix: classification must pick
 	// the more specific overload bucket, not the generic shed one.
 	s := NewScorer()
@@ -74,6 +77,7 @@ func TestScorerOverloadedBeforeShed(t *testing.T) {
 }
 
 func TestGatewayDelta(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	var before, after serve.Stats
 	before.Admitted, after.Admitted = 10, 110
 	before.ClassMet[serve.ClassLatency], after.ClassMet[serve.ClassLatency] = 5, 95
@@ -99,6 +103,7 @@ func TestGatewayDelta(t *testing.T) {
 }
 
 func TestReportCheck(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s := NewScorer()
 	s.Record(latency(100), 0, 10*time.Millisecond, nil)
 	s.Record(latency(100), 0, 10*time.Millisecond, nil)
@@ -126,6 +131,7 @@ func TestReportCheck(t *testing.T) {
 }
 
 func TestReportJSON(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s := NewScorer()
 	s.Record(latency(100), 1, 42*time.Millisecond, nil)
 	b, err := s.Report("json", GatewayDelta(serve.Stats{}, serve.Stats{})).JSON()
@@ -144,6 +150,7 @@ func TestReportJSON(t *testing.T) {
 }
 
 func TestPercentiles(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s := NewScorer()
 	for i := 1; i <= 100; i++ {
 		s.Record(latency(1000), 0, time.Duration(i)*time.Millisecond, nil)

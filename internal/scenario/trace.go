@@ -76,6 +76,22 @@ const (
 	// (<= 0 selects the 4096-byte default) wedge while small frames — pings,
 	// heartbeats — pass. Value <= 0 clears an active window.
 	EvAsymDegrade
+	// EvMassKill removes a fraction Value of all devices at once — the
+	// correlated-failure scenario (rack power loss, shared-uplink cut). The
+	// victims are the first ceil(Value*N) device indices; they are removed
+	// through the same leave path as EvDeviceLeave but their Down transitions
+	// are delivered to subscribers as one batch, so the gateway's
+	// correlated-loss detector and batched failover handling are exercised
+	// rather than N independent losses. Device is ignored.
+	EvMassKill
+	// EvMassRecover returns every device a prior EvMassKill removed, all at
+	// once — the recovery-storm scenario that the gateway must smooth with
+	// staggered reintegration. Device and Value are ignored.
+	EvMassRecover
+	// EvRestartStorm restarts a fraction Value of all devices simultaneously
+	// (each through the same in-place restart path as EvRestart): fresh
+	// incarnations with no Down window, arriving together. Device is ignored.
+	EvRestartStorm
 	numKinds
 )
 
@@ -83,6 +99,7 @@ var kindNames = [numKinds]string{
 	"request", "device-leave", "device-join", "set-delay",
 	"set-rate", "set-loss", "set-corrupt", "blackhole",
 	"slow-compute", "compute-error", "restart", "asym-degrade",
+	"mass-kill", "mass-recover", "restart-storm",
 }
 
 // String names the kind for logs and the JSON trace form.
@@ -235,6 +252,12 @@ func (t *Trace) validate() error {
 		} else {
 			if e.Device < 0 || e.Device >= MaxTraceDevices {
 				return fmt.Errorf("scenario: event %d device %d outside [0, %d)", i, e.Device, MaxTraceDevices)
+			}
+			if e.Kind == EvMassKill || e.Kind == EvRestartStorm {
+				// Value is a fleet fraction, not a ms/rate knob.
+				if !(e.Value > 0 && e.Value <= 1) {
+					return fmt.Errorf("scenario: event %d %s fraction %v outside (0, 1]", i, e.Kind, e.Value)
+				}
 			}
 		}
 	}

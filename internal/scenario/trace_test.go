@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"murmuration/internal/rl/env"
+	"murmuration/internal/testutil"
 )
 
 func encodeBin(t *testing.T, tr *Trace) []byte {
@@ -39,11 +40,15 @@ func sampleTrace() *Trace {
 			{At: 18 * time.Millisecond, Kind: EvSlowCompute, Device: 0, Value: 1},
 			{At: 19 * time.Millisecond, Kind: EvComputeError, Device: 0},
 			{At: 20 * time.Millisecond, Kind: EvDeviceJoin, Device: 1},
+			{At: 21 * time.Millisecond, Kind: EvMassKill, Value: 0.5},
+			{At: 25 * time.Millisecond, Kind: EvMassRecover},
+			{At: 26 * time.Millisecond, Kind: EvRestartStorm, Value: 1},
 		},
 	}
 }
 
 func TestTraceBinaryRoundTrip(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tr := sampleTrace()
 	b := encodeBin(t, tr)
 	got, err := DecodeBinary(bytes.NewReader(b))
@@ -65,6 +70,7 @@ func TestTraceBinaryRoundTrip(t *testing.T) {
 }
 
 func TestTraceJSONRoundTrip(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tr := sampleTrace()
 	var buf bytes.Buffer
 	if err := tr.EncodeJSON(&buf); err != nil {
@@ -85,6 +91,7 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 }
 
 func TestTraceVersionError(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tr := &Trace{Name: "v", Events: []Event{{Kind: EvDeviceJoin}}}
 	b := encodeBin(t, tr)
 	b[4] = 99 // version byte follows the 4-byte magic
@@ -109,6 +116,7 @@ func TestTraceVersionError(t *testing.T) {
 }
 
 func TestDecodeBinaryRejects(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tr := sampleTrace()
 	good := encodeBin(t, tr)
 
@@ -148,6 +156,7 @@ func TestDecodeBinaryRejects(t *testing.T) {
 }
 
 func TestEncodeRejectsInvalid(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	var buf bytes.Buffer
 	t.Run("non-monotonic", func(t *testing.T) {
 		bad := sampleTrace()
@@ -172,6 +181,20 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 		bad := &Trace{Events: []Event{{Kind: numKinds}}}
 		if err := bad.EncodeBinary(&buf); err == nil {
 			t.Fatal("want error on unknown kind")
+		}
+	})
+	t.Run("mass-kill-bad-fraction", func(t *testing.T) {
+		for _, frac := range []float64{0, -0.5, 1.5} {
+			bad := &Trace{Events: []Event{{Kind: EvMassKill, Value: frac}}}
+			if err := bad.EncodeBinary(&buf); err == nil {
+				t.Fatalf("want error on mass-kill fraction %v", frac)
+			}
+		}
+	})
+	t.Run("restart-storm-bad-fraction", func(t *testing.T) {
+		bad := &Trace{Events: []Event{{Kind: EvRestartStorm, Value: 2}}}
+		if err := bad.EncodeBinary(&buf); err == nil {
+			t.Fatal("want error on restart-storm fraction 2")
 		}
 	})
 }

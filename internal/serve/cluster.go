@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"time"
+
 	"murmuration/internal/cluster"
 	"murmuration/internal/runtime"
 )
@@ -46,70 +48,97 @@ func (g *Gateway) noteDeviceError(de *runtime.DeviceError) {
 // next batch doesn't pay the decide cost. The event loop exits when the
 // manager is closed; close the manager before or after the gateway, order
 // does not matter.
+//
+// The subscription is the batch channel: same-tick transitions (a mass kill
+// via MarkDownBatch, a sweep that expires several members at once) arrive as
+// one slice, so a correlated loss of K devices costs one demote/invalidate
+// pass, one wait-estimate reset, and one rewarm — not K of each.
 func (g *Gateway) AttachCluster(m *cluster.Manager) {
 	g.mu.Lock()
 	g.cluster = m
 	g.mu.Unlock()
-	events := m.Subscribe()
+	batches := m.SubscribeBatch()
 	go func() {
-		for ev := range events {
-			g.mu.Lock()
-			tr, dmp := g.health, g.damper
-			g.mu.Unlock()
-			if ev.Restart {
-				g.handleRestart(ev)
-				continue
-			}
-			switch ev.To {
-			case cluster.Down:
-				// A Down is always honored (safety first); it also charges
-				// one membership flip to the damper.
-				if dmp != nil {
-					dmp.RecordFlip(ev.Member, ev.At)
-				}
-				if tr != nil {
-					tr.SetUp(ev.Member, false)
-				}
-				g.rt.SetDeviceHealth(ev.Member, false)
-				if g.rt.Cache != nil {
-					g.rt.Cache.InvalidateDevice(ev.Member + 1)
-				}
-				g.ResetWaitEstimates()
-				g.rewarm()
-			case cluster.Up:
-				if tr != nil {
-					tr.SetUp(ev.Member, true)
-				}
-				if dmp != nil {
-					// A recovery from Down is the other half of a flap.
-					if ev.From == cluster.Down {
-						dmp.RecordFlip(ev.Member, ev.At)
-					}
-					if dmp.Suppressed(ev.Member, ev.At) {
-						// Flap damping: refuse the reinstatement. The health
-						// tick loop (health.go) releases the device once the
-						// penalty decays below the reuse threshold.
-						g.mu.Lock()
-						if ev.Member < len(g.suppressHeld) {
-							g.suppressHeld[ev.Member] = true
-						}
-						g.mu.Unlock()
-						continue
-					}
-				}
-				g.rt.SetDeviceHealth(ev.Member, true)
-				// The device's old AIMD limit and panic streak were learned
-				// against its failing incarnation; start the recovered one
-				// fresh (the reintegration path in health.go does the same).
-				g.rt.Scheduler.ResetDevice(ev.Member + 1)
-				g.ResetWaitEstimates()
-				g.rewarm()
-			case cluster.Suspect:
-				// No action: the device may still be serving. The data path
-				// demotes it immediately if a request actually fails there.
-			}
+		for evs := range batches {
+			g.handleClusterBatch(evs)
 		}
 	}()
+}
+
+// handleClusterBatch applies one coalesced batch of cluster transitions.
+// Per-device work (health mask, SLI ledger, O(1) cache epoch bump, damper)
+// still runs per event; the batch-amplified work — wait-estimate resets and
+// strategy rewarms — runs once per batch. Mass reinstatements are staggered:
+// the first device rejoins immediately, device i after i stagger periods
+// (storm.go), so returning capacity ramps instead of slamming.
+func (g *Gateway) handleClusterBatch(evs []cluster.Event) {
+	g.mu.Lock()
+	tr, dmp := g.health, g.damper
+	g.mu.Unlock()
+	downs := 0
+	var ups []cluster.Event
+	for _, ev := range evs {
+		if ev.Restart {
+			g.handleRestart(ev)
+			continue
+		}
+		switch ev.To {
+		case cluster.Down:
+			// A Down is always honored (safety first); it also charges
+			// one membership flip to the damper.
+			if dmp != nil {
+				dmp.RecordFlip(ev.Member, ev.At)
+			}
+			if tr != nil {
+				tr.SetUp(ev.Member, false)
+			}
+			g.rt.SetDeviceHealth(ev.Member, false)
+			if g.rt.Cache != nil {
+				g.rt.Cache.InvalidateDevice(ev.Member + 1)
+			}
+			downs++
+			g.noteDown(ev.At)
+		case cluster.Up:
+			if tr != nil {
+				tr.SetUp(ev.Member, true)
+			}
+			if dmp != nil {
+				// A recovery from Down is the other half of a flap.
+				if ev.From == cluster.Down {
+					dmp.RecordFlip(ev.Member, ev.At)
+				}
+				if dmp.Suppressed(ev.Member, ev.At) {
+					// Flap damping: refuse the reinstatement. The health
+					// tick loop (health.go) releases the device once the
+					// penalty decays below the reuse threshold.
+					g.mu.Lock()
+					if ev.Member < len(g.suppressHeld) {
+						g.suppressHeld[ev.Member] = true
+					}
+					g.mu.Unlock()
+					continue
+				}
+			}
+			ups = append(ups, ev)
+		case cluster.Suspect:
+			// No action: the device may still be serving. The data path
+			// demotes it immediately if a request actually fails there.
+		}
+	}
+	if downs > 0 {
+		g.ResetWaitEstimates()
+		g.rewarmAsync()
+	}
+	if len(ups) > 0 {
+		// The first recovered device reinstates now (a lone recovery behaves
+		// exactly as before); the rest of a mass recovery is staggered.
+		g.reinstate(ups[0].Member)
+		g.ResetWaitEstimates()
+		g.rewarmAsync()
+		for i, ev := range ups[1:] {
+			g.staggerReinstate(ev.Member, time.Duration(i+1)*g.opts.ReintegrationStagger)
+		}
+	}
 }
 
 // handleRestart reconfigures around a detected incarnation change — an

@@ -127,8 +127,14 @@ func (g *Gateway) observeTile(tr *health.Tracker, dev int, elapsed time.Duration
 	case errors.Is(err, rpcx.ErrOverloaded), errors.Is(err, limit.ErrLimited):
 		tr.ObserveOverload(i, now)
 	case errors.Is(err, rpcx.ErrBudgetExhausted), errors.Is(err, rpcx.ErrCorruptFrame),
-		errors.Is(err, runtime.ErrFenced):
-		// Not the device's fault; keep it out of the ledger entirely.
+		errors.Is(err, runtime.ErrFenced), errors.Is(err, rpcx.ErrRetryBudget):
+		// Not the device's fault; keep it out of the ledger entirely. A
+		// retry-budget shed in particular is the storm-control plane refusing
+		// to amplify a correlated outage: it carries a real first-attempt
+		// failure as its cause, but charging gray evidence during a mass
+		// failure would quarantine the fleet exactly when capacity is
+		// scarcest — the liveness detector and data-path demotion already
+		// cover hard faults without the budget's help.
 	case errors.Is(err, rpcx.ErrStalled):
 		g.mu.Lock()
 		if i >= 0 && i < len(g.stallEvidence) {

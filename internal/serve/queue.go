@@ -87,6 +87,19 @@ type Gateway struct {
 	// by mu; sized by AttachHealth.
 	stallEvidence []uint64
 
+	// Storm-control state (storm.go). downTimes is the correlated-loss
+	// detector's sliding window of recent Down transitions; stormTight marks
+	// the pre-emptive admission tighten it raised, cleared by stormClear
+	// after the hold. staggerTimers are pending deferred reinstatements from
+	// a mass recovery. All guarded by mu. rewarmSem caps concurrent async
+	// rewarms (capacity RewarmConcurrency); rewarmWG drains them at Close.
+	downTimes     []time.Time
+	stormTight    bool
+	stormClear    *time.Timer
+	staggerTimers []*time.Timer
+	rewarmSem     chan struct{}
+	rewarmWG      sync.WaitGroup
+
 	stats Stats
 
 	workers sync.WaitGroup
@@ -96,6 +109,7 @@ type Gateway struct {
 func New(rt *runtime.Runtime, opts Options) *Gateway {
 	g := &Gateway{rt: rt, opts: opts.withDefaults()}
 	g.ladder = runtime.NewLadder(g.opts.MaxRung, g.opts.LadderHysteresis)
+	g.rewarmSem = make(chan struct{}, g.opts.RewarmConcurrency)
 	g.cond = sync.NewCond(&g.mu)
 	for i := 0; i < g.opts.Workers; i++ {
 		g.workers.Add(1)
@@ -258,10 +272,12 @@ func (g *Gateway) deliver(req *request, out Outcome) bool {
 func (g *Gateway) Ladder() *runtime.Ladder { return g.ladder }
 
 // SetBrownout raises or clears the gateway's brownout: on entry the ladder
-// floor jumps to BrownoutRung (every batch at least one rung degraded) and
-// admission tightens; on exit the floor drops back to 0 and the ladder
-// climbs home through its normal hysteresis. Idempotent per edge. Wired to
-// the watchdog's OnBrownout/OnClear callbacks by the daemons.
+// floor rises by BrownoutRung (every batch at least one rung degraded) and
+// admission tightens; on exit the floor drops back and the ladder climbs
+// home through its normal hysteresis. The floor composes with the
+// correlated-loss tighten (storm.go) via applyFloor, so clearing one signal
+// never erases the other. Idempotent per edge. Wired to the watchdog's
+// OnBrownout/OnClear callbacks by the daemons.
 func (g *Gateway) SetBrownout(on bool) {
 	g.mu.Lock()
 	changed := g.brownout != on
@@ -270,13 +286,8 @@ func (g *Gateway) SetBrownout(on bool) {
 		g.stats.Brownouts++
 	}
 	g.mu.Unlock()
-	if !changed {
-		return
-	}
-	if on {
-		g.ladder.SetFloor(BrownoutRung)
-	} else {
-		g.ladder.SetFloor(0)
+	if changed {
+		g.applyFloor()
 	}
 }
 
@@ -320,6 +331,8 @@ func (g *Gateway) Stats() Stats {
 	s.RemotePanics = ss.Panics
 	s.LimiterCuts, s.LimiterLimit = ss.LimiterCuts, ss.LimiterLimit
 	s.FencedResponses, s.StalledCalls = ss.FencedResponses, ss.StalledCalls
+	s.RetryBudgetExhausted = ss.RetryBudgetExhausted
+	s.ResolveCoalesced = g.rt.ResolveCoalesced()
 	if g.brownout {
 		s.BrownoutActive = 1
 	}
@@ -349,6 +362,7 @@ func (g *Gateway) Stats() Stats {
 	}
 	if g.rt.Cache != nil {
 		s.Cache = g.rt.Cache.Stats()
+		s.InvalidationEpochs = s.Cache.InvalidationEpochs
 	}
 	if g.cluster != nil {
 		up, suspect, down := g.cluster.Counts()
@@ -378,8 +392,22 @@ func (g *Gateway) Close(grace time.Duration) {
 	g.closing = true
 	hstop, hdone := g.healthStop, g.healthDone
 	g.healthStop = nil
+	sc := g.stormClear
+	staggers := g.staggerTimers
+	g.staggerTimers = nil
 	g.cond.Broadcast()
 	g.mu.Unlock()
+	// Storm-control teardown: cancel pending deferred reinstatements and the
+	// tighten-release timer (their callbacks also no-op on closing), then
+	// drain in-flight async rewarms — closing was set under mu first, so no
+	// new rewarm can Add after this Wait starts.
+	if sc != nil {
+		sc.Stop()
+	}
+	for _, t := range staggers {
+		t.Stop()
+	}
+	g.rewarmWG.Wait()
 	if hstop != nil {
 		close(hstop)
 		// The tick loop exits promptly; a probe in flight is bounded by its

@@ -129,6 +129,31 @@ type Options struct {
 	// needed before the ladder climbs one rung back toward full quality
 	// (default runtime.DefaultLadderHysteresis).
 	LadderHysteresis int
+	// CorrelatedLossK is the correlated-loss threshold: when at least K
+	// devices go Down within CorrelatedLossWindow the gateway records a
+	// CorrelatedLossEvent and pre-emptively raises the degradation-ladder
+	// floor one rung for CorrelatedLossHold — the surviving capacity is about
+	// to absorb the dead devices' traffic, so every batch cheapens before the
+	// wave lands instead of after the first misses. Default 2; negative
+	// disables the detector.
+	CorrelatedLossK int
+	// CorrelatedLossWindow is the sliding window the detector counts Down
+	// events over (default 2s).
+	CorrelatedLossWindow time.Duration
+	// CorrelatedLossHold is how long the pre-emptive tighten persists after
+	// the last detection (default 5s).
+	CorrelatedLossHold time.Duration
+	// RewarmConcurrency caps concurrent post-topology-change strategy rewarms
+	// (default 2). A mass recovery used to fire one synchronous re-resolve
+	// per event; now rewarms are asynchronous, jittered, and at most this
+	// many run at once — excess requests are dropped, because any rewarm that
+	// runs sees the current health mask.
+	RewarmConcurrency int
+	// ReintegrationStagger spaces mass reinstatements: when one cluster batch
+	// reinstates n devices, device i rejoins after i*stagger so rewarms,
+	// limiter resets, and placement shifts ramp instead of thundering
+	// (default 200ms).
+	ReintegrationStagger time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +171,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
+	}
+	if o.CorrelatedLossK == 0 {
+		o.CorrelatedLossK = 2
+	}
+	if o.CorrelatedLossWindow <= 0 {
+		o.CorrelatedLossWindow = 2 * time.Second
+	}
+	if o.CorrelatedLossHold <= 0 {
+		o.CorrelatedLossHold = 5 * time.Second
+	}
+	if o.RewarmConcurrency <= 0 {
+		o.RewarmConcurrency = 2
+	}
+	if o.ReintegrationStagger <= 0 {
+		o.ReintegrationStagger = 200 * time.Millisecond
 	}
 	return o
 }
@@ -267,6 +307,23 @@ type Stats struct {
 	FencedResponses       uint64
 	StalledCalls          uint64
 	AsymmetricQuarantines uint64
+	// RetryBudgetExhausted counts speculative attempts — rpcx retries,
+	// failover re-executions, hedges — refused by the shared retry budget:
+	// each one a contribution to a retry storm that did not happen.
+	// ResolveCoalesced counts strategy resolutions served by another caller's
+	// in-flight decider run instead of a duplicate run (singleflight).
+	// InvalidationEpochs mirrors Cache.InvalidationEpochs on the wire: O(1)
+	// strategy-cache invalidation events (device-loss epoch bumps and policy
+	// clears). CorrelatedLossEvents counts correlated-loss detections (>= K
+	// devices Down inside the window) that pre-emptively tightened admission
+	// one ladder rung. StaggeredReintegrations counts device reinstatements
+	// the recovery-storm smoother delayed so returning capacity ramps instead
+	// of slamming. All five are wire v10.
+	RetryBudgetExhausted    uint64
+	ResolveCoalesced        uint64
+	InvalidationEpochs      uint64
+	CorrelatedLossEvents    uint64
+	StaggeredReintegrations uint64
 	// ClassMet / ClassMissed are the per-SLO-class attainment ledger: every
 	// admitted request lands in exactly one bucket of its class once it gets
 	// its outcome. Met is served within the SLO (for classes without a

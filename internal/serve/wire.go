@@ -50,7 +50,10 @@ const inferHeaderLen = 1 + 8
 //	    +FlapSuppressed (gray-failure health machine and flap damping)
 //	v9: +Restarts, +FencedResponses, +StalledCalls, +AsymmetricQuarantines
 //	    (incarnation fencing and asymmetric-partition detection)
-const statsWireVersion = 9
+//	v10: +RetryBudgetExhausted, +ResolveCoalesced, +InvalidationEpochs,
+//	    +CorrelatedLossEvents, +StaggeredReintegrations (storm control:
+//	    retry budgets, resolution singleflight, correlated-loss smoothing)
+const statsWireVersion = 10
 
 // StatsWireVersion is the exported stats frame version, stamped into load
 // generator reports so offline analysis knows which field set it is reading.
@@ -139,9 +142,9 @@ func decodeSLO(typ byte, value float64) (runtime.SLO, error) {
 }
 
 // statsFieldCount is the number of u64 fields in the stats wire encoding:
-// 43 counters/gauges + 2×3 per-class attainment counters + 3 queue depths +
+// 48 counters/gauges + 2×3 per-class attainment counters + 3 queue depths +
 // 6 cache fields.
-const statsFieldCount = 58
+const statsFieldCount = 63
 
 // statsFields lists the counter fields in wire order; queue depths and
 // cache stats follow them in encodeStats/decodeStats.
@@ -164,6 +167,8 @@ func statsFields(s *Stats) []*uint64 {
 		&s.Reintegrations, &s.FlapSuppressed,
 		&s.Restarts, &s.FencedResponses, &s.StalledCalls,
 		&s.AsymmetricQuarantines,
+		&s.RetryBudgetExhausted, &s.ResolveCoalesced, &s.InvalidationEpochs,
+		&s.CorrelatedLossEvents, &s.StaggeredReintegrations,
 	}
 	for c := range s.ClassMet {
 		fields = append(fields, &s.ClassMet[c])
@@ -383,6 +388,19 @@ func IsStalled(err error) bool {
 	}
 	return errors.Is(err, rpcx.ErrStalled) ||
 		strings.Contains(err.Error(), "stalled")
+}
+
+// IsRetryBudget reports whether err (local or remote) is a speculative
+// attempt — a retry, failover, or hedge — refused by the shared retry
+// budget. Budget exhaustion is storm backpressure, not a fault: the refusal
+// rides the shed/overload ledger, demotes no device, and clears as soon as
+// primary traffic refills the bucket.
+func IsRetryBudget(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, rpcx.ErrRetryBudget) ||
+		strings.Contains(err.Error(), "retry budget depleted")
 }
 
 // IsFenced reports whether err (local or remote) is a batch failed because a

@@ -183,6 +183,18 @@ func (g *Gateway) execute(batch []*request) {
 			g.dropBatch(batch, err)
 			return
 		}
+		if errors.Is(err, rpcx.ErrRetryBudget) {
+			// The shared retry budget refused the speculative attempt that
+			// could have saved this batch. That is storm control doing its
+			// job, not a malfunction: the batch is dropped shed-shaped
+			// (retryable by the caller once primary traffic refills the
+			// bucket), never Failed, and no device is demoted for it.
+			g.mu.Lock()
+			g.stats.Overloads += uint64(len(batch))
+			g.mu.Unlock()
+			g.dropBatch(batch, fmt.Errorf("%w: %v", ErrOverloaded, err))
+			return
+		}
 		if errors.Is(err, limit.ErrLimited) || errors.Is(err, rpcx.ErrOverloaded) {
 			// An overload refusal — the per-device limiter shed the dispatch,
 			// or the daemon's in-flight cap refused it. A refusal is not a
@@ -304,6 +316,16 @@ func (g *Gateway) runBatch(xs []*tensor.Tensor, res *runtime.Resolution, slo run
 		retry = true
 	}
 	if retry {
+		// The failover re-execution is a speculative attempt like any rpcx
+		// retry or hedge: it draws from the same shared budget, so a
+		// correlated loss cannot multiply every failing batch into double
+		// load on the survivors. A refusal keeps the first attempt's error
+		// wrapped in the typed retry-budget shed — execute drops the batch
+		// shed-shaped, never Failed, and no device is demoted for it.
+		if b := g.rt.Scheduler.RetryBudget; b != nil && !b.TryWithdraw() {
+			return outs, res, fmt.Errorf("serve: failover retry suppressed: %w (cause: %v)",
+				rpcx.ErrRetryBudget, err)
+		}
 		g.mu.Lock()
 		g.stats.FailoverAttempts++
 		g.mu.Unlock()

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"murmuration/internal/testutil"
 )
 
 // burnGoroutines parks n goroutines until release is closed.
@@ -21,6 +23,7 @@ func burnGoroutines(n int, release <-chan struct{}) *sync.WaitGroup {
 }
 
 func TestGoroutineThresholdTripsAndClears(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	var mu sync.Mutex
 	var reasons []string
 	clears := 0
@@ -84,6 +87,7 @@ func TestGoroutineThresholdTripsAndClears(t *testing.T) {
 }
 
 func TestHeapThresholdTrips(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tripped := make(chan string, 1)
 	w := New(Options{
 		MaxHeapBytes: 1, // any live heap trips it
@@ -104,6 +108,7 @@ func TestHeapThresholdTrips(t *testing.T) {
 }
 
 func TestDisabledThresholdsNeverTrip(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	w := New(Options{OnBrownout: func(string) { t.Error("brownout with all checks disabled") }})
 	for i := 0; i < 5; i++ {
 		w.Sample()
@@ -117,6 +122,7 @@ func TestDisabledThresholdsNeverTrip(t *testing.T) {
 }
 
 func TestHysteresisHoldsBetweenBandAndThreshold(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// Trip on goroutines, then set the scene so the count sits between
 	// ReleaseFrac*Max and Max: the brownout must hold.
 	base := runtime.NumGoroutine()
@@ -144,6 +150,7 @@ func TestHysteresisHoldsBetweenBandAndThreshold(t *testing.T) {
 }
 
 func TestStartCloseLoop(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	fired := make(chan struct{}, 1)
 	w := New(Options{
 		Interval:     2 * time.Millisecond,
